@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain cargo underneath.
+
+.PHONY: all test bench experiments examples lint doc clean
+
+all: test
+
+test:
+	cargo test --workspace
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+	cargo fmt --check 2>/dev/null || true
+
+doc:
+	cargo doc --workspace --no-deps
+
+bench:
+	cargo bench --workspace
+
+# Regenerate every figure/experiment table (EXPERIMENTS.md sources).
+experiments:
+	@for b in fig1_conformance fig2_symtab fig3_segments fig4_fft3d \
+	          e1_simple e2_segsize e3_rulecost e4_loadbal e5_binding \
+	          e6_crossover e7_topology; do \
+	    echo "==== $$b ===="; \
+	    cargo run -q --release -p xdp-bench --bin $$b; \
+	done
+
+examples:
+	@for e in quickstart fft3d paper_listings load_balance redistribute \
+	          memory_hierarchy debug_monitor; do \
+	    echo "==== $$e ===="; \
+	    cargo run -q --release --example $$e; \
+	done
+
+clean:
+	cargo clean

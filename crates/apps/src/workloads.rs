@@ -1,0 +1,88 @@
+//! Seeded, reproducible workload generators.
+//!
+//! All randomness goes through `ChaCha8Rng` with explicit seeds so every
+//! experiment row regenerates byte-for-byte.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// `len` uniform doubles in `[lo, hi)`.
+pub fn uniform_f64(len: usize, seed: u64, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Task costs with a power-law (Zipf-like) profile: cost of rank r is
+/// `base / (r+1)^skew`, scaled so the largest is `base`. `skew = 0` gives
+/// uniform costs; larger skews concentrate work in a few heavy tasks.
+pub fn zipf_costs(tasks: usize, base: u64, skew: f64) -> Vec<u64> {
+    (0..tasks)
+        .map(|r| {
+            let c = base as f64 / ((r + 1) as f64).powf(skew);
+            c.max(1.0) as u64
+        })
+        .collect()
+}
+
+/// Shuffle a cost vector deterministically.
+pub fn shuffled(mut costs: Vec<u64>, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    costs.shuffle(&mut rng);
+    costs
+}
+
+/// The ideal (perfectly balanced) makespan lower bound for a cost vector
+/// on `p` processors: `max(sum/p, max_cost)`.
+pub fn ideal_makespan(costs: &[u64], p: usize) -> u64 {
+    let sum: u64 = costs.iter().sum();
+    let max = costs.iter().copied().max().unwrap_or(0);
+    (sum / p as u64).max(max)
+}
+
+/// Makespan of a static contiguous block assignment.
+pub fn static_block_makespan(costs: &[u64], p: usize) -> u64 {
+    let chunk = costs.len().div_ceil(p);
+    costs
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        assert_eq!(uniform_f64(8, 1, 0.0, 1.0), uniform_f64(8, 1, 0.0, 1.0));
+        assert_ne!(uniform_f64(8, 1, 0.0, 1.0), uniform_f64(8, 2, 0.0, 1.0));
+        assert_eq!(
+            shuffled(zipf_costs(10, 100, 1.0), 3),
+            shuffled(zipf_costs(10, 100, 1.0), 3)
+        );
+    }
+
+    #[test]
+    fn zipf_shape() {
+        let flat = zipf_costs(8, 1000, 0.0);
+        assert!(flat.iter().all(|&c| c == 1000));
+        let skewed = zipf_costs(8, 1000, 2.0);
+        assert_eq!(skewed[0], 1000);
+        assert!(skewed[7] < 20);
+        assert!(skewed.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn makespans() {
+        let costs = vec![100, 1, 1, 1];
+        assert_eq!(ideal_makespan(&costs, 2), 100);
+        // Static blocks of 2: [100+1, 1+1] -> 101.
+        assert_eq!(static_block_makespan(&costs, 2), 101);
+        let even = vec![10; 8];
+        assert_eq!(ideal_makespan(&even, 4), 20);
+        assert_eq!(static_block_makespan(&even, 4), 20);
+    }
+}

@@ -1,0 +1,71 @@
+//! Wall-clock benchmarks of the local FFT kernel and the whole distributed
+//! 3-D FFT on both backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xdp_apps::fft::{fft1d_in_place, fft3d_seq};
+use xdp_apps::fft3d::{run_stage, Fft3dConfig, Stage};
+use xdp_core::SimConfig;
+use xdp_runtime::Complex;
+
+fn bench_fft1d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft1d");
+    for &n in &[64usize, 256, 1024] {
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter_batched(
+                || input.clone(),
+                |mut v| {
+                    fft1d_in_place(&mut v);
+                    v
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft3d_seq(c: &mut Criterion) {
+    let n = 16usize;
+    let input: Vec<Complex> = (0..n * n * n)
+        .map(|i| Complex::new((i as f64).cos(), (i as f64).sin()))
+        .collect();
+    c.bench_function("fft3d_seq_16", |bch| {
+        bch.iter_batched(
+            || input.clone(),
+            |mut v| {
+                fft3d_seq(&mut v, n);
+                v
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fft3d_distributed_sim(c: &mut Criterion) {
+    c.bench_function("fft3d_sim_v3_n8_p4", |bch| {
+        bch.iter(|| {
+            black_box(
+                run_stage(
+                    Fft3dConfig::new(8, 4),
+                    Stage::V3AwaitSunk,
+                    SimConfig::new(4),
+                    42,
+                )
+                .unwrap()
+                .virtual_time,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft1d,
+    bench_fft3d_seq,
+    bench_fft3d_distributed_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Wall-clock micro-benchmarks of the run-time XDP symbol table (§3.1):
+//! the operations every surviving compute rule pays at run time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xdp_ir::build as b;
+use xdp_ir::{DimDist, ElemType, ProcGrid, Section, Triplet, VarId};
+use xdp_runtime::RtSymbolTable;
+
+fn symtab_with_segments(n: i64, seg: i64) -> RtSymbolTable {
+    let decls = vec![b::array_seg(
+        "A",
+        ElemType::F64,
+        vec![(1, n)],
+        vec![DimDist::Block],
+        ProcGrid::linear(1),
+        vec![seg],
+    )];
+    RtSymbolTable::build(0, &decls)
+}
+
+fn bench_iown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symtab_iown_vs_segments");
+    for &segs in &[4usize, 16, 64, 256] {
+        let n = 1024i64;
+        let mut st = symtab_with_segments(n, n / segs as i64);
+        let full = Section::new(vec![Triplet::range(1, n)]);
+        g.bench_with_input(BenchmarkId::from_parameter(segs), &segs, |bch, _| {
+            bch.iter(|| black_box(st.iown(VarId(0), black_box(&full))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_point_query(c: &mut Criterion) {
+    let mut st = symtab_with_segments(1024, 16);
+    let point = Section::new(vec![Triplet::point(513)]);
+    c.bench_function("symtab_iown_point", |bch| {
+        bch.iter(|| black_box(st.iown(VarId(0), black_box(&point))))
+    });
+    c.bench_function("symtab_mylb_full", |bch| {
+        let full = Section::new(vec![Triplet::range(1, 1024)]);
+        bch.iter(|| black_box(st.mylb(VarId(0), black_box(&full), 1)))
+    });
+}
+
+fn bench_section_algebra(c: &mut Criterion) {
+    let a = Triplet::new(2, 50_000, 6);
+    let bt = Triplet::new(8, 40_000, 4);
+    c.bench_function("triplet_intersect_crt", |bch| {
+        bch.iter(|| black_box(black_box(a).intersect(black_box(&bt))))
+    });
+    let s1 = Section::new(vec![Triplet::range(1, 512), Triplet::new(2, 1024, 2)]);
+    let s2 = Section::new(vec![Triplet::range(200, 700), Triplet::new(4, 900, 4)]);
+    c.bench_function("section_intersect_2d", |bch| {
+        bch.iter(|| black_box(black_box(&s1).intersect(black_box(&s2))))
+    });
+}
+
+fn bench_ownership_transfer(c: &mut Criterion) {
+    c.bench_function("ownership_transfer_roundtrip", |bch| {
+        bch.iter_batched(
+            || symtab_with_segments(256, 1),
+            |mut st| {
+                let sec = Section::new(vec![Triplet::point(7)]);
+                let data = st.remove_ownership(VarId(0), &sec).unwrap();
+                let sid = st.begin_ownership_recv(VarId(0), &sec).unwrap();
+                st.complete_ownership_recv(VarId(0), sid, Some(&data))
+                    .unwrap();
+                st
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_iown,
+    bench_point_query,
+    bench_section_algebra,
+    bench_ownership_transfer
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! F1 — Figure 1 reproduced as an executable conformance table: every rule
+//! of "Rules governing execution on processor p", checked live.
+
+use xdp_bench::table::j;
+use xdp_bench::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "F1: Figure 1 execution rules, conformance",
+        &["rule", "meaning", "status"],
+    );
+    let mut failures = 0;
+    for (rule, meaning, check) in xdp_bench::conformance::rules() {
+        let status = match check() {
+            Ok(()) => "PASS".to_string(),
+            Err(e) => {
+                failures += 1;
+                format!("FAIL: {e}")
+            }
+        };
+        t.row(&[j::s(rule), j::s(meaning), j::s(&status)]);
+    }
+    t.print();
+    if failures > 0 {
+        eprintln!("{failures} rule(s) violated");
+        std::process::exit(1);
+    }
+    println!("all {} rules hold", xdp_bench::conformance::rules().len());
+}

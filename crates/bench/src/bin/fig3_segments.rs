@@ -1,0 +1,51 @@
+//! F3 — Figure 3 reproduced: example distributions and local segmentations
+//! of a 4x8 array, shown as element->segment maps for processor P3.
+
+use xdp_ir::{DimDist, Distribution, ProcGrid, Triplet};
+use xdp_runtime::segment::segment_sections;
+
+fn show(label: &str, dist: &Distribution, seg: &[i64]) {
+    let bounds = vec![Triplet::range(1, 4), Triplet::range(1, 8)];
+    println!("{label}");
+    let rects = dist.owned_rects(&bounds, 3);
+    let mut segid = std::collections::HashMap::new();
+    let mut k = 0;
+    for r in &rects {
+        for sec in segment_sections(r, Some(seg)) {
+            for idx in sec.iter() {
+                segid.insert(idx, k);
+            }
+            k += 1;
+        }
+    }
+    for i in 1..=4i64 {
+        print!("  ");
+        for jx in 1..=8i64 {
+            match segid.get(&vec![i, jx]) {
+                Some(s) => print!("{s} "),
+                None => print!(". "),
+            }
+        }
+        println!();
+    }
+    println!("  ({k} segments on P3; '.' = not owned by P3)\n");
+}
+
+fn main() {
+    println!("== F3: Figure 3 — 4x8 array distributions and segmentations, from P3 ==\n");
+    let bb = Distribution::new(vec![DimDist::Block, DimDist::Block], ProcGrid::grid2(2, 2));
+    let sb = Distribution::new(vec![DimDist::Star, DimDist::Block], ProcGrid::linear(4));
+    // (a) (BLOCK,BLOCK): P3 owns the bottom-right 2x4 quadrant.
+    show("(a) (BLOCK,BLOCK) on 2x2, 2x1 segments:", &bb, &[2, 1]);
+    show("    (BLOCK,BLOCK) on 2x2, 1x2 segments:", &bb, &[1, 2]);
+    // (b) (*,BLOCK): P3 owns the last two full columns.
+    show("(b) (*,BLOCK) on 4, 4x1 segments:", &sb, &[4, 1]);
+    show("    (*,BLOCK) on 4, 2x2 segments:", &sb, &[2, 2]);
+    // Also the CYCLIC flavor to show strided segment bounds.
+    let sc = Distribution::new(vec![DimDist::Star, DimDist::Cyclic], ProcGrid::linear(4));
+    show(
+        "(c) (*,CYCLIC) on 4, 4x1 segments (strided bounds):",
+        &sc,
+        &[4, 1],
+    );
+}

@@ -1,0 +1,11 @@
+//! # xdp-bench — the experiment harness
+//!
+//! One binary per figure/experiment in DESIGN.md's index (`cargo run -p
+//! xdp-bench --bin <id>`); Criterion micro-benchmarks under `benches/`.
+//! Binaries print human-readable tables; with `XDP_JSON=1` they also emit
+//! one JSON object per row on stdout for machine consumption.
+
+pub mod conformance;
+pub mod table;
+
+pub use table::Table;

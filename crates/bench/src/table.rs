@@ -1,0 +1,123 @@
+//! Aligned-table printing with optional JSON-lines emission.
+
+use serde_json::{Map, Value as Json};
+
+/// A simple result table: add rows of (column, value) pairs; printing
+/// aligns columns and, when `XDP_JSON=1`, emits each row as a JSON object.
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    json_rows: Vec<Map<String, Json>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: &str, columns: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            json_rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; values must match the column count.
+    pub fn row(&mut self, values: &[Json]) {
+        assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
+        let mut obj = Map::new();
+        let mut cells = Vec::with_capacity(values.len());
+        for (c, v) in self.columns.iter().zip(values) {
+            obj.insert(c.clone(), v.clone());
+            cells.push(match v {
+                Json::Number(n) => {
+                    if let Some(f) = n.as_f64() {
+                        if n.is_f64() {
+                            format!("{f:.1}")
+                        } else {
+                            n.to_string()
+                        }
+                    } else {
+                        n.to_string()
+                    }
+                }
+                Json::String(s) => s.clone(),
+                other => other.to_string(),
+            });
+        }
+        self.rows.push(cells);
+        self.json_rows.push(obj);
+    }
+
+    /// Print the aligned table (and JSON lines when `XDP_JSON=1`).
+    pub fn print(&self) {
+        println!("== {} ==", self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+        if std::env::var("XDP_JSON").is_ok_and(|v| v == "1") {
+            for (i, obj) in self.json_rows.iter().enumerate() {
+                let mut o = obj.clone();
+                o.insert("experiment".into(), Json::String(self.title.clone()));
+                o.insert("row".into(), Json::from(i));
+                println!("{}", Json::Object(o));
+            }
+        }
+        println!();
+    }
+}
+
+/// Shorthand JSON constructors used by the experiment binaries.
+pub mod j {
+    use serde_json::Value as Json;
+
+    pub fn s(v: &str) -> Json {
+        Json::String(v.to_string())
+    }
+    pub fn i(v: impl Into<i64>) -> Json {
+        Json::from(v.into())
+    }
+    pub fn u(v: u64) -> Json {
+        Json::from(v)
+    }
+    pub fn f(v: f64) -> Json {
+        Json::from(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&[j::i(1), j::s("x")]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&[j::i(1)]);
+    }
+}

@@ -1,0 +1,459 @@
+//! The owner-computes frontend (§2.2's "straightforward translation").
+//!
+//! Each assignment `A[g(i)] = f(..., B[f(i)], ...)` becomes, on every
+//! processor:
+//!
+//! ```text
+//! iown(B[f(i)]) : { B[f(i)] -> }
+//! iown(A[g(i)]) : {
+//!     _T0[mypid] <- B[f(i)]
+//!     await(_T0[mypid]) : { A[g(i)] = f(..., _T0[mypid], ...) }
+//! }
+//! ```
+//!
+//! — the owner of each remote operand sends it into the ether; the owner of
+//! the target receives it into a per-processor temporary (`T[mypid]` in the
+//! paper), awaits it, and computes. The translation is deliberately naive:
+//! it communicates *every* exclusive operand that is not syntactically the
+//! target itself, even when owners coincide. Removing that redundancy is
+//! the optimizer's job, exactly as in the paper.
+
+use crate::seq::{SeqProgram, SeqStmt};
+use xdp_ir::build as b;
+use xdp_ir::{
+    Block, BoolExpr, Decl, DimDist, Distribution, ElemExpr, Ownership, ProcGrid, Program,
+    SectionRef, Stmt, Triplet, VarId,
+};
+
+/// Frontend knobs.
+#[derive(Clone, Debug)]
+pub struct FrontendOptions {
+    /// Prefix for generated temporaries.
+    pub temp_prefix: String,
+}
+
+impl Default for FrontendOptions {
+    fn default() -> Self {
+        FrontendOptions {
+            temp_prefix: "_T".to_string(),
+        }
+    }
+}
+
+/// Translate a sequential program to naive owner-computes IL+XDP.
+pub fn lower_owner_computes(seq: &SeqProgram, opts: &FrontendOptions) -> Program {
+    let mut out = Program::new();
+    for d in &seq.decls {
+        out.declare(d.clone());
+    }
+    let nprocs = machine_size(&seq.decls);
+    let mut lower = Lowerer {
+        out,
+        nprocs,
+        opts: opts.clone(),
+        temps: 0,
+        loop_stack: Vec::new(),
+        next_pair: 0,
+    };
+    let body = lower.block(&seq.body);
+    let mut program = lower.out;
+    program.body = body;
+    program
+}
+
+/// The machine size implied by the declarations (all logical grids must
+/// agree on total processor count).
+pub fn machine_size(decls: &[Decl]) -> usize {
+    let mut n = None;
+    for d in decls {
+        if let Some(dist) = &d.dist {
+            let p = dist.nprocs();
+            match n {
+                None => n = Some(p),
+                Some(prev) => assert_eq!(
+                    prev, p,
+                    "declarations disagree on machine size ({prev} vs {p})"
+                ),
+            }
+        }
+    }
+    n.expect("at least one distributed declaration required")
+}
+
+struct Lowerer {
+    out: Program,
+    nprocs: usize,
+    opts: FrontendOptions,
+    temps: usize,
+    /// Enclosing loop variables, outermost first (for salt expressions).
+    loop_stack: Vec<String>,
+    /// Next send/receive pair id (the §4 "auxiliary data structure that
+    /// links" transfer pairs, realized as a message-type salt).
+    next_pair: i64,
+}
+
+impl Lowerer {
+    fn block(&mut self, stmts: &[SeqStmt]) -> Block {
+        let mut out = Vec::new();
+        for s in stmts {
+            self.stmt(s, &mut out);
+        }
+        out
+    }
+
+    /// A salt expression unique to this pair and the current iteration:
+    /// `(((v1 * 2^20 + v2) * 2^20 + ...) * 256) + pair_id`.
+    fn fresh_salt(&mut self) -> xdp_ir::IntExpr {
+        let pair = self.next_pair;
+        self.next_pair += 1;
+        let mut acc: Option<xdp_ir::IntExpr> = None;
+        for v in &self.loop_stack {
+            let ve = b::iv(v);
+            acc = Some(match acc {
+                None => ve,
+                Some(a) => a.mul(b::c(1 << 20)).add(ve),
+            });
+        }
+        match acc {
+            None => b::c(pair),
+            Some(a) => a.mul(b::c(256)).add(b::c(pair)).simplify(),
+        }
+    }
+
+    /// A per-processor temporary holding `vol` elements. For `vol == 1`
+    /// this is the paper's `T[mypid]`; larger operands get a second
+    /// dimension (`_Tk[mypid, 1:vol]`).
+    fn fresh_temp(&mut self, elem: xdp_ir::ElemType, vol: i64) -> VarId {
+        let name = format!("{}{}", self.opts.temp_prefix, self.temps);
+        self.temps += 1;
+        let mut bounds = vec![Triplet::range(0, self.nprocs as i64 - 1)];
+        let mut dims = vec![DimDist::Block];
+        let mut seg = vec![1];
+        if vol > 1 {
+            bounds.push(Triplet::range(1, vol));
+            dims.push(DimDist::Star);
+            seg.push(vol);
+        }
+        let decl = Decl {
+            name,
+            elem,
+            bounds,
+            ownership: Ownership::Exclusive,
+            dist: Some(Distribution::new(dims, ProcGrid::linear(self.nprocs))),
+            segment_shape: Some(seg),
+        };
+        self.out.declare(decl)
+    }
+
+    /// The (loop-invariant) element count of an operand reference; the
+    /// frontend requires reference shapes not to vary with enclosing loop
+    /// variables.
+    fn ref_volume(&self, r: &SectionRef) -> i64 {
+        use crate::analysis::{concrete_section, Bindings};
+        let probe = |val: i64| {
+            let mut env = Bindings::new();
+            for v in &self.loop_stack {
+                env.insert(v.clone(), val);
+            }
+            concrete_section(&self.out, r, &env).map(|s| {
+                // Shape only: per-dim counts are what matter.
+                s.extents()
+            })
+        };
+        match (probe(1), probe(2)) {
+            (Some(a), Some(b)) => {
+                assert_eq!(
+                    a,
+                    b,
+                    "operand {} has a loop-variant shape; the owner-computes \
+                     frontend requires loop-invariant reference shapes",
+                    xdp_ir::pretty::section_ref(&self.out, r)
+                );
+                a.iter().product()
+            }
+            _ => panic!(
+                "operand {} has a non-static shape",
+                xdp_ir::pretty::section_ref(&self.out, r)
+            ),
+        }
+    }
+
+    fn stmt(&mut self, s: &SeqStmt, out: &mut Block) {
+        match s {
+            SeqStmt::DoLoop { var, lo, hi, body } => {
+                self.loop_stack.push(var.clone());
+                let inner = self.block(body);
+                self.loop_stack.pop();
+                out.push(b::do_loop(var, lo.clone(), hi.clone(), inner));
+            }
+            SeqStmt::Kernel {
+                name,
+                args,
+                int_args,
+            } => {
+                // Owner-computes on the first argument.
+                let guard = args
+                    .first()
+                    .map(|a| b::iown(a.clone()))
+                    .unwrap_or(BoolExpr::True);
+                out.push(b::guarded(
+                    guard,
+                    vec![Stmt::Kernel {
+                        name: name.clone(),
+                        args: args.clone(),
+                        int_args: int_args.clone(),
+                    }],
+                ));
+            }
+            SeqStmt::Assign { target, rhs } => {
+                self.assign(target, rhs, out);
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &SectionRef, rhs: &ElemExpr, out: &mut Block) {
+        // Operands needing communication: exclusive refs that are not
+        // syntactically the target itself.
+        let comm_refs: Vec<SectionRef> = rhs
+            .refs()
+            .into_iter()
+            .filter(|r| self.out.decl(r.var).ownership == Ownership::Exclusive && *r != target)
+            .cloned()
+            .collect();
+
+        // Deduplicate identical operand references (send once).
+        let mut uniq: Vec<SectionRef> = Vec::new();
+        for r in comm_refs {
+            if !uniq.contains(&r) {
+                uniq.push(r);
+            }
+        }
+
+        // Message-type salts disambiguate transfer pairs: the same value
+        // may travel to different consumers in different iterations (e.g. a
+        // stencil's B[i-1]/B[i+1]), and pure name matching would cross the
+        // streams. Each pair gets a unique id folded with the enclosing
+        // loop variables — §4's "matching message types".
+        let salts: Vec<_> = uniq.iter().map(|_| self.fresh_salt()).collect();
+
+        // Sender side: each operand's owner sends it.
+        for (r, salt) in uniq.iter().zip(&salts) {
+            out.push(b::guarded(
+                b::iown(r.clone()),
+                vec![b::send_salted(r.clone(), salt.clone())],
+            ));
+        }
+
+        // Receiver side: the target's owner receives into temporaries,
+        // awaits them, and computes with operands substituted.
+        let mut recv_body: Block = Vec::new();
+        let mut rule: Option<BoolExpr> = None;
+        let mut new_rhs = rhs.clone();
+        for (r, salt) in uniq.iter().zip(&salts) {
+            let elem = self.out.decl(r.var).elem;
+            let vol = self.ref_volume(r);
+            let t = self.fresh_temp(elem, vol);
+            let tref = if vol > 1 {
+                b::sref(t, vec![b::at(b::mypid()), b::span(b::c(1), b::c(vol))])
+            } else {
+                b::sref(t, vec![b::at(b::mypid())])
+            };
+            recv_body.push(b::recv_val_salted(tref.clone(), r.clone(), salt.clone()));
+            new_rhs = substitute_ref(&new_rhs, r, &tref);
+            let aw = b::await_(tref);
+            rule = Some(match rule {
+                None => aw,
+                Some(prev) => prev.and(aw),
+            });
+        }
+        match rule {
+            None => {
+                // Fully local statement: just guard by ownership.
+                out.push(b::guarded(
+                    b::iown(target.clone()),
+                    vec![b::assign(target.clone(), rhs.clone())],
+                ));
+            }
+            Some(rule) => {
+                recv_body.push(b::guarded(rule, vec![b::assign(target.clone(), new_rhs)]));
+                out.push(b::guarded(b::iown(target.clone()), recv_body));
+            }
+        }
+    }
+}
+
+/// Replace every occurrence of `from` with `to` in an element expression.
+pub fn substitute_ref(e: &ElemExpr, from: &SectionRef, to: &SectionRef) -> ElemExpr {
+    match e {
+        ElemExpr::Ref(r) if r == from => ElemExpr::Ref(to.clone()),
+        ElemExpr::Ref(_) | ElemExpr::LitF(_) | ElemExpr::LitI(_) | ElemExpr::FromInt(_) => {
+            e.clone()
+        }
+        ElemExpr::Bin(op, a, b2) => ElemExpr::Bin(
+            *op,
+            Box::new(substitute_ref(a, from, to)),
+            Box::new(substitute_ref(b2, from, to)),
+        ),
+        ElemExpr::Neg(a) => ElemExpr::Neg(Box::new(substitute_ref(a, from, to))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_ir::pretty;
+    use xdp_ir::{ElemType, ProcGrid};
+
+    /// The paper's running example: do i: A[i] = A[i] + B[i].
+    pub fn paper_seq(n: i64, nprocs: usize, b_dist: DimDist) -> SeqProgram {
+        let grid = ProcGrid::linear(nprocs);
+        let mut s = SeqProgram::new();
+        let a = s.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let bb = s.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![b_dist],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let bi = b::sref(bb, vec![b::at(b::iv("i"))]);
+        s.body = vec![SeqStmt::DoLoop {
+            var: "i".into(),
+            lo: b::c(1),
+            hi: b::c(n),
+            body: vec![SeqStmt::Assign {
+                target: ai.clone(),
+                rhs: b::val(ai).add(b::val(bi)),
+            }],
+        }];
+        s
+    }
+
+    #[test]
+    fn lowers_paper_example_shape() {
+        let seq = paper_seq(16, 4, DimDist::Block);
+        let p = lower_owner_computes(&seq, &FrontendOptions::default());
+        let text = pretty::program(&p);
+        // Matches §2.2's translation.
+        assert!(text.contains("iown(B[i]) : {"), "{text}");
+        assert!(text.contains("B[i] ->"), "{text}");
+        assert!(text.contains("iown(A[i]) : {"), "{text}");
+        assert!(text.contains("_T0[mypid] <- B[i]"), "{text}");
+        assert!(text.contains("await(_T0[mypid]) : {"), "{text}");
+        assert!(text.contains("A[i] = (A[i] + _T0[mypid])"), "{text}");
+        let c = p.stmt_census();
+        assert_eq!(c.sends, 1);
+        assert_eq!(c.recvs, 1);
+        assert_eq!(c.guards, 3);
+        assert_eq!(c.loops, 1);
+        // A temp was declared, block over 4 procs, element segments.
+        let t = p.lookup("_T0").unwrap();
+        assert_eq!(p.decl(t).bounds[0], Triplet::range(0, 3));
+    }
+
+    #[test]
+    fn local_statement_gets_only_guard() {
+        // A[i] = A[i] * 2 — no remote operands.
+        let grid = ProcGrid::linear(2);
+        let mut s = SeqProgram::new();
+        let a = s.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Block],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        s.body = vec![SeqStmt::DoLoop {
+            var: "i".into(),
+            lo: b::c(1),
+            hi: b::c(8),
+            body: vec![SeqStmt::Assign {
+                target: ai.clone(),
+                rhs: b::val(ai).mul(ElemExpr::LitF(2.0)),
+            }],
+        }];
+        let p = lower_owner_computes(&s, &FrontendOptions::default());
+        let c = p.stmt_census();
+        assert_eq!(c.sends, 0);
+        assert_eq!(c.recvs, 0);
+        assert_eq!(c.guards, 1);
+        assert!(p.lookup("_T0").is_none());
+    }
+
+    #[test]
+    fn duplicate_operands_communicated_once() {
+        // A[i] = B[i] + B[i]: one send, one temp.
+        let grid = ProcGrid::linear(2);
+        let mut s = SeqProgram::new();
+        let a = s.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let bb = s.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Cyclic],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let bi = b::sref(bb, vec![b::at(b::iv("i"))]);
+        s.body = vec![SeqStmt::DoLoop {
+            var: "i".into(),
+            lo: b::c(1),
+            hi: b::c(8),
+            body: vec![SeqStmt::Assign {
+                target: ai,
+                rhs: b::val(bi.clone()).add(b::val(bi)),
+            }],
+        }];
+        let p = lower_owner_computes(&s, &FrontendOptions::default());
+        assert_eq!(p.stmt_census().sends, 1);
+        assert!(p.lookup("_T1").is_none());
+    }
+
+    #[test]
+    fn kernel_guarded_by_first_arg() {
+        let grid = ProcGrid::linear(2);
+        let mut s = SeqProgram::new();
+        let a = s.declare(b::array(
+            "A",
+            ElemType::C64,
+            vec![(1, 4), (1, 4)],
+            vec![DimDist::Star, DimDist::Block],
+            grid,
+        ));
+        let col = b::sref(a, vec![b::all(), b::at(b::iv("k"))]);
+        s.body = vec![SeqStmt::DoLoop {
+            var: "k".into(),
+            lo: b::c(1),
+            hi: b::c(4),
+            body: vec![SeqStmt::Kernel {
+                name: "fft1d".into(),
+                args: vec![col],
+                int_args: vec![],
+            }],
+        }];
+        let p = lower_owner_computes(&s, &FrontendOptions::default());
+        let text = pretty::program(&p);
+        assert!(text.contains("iown(A[*,k]) : {"), "{text}");
+        assert!(text.contains("fft1d(A[*,k])"), "{text}");
+    }
+
+    #[test]
+    fn machine_size_consistency() {
+        let seq = paper_seq(8, 4, DimDist::Cyclic);
+        assert_eq!(machine_size(&seq.decls), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # xdp-compiler — translation to and optimization of IL+XDP
+//!
+//! The XDP methodology's purpose is to give a compiler an explicit
+//! representation in which data-movement optimizations are ordinary IR
+//! rewrites. This crate supplies both ends:
+//!
+//! * a **frontend** ([`frontend`]) that translates a sequential
+//!   shared-memory mini-program into the naive *owner-computes* IL+XDP
+//!   form of §2.2 — every statement guarded by `iown`, every potentially
+//!   remote operand fetched through a send/receive pair into a
+//!   per-processor temporary;
+//! * the **optimization passes** the paper walks through ([`passes`]):
+//!   compute-rule elimination by bounds localization, same-owner
+//!   communication elision, message vectorization, loop fusion with
+//!   ownership-transfer legality checking, await sinking, the
+//!   ownership-migration strategy, delayed communication binding, and
+//!   accessibility-check elimination.
+//!
+//! All static reasoning exploits the paper's stated compilation model — "a
+//! fixed, known processor grid and partitioning as allowed in HPF" (§3):
+//! loop bounds, array shapes, and grids are compile-time constants, so
+//! ownership questions are decided exactly, by enumeration over the
+//! iteration space ([`analysis`]), rather than approximately.
+
+pub mod analysis;
+pub mod frontend;
+pub mod passes;
+pub mod seq;
+
+pub use frontend::{lower_owner_computes, FrontendOptions};
+pub use passes::{Pass, PassManager, PassResult};
+pub use seq::{from_program, SeqProgram, SeqStmt};

@@ -1,0 +1,176 @@
+//! Same-owner communication elimination (§2.2).
+//!
+//! "If the same processor that exclusively owns `A[i]` also owns `B[i]`,
+//! then the data transfer statements can be eliminated." For each
+//! communicated operand of a recognized naive communication loop, decide —
+//! by enumerating the (compile-time constant) iteration space — whether the
+//! operand's owner equals the target's owner on *every* iteration; if so,
+//! drop the send, the receive, and the temporary, and compute directly on
+//! the operand.
+
+use crate::analysis::{loop_values, static_owner, Bindings};
+use crate::frontend::substitute_ref;
+use crate::passes::pattern::{recognize, NaiveCommLoop};
+use crate::passes::{rewrite_block, Pass, PassResult, MAX_ENUM};
+use xdp_ir::build as b;
+use xdp_ir::{Program, Stmt};
+
+/// The same-owner elision pass.
+pub struct ElideSameOwnerComm;
+
+impl Pass for ElideSameOwnerComm {
+    fn name(&self) -> &'static str {
+        "elide-same-owner-comm"
+    }
+
+    fn run(&self, p: &Program) -> PassResult {
+        let mut notes = Vec::new();
+        let mut changed = false;
+        let body = rewrite_block(&p.body, &mut |s| match recognize(&s) {
+            Some(pat) => match try_elide(p, &pat, &mut notes) {
+                Some(new_stmt) => {
+                    changed = true;
+                    vec![new_stmt]
+                }
+                None => vec![s],
+            },
+            None => vec![s],
+        });
+        let mut program = p.clone();
+        program.body = body;
+        PassResult {
+            program,
+            changed,
+            notes,
+        }
+    }
+}
+
+fn try_elide(p: &Program, pat: &NaiveCommLoop, notes: &mut Vec<String>) -> Option<Stmt> {
+    let env = Bindings::new();
+    let values = loop_values(&pat.lo, &pat.hi, &xdp_ir::IntExpr::Const(1), &env, MAX_ENUM)?;
+    // Which slots are same-owner on every iteration?
+    let mut keep = Vec::new();
+    let mut elided = Vec::new();
+    for slot in &pat.slots {
+        let all_same = values.iter().all(|&i| {
+            let env = Bindings::from([(pat.var.clone(), i)]);
+            match (
+                static_owner(p, &slot.operand, &env),
+                static_owner(p, &pat.target, &env),
+            ) {
+                (Some(a), Some(b2)) => a == b2,
+                _ => false,
+            }
+        });
+        if all_same {
+            elided.push(slot.clone());
+        } else {
+            keep.push(slot.clone());
+        }
+    }
+    if elided.is_empty() {
+        return None;
+    }
+    for slot in &elided {
+        notes.push(format!(
+            "elided transfer of operand {:?}: owner equals target owner on all {} iterations",
+            p.decl(slot.operand.var).name,
+            values.len()
+        ));
+    }
+
+    // Rebuild the loop with only the kept slots.
+    let mut body: Vec<Stmt> = Vec::new();
+    for slot in &keep {
+        let send = match &slot.salt {
+            None => b::send(slot.operand.clone()),
+            Some(salt) => b::send_salted(slot.operand.clone(), salt.clone()),
+        };
+        body.push(b::guarded(b::iown(slot.operand.clone()), vec![send]));
+    }
+    // New RHS: temps of elided slots substituted back to their operands.
+    let mut rhs = pat.rhs_with_temps.clone();
+    for slot in &elided {
+        rhs = substitute_ref(&rhs, &slot.temp, &slot.operand);
+    }
+    let mut recv_body: Vec<Stmt> = Vec::new();
+    let mut rule: Option<xdp_ir::BoolExpr> = None;
+    for slot in &keep {
+        let recv = match &slot.salt {
+            None => b::recv_val(slot.temp.clone(), slot.operand.clone()),
+            Some(salt) => b::recv_val_salted(slot.temp.clone(), slot.operand.clone(), salt.clone()),
+        };
+        recv_body.push(recv);
+        let aw = b::await_(slot.temp.clone());
+        rule = Some(match rule {
+            None => aw,
+            Some(prev) => prev.and(aw),
+        });
+    }
+    let assign = b::assign(pat.target.clone(), rhs);
+    match rule {
+        None => recv_body.push(assign),
+        Some(rule) => recv_body.push(b::guarded(rule, vec![assign])),
+    }
+    body.push(b::guarded(b::iown(pat.target.clone()), recv_body));
+    Some(b::do_loop(&pat.var, pat.lo.clone(), pat.hi.clone(), body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::{lower_owner_computes, FrontendOptions};
+    use crate::seq::{SeqProgram, SeqStmt};
+    use xdp_ir::{DimDist, ElemType, ProcGrid};
+
+    fn lowered(b_dist: DimDist) -> Program {
+        let grid = ProcGrid::linear(4);
+        let mut s = SeqProgram::new();
+        let a = s.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 16)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let bb = s.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, 16)],
+            vec![b_dist],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let bi = b::sref(bb, vec![b::at(b::iv("i"))]);
+        s.body = vec![SeqStmt::DoLoop {
+            var: "i".into(),
+            lo: b::c(1),
+            hi: b::c(16),
+            body: vec![SeqStmt::Assign {
+                target: ai.clone(),
+                rhs: b::val(ai).add(b::val(bi)),
+            }],
+        }];
+        lower_owner_computes(&s, &FrontendOptions::default())
+    }
+
+    #[test]
+    fn aligned_arrays_lose_all_communication() {
+        let p = lowered(DimDist::Block); // same dist => same owner everywhere
+        let r = ElideSameOwnerComm.run(&p);
+        assert!(r.changed);
+        let c = r.program.stmt_census();
+        assert_eq!(c.sends, 0, "{}", xdp_ir::pretty::program(&r.program));
+        assert_eq!(c.recvs, 0);
+        assert!(!r.notes.is_empty());
+    }
+
+    #[test]
+    fn misaligned_arrays_keep_communication() {
+        let p = lowered(DimDist::Cyclic);
+        let r = ElideSameOwnerComm.run(&p);
+        assert!(!r.changed);
+        assert_eq!(r.program.stmt_census().sends, 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Loop fusion with ownership-transfer legality checking (§4).
+//!
+//! The paper fuses the FFT's compute loop (Loop2) with the ownership-send
+//! loop (Loop3a) so the redistribute latency is covered by computation,
+//! noting that "the analysis for validity of fusion must also check to make
+//! sure that between any `-=>` and its corresponding `<=-` operation, no
+//! ownership queries are performed on the associated data, and that these
+//! data are not accessed by computation in the interim."
+//!
+//! Fusion of `do i {B1}` ; `do i {B2}` into `do i {B1; B2}` moves `B2(i)`
+//! before `B1(j)` for every `j > i`. We therefore reject fusion whenever
+//! some access of `B2(i)` *conflicts* with some access of `B1(j)`, `j > i`
+//! — where a conflict is any overlap on the same variable unless both
+//! sides are plain reads. Ownership events (`OwnOut`/`OwnIn`/`OwnQuery`)
+//! conflict with everything, which is exactly the paper's interim-access
+//! rule. Sections are evaluated exactly, per processor and per iteration;
+//! anything not statically evaluable rejects fusion (guards are assumed
+//! transparent, an over-approximation that can only reject, never wrongly
+//! accept).
+
+use crate::analysis::{block_accesses, loop_values, Access, AccessKind, Bindings};
+use crate::passes::{Pass, PassResult, MAX_ENUM};
+use xdp_ir::{IntExpr, Program, Section, Stmt, Subscript, Triplet};
+
+/// The fusion pass: fuses every legal adjacent pair, innermost-first.
+pub struct FuseLoops;
+
+impl Pass for FuseLoops {
+    fn name(&self) -> &'static str {
+        "fuse-loops"
+    }
+
+    fn run(&self, p: &Program) -> PassResult {
+        let mut notes = Vec::new();
+        let mut changed = false;
+        let body = fuse_block(p, &p.body, &mut notes, &mut changed);
+        let mut program = p.clone();
+        program.body = body;
+        PassResult {
+            program,
+            changed,
+            notes,
+        }
+    }
+}
+
+fn fuse_block(
+    p: &Program,
+    block: &[Stmt],
+    notes: &mut Vec<String>,
+    changed: &mut bool,
+) -> Vec<Stmt> {
+    // Recurse first.
+    let mut stmts: Vec<Stmt> = block
+        .iter()
+        .map(|s| match s {
+            Stmt::Guarded { rule, body } => Stmt::Guarded {
+                rule: rule.clone(),
+                body: fuse_block(p, body, notes, changed),
+            },
+            Stmt::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => Stmt::DoLoop {
+                var: var.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                step: step.clone(),
+                body: fuse_block(p, body, notes, changed),
+            },
+            other => other.clone(),
+        })
+        .collect();
+
+    // Then fuse adjacent pairs greedily.
+    let mut k = 0;
+    while k + 1 < stmts.len() {
+        let fused = match (&stmts[k], &stmts[k + 1]) {
+            (
+                Stmt::DoLoop {
+                    var: v1,
+                    lo: l1,
+                    hi: h1,
+                    step: s1,
+                    body: b1,
+                },
+                Stmt::DoLoop {
+                    var: v2,
+                    lo: l2,
+                    hi: h2,
+                    step: s2,
+                    body: b2,
+                },
+            ) if l1 == l2 && h1 == h2 && s1 == s2 => {
+                fuse_pair(p, v1, v2, l1, h1, s1, b1, b2).map(|body| Stmt::DoLoop {
+                    var: v1.clone(),
+                    lo: l1.clone(),
+                    hi: h1.clone(),
+                    step: s1.clone(),
+                    body,
+                })
+            }
+            _ => None,
+        };
+        match fused {
+            Some(f) => {
+                notes.push(format!(
+                    "fused adjacent loops at positions {k},{} (ownership-interference check passed)",
+                    k + 1
+                ));
+                *changed = true;
+                stmts[k] = f;
+                stmts.remove(k + 1);
+                // Try fusing the result with the next statement too.
+            }
+            None => k += 1,
+        }
+    }
+    stmts
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fuse_pair(
+    p: &Program,
+    v1: &str,
+    v2: &str,
+    lo: &IntExpr,
+    hi: &IntExpr,
+    step: &IntExpr,
+    b1: &[Stmt],
+    b2: &[Stmt],
+) -> Option<Vec<Stmt>> {
+    let env = Bindings::new();
+    let values = loop_values(lo, hi, step, &env, MAX_ENUM)?;
+    if values.len() > 512 {
+        return None; // keep the pairwise check tractable
+    }
+    // Rename loop2's variable to loop1's.
+    let b2r: Vec<Stmt> = b2
+        .iter()
+        .map(|s| crate::passes::subst_stmt(s, v2, &IntExpr::Var(v1.to_string())))
+        .collect();
+
+    let acc1 = block_accesses(&b1.to_vec());
+    let acc2 = block_accesses(&b2r.to_vec());
+    let nprocs = machine_nprocs(p)?;
+
+    // B2(i) must not conflict with B1(j) for j > i (B2 moves earlier).
+    for pid in 0..nprocs {
+        for (ii, &i) in values.iter().enumerate() {
+            for &j in &values[ii + 1..] {
+                for a2 in &acc2 {
+                    for a1 in &acc1 {
+                        if conflicts(p, pid, a2, i, a1, j, v1)? {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out = b1.to_vec();
+    out.extend(b2r);
+    Some(out)
+}
+
+/// Machine size from the first distributed declaration.
+fn machine_nprocs(p: &Program) -> Option<usize> {
+    p.decls
+        .iter()
+        .find_map(|d| d.dist.as_ref().map(|x| x.nprocs()))
+}
+
+/// Do two accesses at given iterations conflict on processor `pid`?
+/// `None` = cannot decide (treat as reject by propagation).
+fn conflicts(
+    p: &Program,
+    pid: usize,
+    a: &Access,
+    ia: i64,
+    b: &Access,
+    ib: i64,
+    var: &str,
+) -> Option<bool> {
+    if a.var != b.var {
+        return Some(false);
+    }
+    if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+        return Some(false);
+    }
+    let sa = section_for(p, pid, &a.r, var, ia)?;
+    let sb = section_for(p, pid, &b.r, var, ib)?;
+    Some(sa.overlaps(&sb))
+}
+
+/// Concrete section of a reference with the loop variable and `mypid`
+/// bound.
+fn section_for(
+    p: &Program,
+    pid: usize,
+    r: &xdp_ir::SectionRef,
+    var: &str,
+    i: i64,
+) -> Option<Section> {
+    let decl = p.decl(r.var);
+    let mut dims = Vec::with_capacity(r.subs.len());
+    for (d, s) in r.subs.iter().enumerate() {
+        dims.push(match s {
+            Subscript::Point(e) => Triplet::point(eval_pid(e, var, i, pid)?),
+            Subscript::All => decl.bounds[d],
+            Subscript::Range(t) => Triplet::new(
+                eval_pid(&t.lb, var, i, pid)?,
+                eval_pid(&t.ub, var, i, pid)?,
+                eval_pid(&t.st, var, i, pid)?,
+            ),
+        });
+    }
+    Some(Section::new(dims))
+}
+
+/// Static evaluation extended with a concrete `mypid`.
+fn eval_pid(e: &IntExpr, var: &str, i: i64, pid: usize) -> Option<i64> {
+    match e {
+        IntExpr::Const(c) => Some(*c),
+        IntExpr::Var(v) if v == var => Some(i),
+        IntExpr::Var(_) => None,
+        IntExpr::MyPid => Some(pid as i64),
+        IntExpr::MyLb(..) | IntExpr::MyUb(..) => None,
+        IntExpr::Neg(a) => Some(eval_pid(a, var, i, pid)?.saturating_neg()),
+        IntExpr::Bin(op, a, b) => {
+            let (a, b) = (eval_pid(a, var, i, pid)?, eval_pid(b, var, i, pid)?);
+            use xdp_ir::IntBinOp::*;
+            Some(match op {
+                Add => a.saturating_add(b),
+                Sub => a.saturating_sub(b),
+                Mul => a.saturating_mul(b),
+                Div => a / b,
+                Mod => a.rem_euclid(b),
+                Min => a.min(b),
+                Max => a.max(b),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_ir::build as b;
+    use xdp_ir::{DimDist, ElemType, ProcGrid};
+
+    /// The FFT shape after localization: compute loop then ownership-send
+    /// loop over the same bounds, touching disjoint per-iteration columns.
+    fn fft_like() -> Program {
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::C64,
+            vec![(1, 4), (1, 4), (1, 4)],
+            vec![DimDist::Star, DimDist::Star, DimDist::Block],
+            ProcGrid::linear(4),
+        ));
+        let col_j = b::sref(
+            a,
+            vec![b::all(), b::at(b::iv("j")), b::at(b::mypid().add(b::c(1)))],
+        );
+        let col_n = b::sref(
+            a,
+            vec![b::all(), b::at(b::iv("n")), b::at(b::mypid().add(b::c(1)))],
+        );
+        p.body = vec![
+            b::do_loop("j", b::c(1), b::c(4), vec![b::kernel("fft1d", vec![col_j])]),
+            b::do_loop("n", b::c(1), b::c(4), vec![b::send_own_val(col_n)]),
+        ];
+        p
+    }
+
+    #[test]
+    fn fuses_fft_compute_and_send_loops() {
+        let p = fft_like();
+        let r = FuseLoops.run(&p);
+        assert!(r.changed, "{}", xdp_ir::pretty::program(&r.program));
+        assert_eq!(r.program.stmt_census().loops, 1);
+        let text = xdp_ir::pretty::program(&r.program);
+        assert!(text.contains("fft1d"), "{text}");
+        assert!(text.contains("-=>"), "{text}");
+    }
+
+    #[test]
+    fn rejects_fusion_when_send_covers_later_compute() {
+        // Second loop sends the WHOLE plane each iteration: overlaps the
+        // first loop's later iterations -> illegal.
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::C64,
+            vec![(1, 4), (1, 4)],
+            vec![DimDist::Star, DimDist::Block],
+            ProcGrid::linear(4),
+        ));
+        let col_j = b::sref(a, vec![b::all(), b::at(b::iv("j"))]);
+        let whole = b::sref(a, vec![b::all(), b::all()]);
+        p.body = vec![
+            b::do_loop("j", b::c(1), b::c(4), vec![b::kernel("fft1d", vec![col_j])]),
+            b::do_loop("n", b::c(1), b::c(4), vec![b::send_own_val(whole)]),
+        ];
+        let r = FuseLoops.run(&p);
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn rejects_mismatched_bounds() {
+        let mut p = fft_like();
+        if let Stmt::DoLoop { hi, .. } = &mut p.body[1] {
+            *hi = b::c(3);
+        }
+        let r = FuseLoops.run(&p);
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn fuses_disjoint_reads() {
+        // Two loops reading the same sections: reads never conflict.
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Block],
+            ProcGrid::linear(2),
+        ));
+        let u = p.declare(b::universal_array("U", ElemType::F64, vec![(1, 8)]));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let ui = b::sref(u, vec![b::at(b::iv("i"))]);
+        let u2 = b::sref(u, vec![b::at(b::iv("k"))]);
+        p.body = vec![
+            b::do_loop(
+                "i",
+                b::c(1),
+                b::c(8),
+                vec![b::assign(ui, b::val(ai.clone()))],
+            ),
+            b::do_loop(
+                "k",
+                b::c(1),
+                b::c(8),
+                vec![b::assign(u2.clone(), b::val(u2))],
+            ),
+        ];
+        // Second loop writes U[k] and first writes U[i]: overlap at k < i
+        // positions? B2(i) writes U[i]; B1(j) writes U[j], j > i: disjoint
+        // elements -> legal.
+        let r = FuseLoops.run(&p);
+        assert!(r.changed, "{}", xdp_ir::pretty::program(&r.program));
+    }
+}

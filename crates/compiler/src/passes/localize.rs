@@ -1,0 +1,462 @@
+//! Compute-rule elimination by loop-bounds localization (§2.2, §4).
+//!
+//! "Compute rule elimination ... is achieved by adjusting the outer loop
+//! bounds so that each processor only does those iterations for which it
+//! owns the data."
+//!
+//! Two transformations, both verified exactly by enumerating the iteration
+//! space for every processor:
+//!
+//! 1. **Range contraction** — a loop whose body is one `iown(X)`-guarded
+//!    block, where `X`'s subscript in one distributed dimension is
+//!    `i + c`: rewrite the bounds to
+//!    `mylb(V[lo+c : hi+c], d) - c  ..  myub(V[lo+c : hi+c], d) - c`
+//!    (with the owning stride as the step for `CYCLIC`), and drop the
+//!    guard.
+//! 2. **Single-iteration elimination** — when every processor owns exactly
+//!    one iteration and that iteration is affine in the pid (the 3-D FFT's
+//!    `do p = 1,4 { iown(A[*,*,p]) : ... }`), the loop disappears: the
+//!    guard is dropped and `p := a*mypid + b` is substituted into the body
+//!    ("replacing all references to the loop's induction variable ... by
+//!    mypid").
+
+use crate::analysis::{concrete_section, eval_static, loop_values, Bindings};
+use crate::passes::{rewrite_block, subst_stmt, Pass, PassResult, MAX_ENUM};
+use xdp_ir::build as b;
+use xdp_ir::{BoolExpr, IntExpr, Ownership, Program, SectionRef, Stmt, Subscript};
+
+/// The localization pass.
+pub struct LocalizeBounds;
+
+impl Pass for LocalizeBounds {
+    fn name(&self) -> &'static str {
+        "localize-bounds"
+    }
+
+    fn run(&self, p: &Program) -> PassResult {
+        let mut notes = Vec::new();
+        let mut changed = false;
+        let body = rewrite_block(&p.body, &mut |s| match try_localize(p, &s, &mut notes) {
+            Some(stmts) => {
+                changed = true;
+                stmts
+            }
+            None => vec![s],
+        });
+        let mut program = p.clone();
+        program.body = body;
+        PassResult {
+            program,
+            changed,
+            notes,
+        }
+    }
+}
+
+/// Owned iteration values of `guard_ref` per pid, by enumeration.
+fn owned_iters_per_pid(
+    p: &Program,
+    var: &str,
+    values: &[i64],
+    guard_ref: &SectionRef,
+) -> Option<Vec<Vec<i64>>> {
+    let decl = p.decl(guard_ref.var);
+    if decl.ownership != Ownership::Exclusive {
+        return None;
+    }
+    let dist = decl.dist.as_ref()?;
+    let nprocs = dist.nprocs();
+    let mut per_pid = vec![Vec::new(); nprocs];
+    for &i in values {
+        let env = Bindings::from([(var.to_string(), i)]);
+        let sec = concrete_section(p, guard_ref, &env)?;
+        if sec.is_empty() {
+            continue;
+        }
+        // The iteration belongs to pid q iff q owns the whole section.
+        let mut owner = None;
+        for idx in sec.iter() {
+            let o = dist.owner_of(&decl.bounds, &idx);
+            match owner {
+                None => owner = Some(o),
+                Some(prev) if prev != o => return None, // split section: bail
+                _ => {}
+            }
+        }
+        per_pid[owner?].push(i);
+    }
+    Some(per_pid)
+}
+
+fn try_localize(p: &Program, s: &Stmt, notes: &mut Vec<String>) -> Option<Vec<Stmt>> {
+    let Stmt::DoLoop {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+    } = s
+    else {
+        return None;
+    };
+    if step.as_const() != Some(1) {
+        return None;
+    }
+    let [Stmt::Guarded { rule, body: inner }] = body.as_slice() else {
+        return None;
+    };
+    // The rule must contain exactly one iown(X) conjunct whose subscripts
+    // use the loop variable; the remaining conjuncts (e.g. the vectorizer's
+    // per-iteration awaits) stay as a residual inner guard.
+    let mut conjuncts = Vec::new();
+    split_conjuncts(rule, &mut conjuncts);
+    let mut guard_ref = None;
+    let mut residual: Vec<BoolExpr> = Vec::new();
+    for c in conjuncts {
+        match c {
+            BoolExpr::Iown(r) if r.uses_var(var) && guard_ref.is_none() => {
+                guard_ref = Some(r.clone());
+            }
+            other => residual.push(other.clone()),
+        }
+    }
+    let guard_ref = &guard_ref?;
+    let inner: &Vec<Stmt> = &match residual.len() {
+        0 => inner.clone(),
+        _ => {
+            let mut rule = residual.remove(0);
+            for r in residual {
+                rule = rule.and(r);
+            }
+            vec![Stmt::Guarded {
+                rule,
+                body: inner.clone(),
+            }]
+        }
+    };
+    let env = Bindings::new();
+    let values = loop_values(lo, hi, step, &env, MAX_ENUM)?;
+    if values.is_empty() {
+        return None;
+    }
+    let per_pid = owned_iters_per_pid(p, var, &values, guard_ref)?;
+
+    // Attempt 2 first: single iteration per pid, affine in pid.
+    if per_pid.iter().all(|v| v.len() == 1) {
+        let iters: Vec<i64> = per_pid.iter().map(|v| v[0]).collect();
+        let a = if iters.len() >= 2 {
+            iters[1] - iters[0]
+        } else {
+            0
+        };
+        let b0 = iters[0];
+        if iters
+            .iter()
+            .enumerate()
+            .all(|(pid, &it)| it == a * pid as i64 + b0)
+        {
+            let rep = IntExpr::Bin(
+                xdp_ir::IntBinOp::Add,
+                Box::new(IntExpr::Bin(
+                    xdp_ir::IntBinOp::Mul,
+                    Box::new(IntExpr::Const(a)),
+                    Box::new(IntExpr::MyPid),
+                )),
+                Box::new(IntExpr::Const(b0)),
+            );
+            let rep = simplify_affine(a, b0, rep);
+            notes.push(format!(
+                "eliminated loop `{var}` and guard iown({}): one owned iteration per processor, {var} := {}",
+                p.decl(guard_ref.var).name,
+                pretty_rep(a, b0),
+            ));
+            return Some(inner.iter().map(|st| subst_stmt(st, var, &rep)).collect());
+        }
+    }
+
+    // Attempt 1: range contraction. Find the dimension whose subscript is
+    // `i + c` and which is distributed.
+    let decl = p.decl(guard_ref.var);
+    let dist = decl.dist.as_ref()?;
+    let mut cand: Option<(usize, i64)> = None;
+    for (d, sub) in guard_ref.subs.iter().enumerate() {
+        if let Subscript::Point(e) = sub {
+            if e.uses_var(var) {
+                // Affine form i + c with unit coefficient?
+                let e0 = eval_static(e, &Bindings::from([(var.clone(), 0i64)]))?;
+                let e1 = eval_static(e, &Bindings::from([(var.clone(), 1i64)]))?;
+                if e1 - e0 != 1 {
+                    return None;
+                }
+                if cand.is_some() {
+                    return None; // var in two dims: bail
+                }
+                cand = Some((d, e0));
+            }
+        } else {
+            // Range subscripts must not involve the loop variable.
+            match sub {
+                Subscript::Range(t)
+                    if t.lb.uses_var(var) || t.ub.uses_var(var) || t.st.uses_var(var) =>
+                {
+                    return None
+                }
+                _ => {}
+            }
+        }
+    }
+    let (d, c) = cand?;
+
+    // The owned stride: 1 for contiguous owners (Block/Star), the grid
+    // extent for Cyclic. Derive empirically from the enumeration.
+    let mut stride = 1i64;
+    for v in &per_pid {
+        if v.len() >= 2 {
+            let st = v[1] - v[0];
+            if v.windows(2).any(|w| w[1] - w[0] != st) {
+                return None; // not a single arithmetic run: bail
+            }
+            stride = stride.max(st);
+        }
+    }
+    // All pids must have the same stride (or trivially short runs).
+    for v in &per_pid {
+        if v.len() >= 2 && v[1] - v[0] != stride {
+            return None;
+        }
+    }
+
+    // Proposed bounds: lo' = mylb(V[.. lo+c : hi+c ..], d+1) - c, similarly
+    // ub. Verify per pid that they generate exactly the owned set.
+    let lov = eval_static(lo, &env)?;
+    let hiv = eval_static(hi, &env)?;
+    for (pid, v) in per_pid.iter().enumerate() {
+        let owned = dist.owned_triplets(&decl.bounds, pid, d);
+        let window = xdp_ir::Triplet::range(lov + c, hiv + c);
+        let mut idxs: Vec<i64> = owned
+            .iter()
+            .flat_map(|t| t.intersect(&window).iter().collect::<Vec<_>>())
+            .collect();
+        idxs.sort_unstable();
+        let expect: Vec<i64> = v.iter().map(|&i| i + c).collect();
+        if idxs != expect {
+            return None;
+        }
+        // And the generated loop (mylb..myub by stride) must hit exactly
+        // those: since owned-within-window is a single run of `stride`,
+        // mylb/myub reproduce it.
+        if let (Some(&first), Some(&last)) = (idxs.first(), idxs.last()) {
+            let count = (last - first) / stride + 1;
+            if count != idxs.len() as i64
+                || !idxs
+                    .iter()
+                    .enumerate()
+                    .all(|(k, &x)| x == first + k as i64 * stride)
+            {
+                return None;
+            }
+        }
+    }
+
+    // Build the query section: guard_ref with dim d replaced by the loop
+    // window.
+    let mut qsubs = guard_ref.subs.clone();
+    qsubs[d] = b::span(add_c(lo, c), add_c(hi, c));
+    let query = SectionRef::new(guard_ref.var, qsubs);
+    let dim1 = (d + 1) as u32; // mylb/myub take 1-based dims
+    let new_lo = sub_c(&b::mylb(query.clone(), dim1), c);
+    let new_hi = sub_c(&b::myub(query, dim1), c);
+    notes.push(format!(
+        "contracted loop `{var}` to owned range of {} (dim {dim1}, offset {c}, stride {stride}); guard eliminated",
+        p.decl(guard_ref.var).name
+    ));
+    Some(vec![b::do_loop_step(
+        var,
+        new_lo,
+        new_hi,
+        IntExpr::Const(stride),
+        inner.clone(),
+    )])
+}
+
+/// Flatten an `And` tree into its conjuncts.
+fn split_conjuncts<'a>(rule: &'a BoolExpr, out: &mut Vec<&'a BoolExpr>) {
+    match rule {
+        BoolExpr::And(a, b) => {
+            split_conjuncts(a, out);
+            split_conjuncts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// `e + c`, folding the `c == 0` case away.
+fn add_c(e: &IntExpr, c: i64) -> IntExpr {
+    if c == 0 {
+        e.clone()
+    } else {
+        e.clone().add(IntExpr::Const(c))
+    }
+}
+
+/// `e - c`, folding the `c == 0` case away.
+fn sub_c(e: &IntExpr, c: i64) -> IntExpr {
+    if c == 0 {
+        e.clone()
+    } else {
+        e.clone().sub(IntExpr::Const(c))
+    }
+}
+
+/// Use plain `mypid` / `mypid + b` forms when the affine map is simple.
+fn simplify_affine(a: i64, b0: i64, general: IntExpr) -> IntExpr {
+    match (a, b0) {
+        (1, 0) => IntExpr::MyPid,
+        (1, _) => IntExpr::MyPid.add(IntExpr::Const(b0)),
+        _ => general,
+    }
+}
+
+fn pretty_rep(a: i64, b0: i64) -> String {
+    match (a, b0) {
+        (1, 0) => "mypid".to_string(),
+        (1, _) => format!("mypid + {b0}"),
+        _ => format!("{a}*mypid + {b0}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_ir::pretty;
+    use xdp_ir::{DimDist, ElemType, ProcGrid};
+
+    fn block_prog(n: i64, nprocs: usize) -> (Program, xdp_ir::VarId) {
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![DimDist::Block],
+            ProcGrid::linear(nprocs),
+        ));
+        (p, a)
+    }
+
+    #[test]
+    fn contracts_block_loop() {
+        let (mut p, a) = block_prog(16, 4);
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        p.body = vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(16),
+            vec![b::guarded(
+                b::iown(ai.clone()),
+                vec![b::assign(
+                    ai.clone(),
+                    b::val(ai.clone()).add(xdp_ir::ElemExpr::LitF(1.0)),
+                )],
+            )],
+        )];
+        let r = LocalizeBounds.run(&p);
+        assert!(r.changed, "{}", pretty::program(&r.program));
+        let text = pretty::program(&r.program);
+        assert!(text.contains("mylb(A[1:16], 1)"), "{text}");
+        assert!(!text.contains("iown"), "guard should be gone: {text}");
+        assert_eq!(r.program.stmt_census().guards, 0);
+    }
+
+    #[test]
+    fn contracts_cyclic_loop_with_stride() {
+        let (mut p, a) = block_prog(16, 4);
+        // Re-declare as cyclic.
+        p.decls[0].dist = Some(xdp_ir::Distribution::new(
+            vec![DimDist::Cyclic],
+            ProcGrid::linear(4),
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        p.body = vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(16),
+            vec![b::guarded(
+                b::iown(ai.clone()),
+                vec![b::assign(ai.clone(), xdp_ir::ElemExpr::LitF(1.0))],
+            )],
+        )];
+        let r = LocalizeBounds.run(&p);
+        assert!(r.changed);
+        let text = pretty::program(&r.program);
+        assert!(text.contains(", 4 {"), "stride-4 loop expected: {text}");
+    }
+
+    #[test]
+    fn contracts_shifted_subscript() {
+        let (mut p, a) = block_prog(16, 4);
+        // A[i+1] for i in 1..15.
+        let ai1 = b::sref(a, vec![b::at(b::iv("i").add(b::c(1)))]);
+        p.body = vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(15),
+            vec![b::guarded(
+                b::iown(ai1.clone()),
+                vec![b::assign(ai1.clone(), xdp_ir::ElemExpr::LitF(2.0))],
+            )],
+        )];
+        let r = LocalizeBounds.run(&p);
+        assert!(r.changed);
+        let text = pretty::program(&r.program);
+        assert!(text.contains("- 1"), "offset applied: {text}");
+    }
+
+    #[test]
+    fn fft_style_single_iteration_elimination() {
+        // do k = 1,4 { iown(A[*,*,k]) : { fft1d(A[*,1,k]) } } on
+        // (*,*,BLOCK) over 4 procs: k := mypid + 1.
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::C64,
+            vec![(1, 4), (1, 4), (1, 4)],
+            vec![DimDist::Star, DimDist::Star, DimDist::Block],
+            ProcGrid::linear(4),
+        ));
+        let plane = b::sref(a, vec![b::all(), b::all(), b::at(b::iv("k"))]);
+        let line = b::sref(a, vec![b::all(), b::at(b::c(1)), b::at(b::iv("k"))]);
+        p.body = vec![b::do_loop(
+            "k",
+            b::c(1),
+            b::c(4),
+            vec![b::guarded(
+                b::iown(plane),
+                vec![b::kernel("fft1d", vec![line])],
+            )],
+        )];
+        let r = LocalizeBounds.run(&p);
+        assert!(r.changed);
+        let text = pretty::program(&r.program);
+        assert!(text.contains("fft1d(A[*,1,(mypid + 1)])"), "{text}");
+        assert_eq!(r.program.stmt_census().loops, 0);
+        assert_eq!(r.program.stmt_census().guards, 0);
+    }
+
+    #[test]
+    fn leaves_unanalyzable_loops_alone() {
+        let (mut p, a) = block_prog(16, 4);
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        // Symbolic bound: cannot enumerate.
+        p.body = vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::iv("n"),
+            vec![b::guarded(
+                b::iown(ai.clone()),
+                vec![b::assign(ai.clone(), xdp_ir::ElemExpr::LitF(0.0))],
+            )],
+        )];
+        let r = LocalizeBounds.run(&p);
+        assert!(!r.changed);
+    }
+}

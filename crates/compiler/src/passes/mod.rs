@@ -1,0 +1,275 @@
+//! Optimization passes over IL+XDP.
+//!
+//! Every optimization the paper walks through is an IR-to-IR rewrite here:
+//!
+//! | Pass | Paper source | Effect |
+//! |---|---|---|
+//! | [`ElideSameOwnerComm`] | §2.2 "the data transfer statements can be eliminated" | drops send/recv pairs proven same-owner |
+//! | [`LocalizeBounds`] | §2.2/§4 compute-rule elimination | shrinks loop bounds to owned iterations; removes `iown` guards; eliminates single-iteration loops by substituting `mypid` |
+//! | [`VectorizeMessages`] | §2.2 "combine or *vectorize* the messages" | replaces per-iteration transfers with per-processor-pair section transfers into an aligned ghost array |
+//! | [`BindCommunication`] | §3.2 delayed binding | annotates sends with receiver pids (expression or constant), eliding the name header |
+//! | [`FuseLoops`] | §4 Loop2+Loop3a fusion | fuses adjacent conformable loops after the ownership-interference legality check |
+//! | [`SinkAwait`] | §4 final step | moves a section-level `await` into the loop at per-iteration granularity |
+//! | [`MigrateOwnership`] | §2.2 second fragment | rewrites owner-computes into the dynamic ownership-migration strategy |
+//! | [`ElideAccessibleChecks`] | §3.2 use-def elimination | downgrades `await`/`accessible` to `iown` when no receive can make the section transitional |
+
+mod bind;
+mod elide_checks;
+mod elide_comm;
+mod fuse;
+mod localize;
+mod migrate;
+pub mod pattern;
+mod sink_await;
+mod vectorize;
+
+pub use bind::BindCommunication;
+pub use elide_checks::ElideAccessibleChecks;
+pub use elide_comm::ElideSameOwnerComm;
+pub use fuse::FuseLoops;
+pub use localize::LocalizeBounds;
+pub use migrate::MigrateOwnership;
+pub use sink_await::SinkAwait;
+pub use vectorize::VectorizeMessages;
+
+use xdp_ir::Program;
+
+/// Iteration-space enumeration cap shared by the passes: loops longer than
+/// this are left untouched rather than analyzed.
+pub const MAX_ENUM: usize = 1 << 16;
+
+/// Outcome of one pass.
+#[derive(Clone, Debug)]
+pub struct PassResult {
+    /// The (possibly rewritten) program.
+    pub program: Program,
+    /// Did the pass change anything?
+    pub changed: bool,
+    /// Human-readable notes on what was done and why.
+    pub notes: Vec<String>,
+}
+
+impl PassResult {
+    /// An unchanged result.
+    pub fn unchanged(p: &Program) -> PassResult {
+        PassResult {
+            program: p.clone(),
+            changed: false,
+            notes: Vec::new(),
+        }
+    }
+}
+
+/// An IL+XDP optimization pass.
+pub trait Pass {
+    /// Pass name for reports.
+    fn name(&self) -> &'static str;
+    /// Rewrite the program.
+    fn run(&self, p: &Program) -> PassResult;
+}
+
+/// Runs a sequence of passes, collecting per-pass notes.
+///
+/// ```
+/// use xdp_compiler::{lower_owner_computes, FrontendOptions, PassManager,
+///     SeqProgram, SeqStmt};
+/// use xdp_ir::build as b;
+/// use xdp_ir::{DimDist, ElemType, ProcGrid};
+///
+/// // do i: A[i] = A[i] + B[i], with A and B aligned -> all communication
+/// // is provably same-owner and the pipeline removes it.
+/// let grid = ProcGrid::linear(4);
+/// let mut s = SeqProgram::new();
+/// let a = s.declare(b::array("A", ElemType::F64, vec![(1, 16)],
+///     vec![DimDist::Block], grid.clone()));
+/// let bb = s.declare(b::array("B", ElemType::F64, vec![(1, 16)],
+///     vec![DimDist::Block], grid));
+/// let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+/// let bi = b::sref(bb, vec![b::at(b::iv("i"))]);
+/// s.body = vec![SeqStmt::DoLoop {
+///     var: "i".into(), lo: b::c(1), hi: b::c(16),
+///     body: vec![SeqStmt::Assign {
+///         target: ai.clone(), rhs: b::val(ai).add(b::val(bi)),
+///     }],
+/// }];
+/// let naive = lower_owner_computes(&s, &FrontendOptions::default());
+/// assert_eq!(naive.stmt_census().sends, 1);
+/// let (optimized, _log) = PassManager::paper_pipeline().run(&naive);
+/// assert_eq!(optimized.stmt_census().sends, 0);
+/// assert_eq!(optimized.stmt_census().guards, 0);
+/// ```
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty manager.
+    pub fn new() -> PassManager {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Append a pass.
+    #[allow(clippy::should_implement_trait)] // builder chain, not arithmetic
+    pub fn add(mut self, p: impl Pass + 'static) -> PassManager {
+        self.passes.push(Box::new(p));
+        self
+    }
+
+    /// The standard value-communication pipeline of §2.2: elide same-owner
+    /// transfers, vectorize what remains, localize loop bounds (compute
+    /// rule elimination), bind communication, and drop dead accessibility
+    /// checks.
+    pub fn paper_pipeline() -> PassManager {
+        PassManager::new()
+            .add(ElideSameOwnerComm)
+            .add(VectorizeMessages)
+            .add(LocalizeBounds)
+            .add(BindCommunication)
+            .add(ElideAccessibleChecks)
+    }
+
+    /// The §4 derivation pipeline: compute-rule elimination, loop fusion
+    /// with the ownership-interference check, and await sinking — the
+    /// sequence that turns the naive 3-D FFT into its pipelined form.
+    pub fn fft_pipeline() -> PassManager {
+        PassManager::new()
+            .add(LocalizeBounds)
+            .add(FuseLoops)
+            .add(SinkAwait)
+            .add(ElideAccessibleChecks)
+    }
+
+    /// Run all passes in order.
+    pub fn run(&self, p: &Program) -> (Program, Vec<(String, PassResult)>) {
+        let mut cur = p.clone();
+        let mut log = Vec::new();
+        for pass in &self.passes {
+            let r = pass.run(&cur);
+            cur = r.program.clone();
+            log.push((pass.name().to_string(), r));
+        }
+        (cur, log)
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+/// Map every statement of a block through `f` (which may expand a statement
+/// into several or delete it), recursing into nested bodies first.
+pub(crate) fn rewrite_block(
+    block: &[xdp_ir::Stmt],
+    f: &mut impl FnMut(xdp_ir::Stmt) -> Vec<xdp_ir::Stmt>,
+) -> Vec<xdp_ir::Stmt> {
+    let mut out = Vec::with_capacity(block.len());
+    for s in block {
+        let rec = match s {
+            xdp_ir::Stmt::Guarded { rule, body } => xdp_ir::Stmt::Guarded {
+                rule: rule.clone(),
+                body: rewrite_block(body, f),
+            },
+            xdp_ir::Stmt::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => xdp_ir::Stmt::DoLoop {
+                var: var.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                step: step.clone(),
+                body: rewrite_block(body, f),
+            },
+            other => other.clone(),
+        };
+        out.extend(f(rec));
+    }
+    out
+}
+
+/// Substitute an integer variable throughout a statement (subscripts,
+/// bounds, rules, destinations).
+pub(crate) fn subst_stmt(s: &xdp_ir::Stmt, name: &str, rep: &xdp_ir::IntExpr) -> xdp_ir::Stmt {
+    use xdp_ir::Stmt::*;
+    match s {
+        Assign { target, rhs } => Assign {
+            target: target.subst(name, rep),
+            rhs: rhs.subst(name, rep),
+        },
+        ScalarAssign { var, value } => ScalarAssign {
+            var: var.clone(),
+            value: value.subst(name, rep),
+        },
+        Kernel {
+            name: kname,
+            args,
+            int_args,
+        } => Kernel {
+            name: kname.clone(),
+            args: args.iter().map(|a| a.subst(name, rep)).collect(),
+            int_args: int_args.iter().map(|e| e.subst(name, rep)).collect(),
+        },
+        Send {
+            sec,
+            kind,
+            dest,
+            salt,
+        } => Send {
+            sec: sec.subst(name, rep),
+            kind: *kind,
+            dest: match dest {
+                xdp_ir::DestSet::Unspecified => xdp_ir::DestSet::Unspecified,
+                xdp_ir::DestSet::Pids(es) => {
+                    xdp_ir::DestSet::Pids(es.iter().map(|e| e.subst(name, rep)).collect())
+                }
+            },
+            salt: salt.as_ref().map(|e| e.subst(name, rep)),
+        },
+        Recv {
+            target,
+            kind,
+            name: nm,
+            salt,
+        } => Recv {
+            target: target.subst(name, rep),
+            kind: *kind,
+            name: nm.as_ref().map(|n| n.subst(name, rep)),
+            salt: salt.as_ref().map(|e| e.subst(name, rep)),
+        },
+        Guarded { rule, body } => Guarded {
+            rule: rule.subst(name, rep),
+            body: body.iter().map(|s| subst_stmt(s, name, rep)).collect(),
+        },
+        DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            if var == name {
+                // Shadowed by inner loop: bounds still substituted.
+                DoLoop {
+                    var: var.clone(),
+                    lo: lo.subst(name, rep),
+                    hi: hi.subst(name, rep),
+                    step: step.subst(name, rep),
+                    body: body.clone(),
+                }
+            } else {
+                DoLoop {
+                    var: var.clone(),
+                    lo: lo.subst(name, rep),
+                    hi: hi.subst(name, rep),
+                    step: step.subst(name, rep),
+                    body: body.iter().map(|s| subst_stmt(s, name, rep)).collect(),
+                }
+            }
+        }
+        Barrier => Barrier,
+    }
+}

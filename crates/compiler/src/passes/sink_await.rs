@@ -1,0 +1,526 @@
+//! Await sinking (§4, the final FFT transformation).
+//!
+//! "Moving the await statement *into* Loop 4 ... can allow the FFT
+//! operations to proceed while other data is still being transferred."
+//!
+//! Pattern: `await(X) : { do j { ... } }` where the (possibly nested) loop
+//! body references `X`'s variable through one reference `r`. The awaited
+//! section is *restricted* to the outer iteration: every dimension whose
+//! subscript in `r` depends only on the outer loop variable replaces the
+//! corresponding dimension of `X`, and the whole-section synchronization
+//! becomes per-iteration synchronization —
+//! `do j { await(X|j) : { ... } }` — trading extra run-time checks for
+//! overlap of computation with the transfers still in flight.
+//!
+//! Soundness is verified by exhaustive enumeration: for every processor
+//! and every iteration of the loop nest, the touched section `r` must lie
+//! inside the restricted await `X|j`. Loop bounds may use `mylb`/`myub`
+//! of arrays whose ownership is never transferred (e.g. the localized
+//! bounds produced by compute-rule elimination); they are resolved against
+//! the initial distribution.
+
+use crate::analysis::Bindings;
+use crate::passes::{rewrite_block, Pass, PassResult, MAX_ENUM};
+use xdp_ir::build as b;
+use xdp_ir::{
+    BoolExpr, IntExpr, Ownership, Program, Section, SectionRef, Stmt, Subscript, TransferKind,
+    Triplet,
+};
+
+/// The await-sinking pass.
+pub struct SinkAwait;
+
+impl Pass for SinkAwait {
+    fn name(&self) -> &'static str {
+        "sink-await"
+    }
+
+    fn run(&self, p: &Program) -> PassResult {
+        let mut notes = Vec::new();
+        let mut changed = false;
+        let body = rewrite_block(&p.body, &mut |s| match try_sink(p, &s, &mut notes) {
+            Some(st) => {
+                changed = true;
+                vec![st]
+            }
+            None => vec![s],
+        });
+        let mut program = p.clone();
+        program.body = body;
+        PassResult {
+            program,
+            changed,
+            notes,
+        }
+    }
+}
+
+/// A compile-time evaluator that additionally resolves `mypid` and the
+/// `mylb`/`myub` intrinsics of ownership-stable arrays against their
+/// initial distributions.
+struct PidEval<'a> {
+    p: &'a Program,
+    pid: usize,
+}
+
+impl<'a> PidEval<'a> {
+    /// Is `var`'s ownership unchanged for the whole program (no ownership
+    /// sends or receives target it)?
+    fn ownership_stable(&self, var: xdp_ir::VarId) -> bool {
+        let mut stable = true;
+        self.p.visit(&mut |s| match s {
+            Stmt::Send { sec, kind, .. } if sec.var == var && *kind != TransferKind::Value => {
+                stable = false;
+            }
+            Stmt::Recv { target, kind, .. }
+                if target.var == var && *kind != TransferKind::Value =>
+            {
+                stable = false;
+            }
+            _ => {}
+        });
+        stable
+    }
+
+    fn eval(&self, e: &IntExpr, env: &Bindings) -> Option<i64> {
+        match e {
+            IntExpr::Const(c) => Some(*c),
+            IntExpr::Var(v) => env.get(v).copied(),
+            IntExpr::MyPid => Some(self.pid as i64),
+            IntExpr::Neg(a) => Some(self.eval(a, env)?.saturating_neg()),
+            IntExpr::Bin(op, a, b2) => {
+                let (a, b2) = (self.eval(a, env)?, self.eval(b2, env)?);
+                use xdp_ir::IntBinOp::*;
+                Some(match op {
+                    Add => a.saturating_add(b2),
+                    Sub => a.saturating_sub(b2),
+                    Mul => a.saturating_mul(b2),
+                    Div => a / b2,
+                    Mod => a.rem_euclid(b2),
+                    Min => a.min(b2),
+                    Max => a.max(b2),
+                })
+            }
+            IntExpr::MyLb(r, d) | IntExpr::MyUb(r, d) => {
+                let decl = self.p.decl(r.var);
+                if decl.ownership != Ownership::Exclusive || !self.ownership_stable(r.var) {
+                    return None;
+                }
+                let dist = decl.dist.as_ref()?;
+                let qsec = self.section(r, env)?;
+                let dim = (*d - 1) as usize;
+                let vals = dist
+                    .owned_triplets(&decl.bounds, self.pid, dim)
+                    .into_iter()
+                    .map(|t| t.intersect(&qsec.dim(dim)))
+                    .filter(|t| !t.is_empty());
+                let is_lb = matches!(e, IntExpr::MyLb(..));
+                if is_lb {
+                    Some(vals.map(|t| t.lb).min().unwrap_or(i64::MAX))
+                } else {
+                    Some(vals.map(|t| t.ub).max().unwrap_or(i64::MIN))
+                }
+            }
+        }
+    }
+
+    fn section(&self, r: &SectionRef, env: &Bindings) -> Option<Section> {
+        let decl = self.p.decl(r.var);
+        let mut dims = Vec::with_capacity(r.subs.len());
+        for (d, s) in r.subs.iter().enumerate() {
+            dims.push(match s {
+                Subscript::Point(e) => Triplet::point(self.eval(e, env)?),
+                Subscript::All => decl.bounds[d],
+                Subscript::Range(t) => Triplet::new(
+                    self.eval(&t.lb, env)?,
+                    self.eval(&t.ub, env)?,
+                    self.eval(&t.st, env)?,
+                ),
+            });
+        }
+        Some(Section::new(dims))
+    }
+}
+
+/// The loop nest under an awaited guard: variables and (unevaluated)
+/// bounds, outermost first, plus the innermost body.
+struct Nest<'a> {
+    loops: Vec<(&'a str, &'a IntExpr, &'a IntExpr, &'a IntExpr)>,
+    innermost: &'a [Stmt],
+}
+
+fn collect_nest(body: &[Stmt]) -> Option<Nest<'_>> {
+    let mut loops = Vec::new();
+    let mut cur = body;
+    loop {
+        match cur {
+            [Stmt::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            }] => {
+                loops.push((var.as_str(), lo, hi, step));
+                cur = body;
+            }
+            other => {
+                if loops.is_empty() {
+                    return None;
+                }
+                return Some(Nest {
+                    loops,
+                    innermost: other,
+                });
+            }
+        }
+    }
+}
+
+fn try_sink(p: &Program, s: &Stmt, notes: &mut Vec<String>) -> Option<Stmt> {
+    let Stmt::Guarded {
+        rule: BoolExpr::Await(x),
+        body,
+    } = s
+    else {
+        return None;
+    };
+    let nest = collect_nest(body)?;
+    let (outer_var, outer_lo, outer_hi, outer_step) = nest.loops[0];
+
+    // The single distinct reference to X's variable in the nest.
+    let mut refs: Vec<SectionRef> = Vec::new();
+    for st in nest.innermost {
+        let mut acc = Vec::new();
+        crate::analysis::accesses(st, &mut acc);
+        for a in acc {
+            if a.var == x.var && !refs.contains(&a.r) {
+                refs.push(a.r);
+            }
+        }
+    }
+    if refs.len() != 1 {
+        return None;
+    }
+    let r = refs.remove(0);
+    if !r.uses_var(outer_var) || r.subs.len() != x.subs.len() {
+        return None;
+    }
+    let inner_vars: Vec<&str> = nest.loops[1..].iter().map(|(v, ..)| *v).collect();
+
+    // Restrict X: dimensions whose subscript in `r` depends on the outer
+    // variable only (not on inner loop variables).
+    let mut restricted_subs = x.subs.clone();
+    let mut replaced = 0;
+    for (d, sub) in r.subs.iter().enumerate() {
+        let uses_outer = match sub {
+            Subscript::Point(e) => e.uses_var(outer_var),
+            Subscript::Range(t) => {
+                t.lb.uses_var(outer_var) || t.ub.uses_var(outer_var) || t.st.uses_var(outer_var)
+            }
+            Subscript::All => false,
+        };
+        let uses_inner = inner_vars.iter().any(|v| match sub {
+            Subscript::Point(e) => e.uses_var(v),
+            Subscript::Range(t) => t.lb.uses_var(v) || t.ub.uses_var(v) || t.st.uses_var(v),
+            Subscript::All => false,
+        });
+        if uses_outer && !uses_inner {
+            restricted_subs[d] = sub.clone();
+            replaced += 1;
+        }
+    }
+    if replaced == 0 {
+        return None;
+    }
+    let x_restricted = SectionRef::new(x.var, restricted_subs);
+
+    // The original awaited section must not itself depend on loop
+    // variables (it is evaluated once, before the nest).
+    for (v, ..) in &nest.loops {
+        if x.uses_var(v) {
+            return None;
+        }
+    }
+
+    // Exhaustive soundness check, per processor:
+    //  * every restricted piece X|j lies inside the original X, and the
+    //    pieces jointly cover X — so the per-iteration guards decide
+    //    exactly what the original guard decided;
+    //  * every touched section r lies inside its iteration's piece.
+    let nprocs = p
+        .decls
+        .iter()
+        .find_map(|d| d.dist.as_ref().map(|x| x.nprocs()))?;
+    let mut budget = MAX_ENUM;
+    for pid in 0..nprocs {
+        let ev = PidEval { p, pid };
+        let empty = Bindings::new();
+        let x_orig = ev.section(x, &empty)?;
+        let (_, lo, hi, step) = nest.loops[0];
+        let (lo, hi, step) = (
+            ev.eval(lo, &empty)?,
+            ev.eval(hi, &empty)?,
+            ev.eval(step, &empty)?,
+        );
+        if step == 0 {
+            return None;
+        }
+        let mut pieces = Vec::new();
+        let mut j = lo;
+        while (step > 0 && j <= hi) || (step < 0 && j >= hi) {
+            let mut env = Bindings::new();
+            env.insert(outer_var.to_string(), j);
+            let piece = ev.section(&x_restricted, &env)?;
+            if !x_orig.covers(&piece) {
+                return None;
+            }
+            if !check_nest(
+                &ev,
+                &nest.loops[1..],
+                0,
+                &env,
+                &r,
+                &x_restricted,
+                &mut budget,
+            )? {
+                return None;
+            }
+            pieces.push(piece);
+            j += step;
+        }
+        // Joint coverage (enumerative; budget-capped).
+        let cost = x_orig.volume().max(0) as usize;
+        if cost > budget {
+            return None;
+        }
+        budget -= cost;
+        if !x_orig.covered_by(&pieces) {
+            return None;
+        }
+    }
+
+    notes.push(format!(
+        "sank await({}) into loop `{outer_var}` as per-iteration await",
+        p.decl(x.var).name
+    ));
+    // Rebuild: the outer loop wraps the restricted guard around its body.
+    let inner_body: Vec<Stmt> = match body.as_slice() {
+        [Stmt::DoLoop { body: inner, .. }] => inner.clone(),
+        _ => unreachable!("collect_nest accepted this shape"),
+    };
+    Some(Stmt::DoLoop {
+        var: outer_var.to_string(),
+        lo: outer_lo.clone(),
+        hi: outer_hi.clone(),
+        step: outer_step.clone(),
+        body: vec![b::guarded(BoolExpr::Await(x_restricted), inner_body)],
+    })
+}
+
+/// Recursively enumerate the nest, checking containment at the leaves.
+/// Returns `None` when anything is not statically evaluable (pass bails),
+/// `Some(false)` when containment fails.
+#[allow(clippy::too_many_arguments)]
+fn check_nest(
+    ev: &PidEval<'_>,
+    loops: &[(&str, &IntExpr, &IntExpr, &IntExpr)],
+    depth: usize,
+    env: &Bindings,
+    r: &SectionRef,
+    x_restricted: &SectionRef,
+    budget: &mut usize,
+) -> Option<bool> {
+    if depth == loops.len() {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let rsec = ev.section(r, env)?;
+        let xsec = ev.section(x_restricted, env)?;
+        return Some(xsec.covers(&rsec));
+    }
+    let (var, lo, hi, step) = loops[depth];
+    let (lo, hi, step) = (ev.eval(lo, env)?, ev.eval(hi, env)?, ev.eval(step, env)?);
+    if step == 0 {
+        return None;
+    }
+    let mut i = lo;
+    while (step > 0 && i <= hi) || (step < 0 && i >= hi) {
+        let mut env2 = env.clone();
+        env2.insert(var.to_string(), i);
+        match check_nest(ev, loops, depth + 1, &env2, r, x_restricted, budget)? {
+            true => {}
+            false => return Some(false),
+        }
+        i += step;
+    }
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pass;
+    use xdp_ir::{pretty, DimDist, ElemType, ProcGrid};
+
+    /// §4's Loop4: await(A[*,mypid,*]) : { do i { fft1d(A[i,mypid,*]) } }.
+    fn fft_loop4() -> Program {
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::C64,
+            vec![(1, 4), (1, 4), (1, 4)],
+            vec![DimDist::Star, DimDist::Block, DimDist::Star],
+            ProcGrid::linear(4),
+        ));
+        let whole = b::sref(a, vec![b::all(), b::at(b::mypid().add(b::c(1))), b::all()]);
+        let line = b::sref(
+            a,
+            vec![b::at(b::iv("i")), b::at(b::mypid().add(b::c(1))), b::all()],
+        );
+        p.body = vec![b::guarded(
+            b::await_(whole),
+            vec![b::do_loop(
+                "i",
+                b::c(1),
+                b::c(4),
+                vec![b::kernel("fft1d", vec![line])],
+            )],
+        )];
+        p
+    }
+
+    #[test]
+    fn sinks_fft_await() {
+        let p = fft_loop4();
+        let r = SinkAwait.run(&p);
+        assert!(r.changed, "{}", pretty::program(&r.program));
+        let text = pretty::program(&r.program);
+        assert!(
+            matches!(r.program.body[0], Stmt::DoLoop { .. }),
+            "loop should be outermost: {text}"
+        );
+        assert!(text.contains("await(A[i,(mypid + 1),*]) : {"), "{text}");
+    }
+
+    #[test]
+    fn sinks_nested_loop_to_outer_granularity() {
+        // The generalized (n > P) FFT Loop4: await over the whole incoming
+        // slab range, with a j-loop over mylb/myub bounds and an i-loop
+        // inside. The await sinks to per-j granularity.
+        let n = 8i64;
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::C64,
+            vec![(1, n), (1, n), (1, n)],
+            vec![DimDist::Star, DimDist::Block, DimDist::Star],
+            ProcGrid::linear(4),
+        ));
+        let own = p.declare(b::array(
+            "OWN",
+            ElemType::I64,
+            vec![(1, n)],
+            vec![DimDist::Block],
+            ProcGrid::linear(4),
+        ));
+        let own_all = b::sref(own, vec![b::all()]);
+        let jlo = b::mylb(own_all.clone(), 1);
+        let jhi = b::myub(own_all, 1);
+        let slab_range = b::sref(
+            a,
+            vec![b::all(), b::span(jlo.clone(), jhi.clone()), b::all()],
+        );
+        let line = b::sref(a, vec![b::at(b::iv("i")), b::at(b::iv("j")), b::all()]);
+        p.body = vec![b::guarded(
+            b::await_(slab_range),
+            vec![b::do_loop_step(
+                "j",
+                jlo,
+                jhi,
+                b::c(1),
+                vec![b::do_loop(
+                    "i",
+                    b::c(1),
+                    b::c(n),
+                    vec![b::kernel("fft1d", vec![line])],
+                )],
+            )],
+        )];
+        let r = SinkAwait.run(&p);
+        assert!(r.changed, "{}", pretty::program(&p));
+        let text = pretty::program(&r.program);
+        assert!(text.contains("await(A[*,j,*]) : {"), "{text}");
+        // The inner i-loop is now inside the per-j await.
+        assert!(matches!(r.program.body[0], Stmt::DoLoop { .. }), "{text}");
+    }
+
+    #[test]
+    fn refuses_when_ref_exceeds_awaited_section() {
+        let mut p = fft_loop4();
+        // Change the awaited section to a single plane slice that does NOT
+        // cover the per-iteration lines.
+        let a = p.lookup("A").unwrap();
+        let narrow = b::sref(
+            a,
+            vec![b::at(b::c(1)), b::at(b::mypid().add(b::c(1))), b::all()],
+        );
+        if let Stmt::Guarded { rule, .. } = &mut p.body[0] {
+            *rule = b::await_(narrow);
+        }
+        let r = SinkAwait.run(&p);
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn refuses_multiple_distinct_refs() {
+        let mut p = fft_loop4();
+        let a = p.lookup("A").unwrap();
+        let extra = b::sref(a, vec![b::at(b::c(1)), b::at(b::c(1)), b::all()]);
+        if let Stmt::Guarded { body, .. } = &mut p.body[0] {
+            if let Stmt::DoLoop { body: inner, .. } = &mut body[0] {
+                inner.push(b::kernel("fft1d", vec![extra]));
+            }
+        }
+        let r = SinkAwait.run(&p);
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn refuses_mylb_bounds_of_transferred_arrays() {
+        // If the bounds depend on an array whose ownership moves, the
+        // initial-distribution resolution is unsound and the pass bails.
+        let n = 8i64;
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::C64,
+            vec![(1, n), (1, n)],
+            vec![DimDist::Star, DimDist::Block],
+            ProcGrid::linear(4),
+        ));
+        let a_all = b::sref(a, vec![b::all(), b::all()]);
+        let jlo = b::mylb(a_all.clone(), 2);
+        let jhi = b::myub(a_all, 2);
+        let slab = b::sref(a, vec![b::all(), b::span(jlo.clone(), jhi.clone())]);
+        let col = b::sref(a, vec![b::all(), b::at(b::iv("j"))]);
+        p.body = vec![
+            // Ownership of A moves somewhere in the program...
+            b::recv_own_val(b::sref(a, vec![b::all(), b::at(b::c(1))])),
+            // ...so bounds from mylb(A) cannot be resolved statically.
+            b::guarded(
+                b::await_(slab),
+                vec![b::do_loop_step(
+                    "j",
+                    jlo,
+                    jhi,
+                    b::c(1),
+                    vec![b::kernel("fft1d", vec![col])],
+                )],
+            ),
+        ];
+        let r = SinkAwait.run(&p);
+        assert!(!r.changed);
+    }
+}

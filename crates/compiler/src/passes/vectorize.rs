@@ -1,0 +1,377 @@
+//! Message vectorization (§2.2: "the compiler may be able to move them out
+//! of the computation loop and combine or *vectorize* the messages").
+//!
+//! A recognized naive communication loop moving one element per iteration
+//! is rewritten into:
+//!
+//! 1. a **communication phase** — for every (sender, receiver) processor
+//!    pair, the whole set of elements flowing between them is combined into
+//!    one section transfer per maximal constant-stride run, received into a
+//!    *ghost array* `_G` aligned (HPF `ALIGN`) with the assignment target so
+//!    the receiver is the consumer;
+//! 2. local copies for the same-owner elements;
+//! 3. a **computation phase** — the original loop, computing on the ghost
+//!    under a per-iteration `await` (so computation overlaps any transfers
+//!    still in flight).
+//!
+//! Message count drops from `O(n)` to `O(pairs x runs)`; the paper's
+//! motivating claim for representing transfers explicitly in the IL.
+
+use crate::analysis::{compress_runs, eval_static, loop_values, Bindings};
+use crate::frontend::substitute_ref;
+use crate::passes::pattern::{recognize, NaiveCommLoop};
+use crate::passes::{rewrite_block, Pass, PassResult, MAX_ENUM};
+use std::collections::BTreeMap;
+use xdp_ir::build as b;
+use xdp_ir::{
+    Decl, Distribution, IntExpr, Ownership, Program, SectionRef, Stmt, Subscript, Triplet,
+};
+
+/// The vectorization pass.
+pub struct VectorizeMessages;
+
+impl Pass for VectorizeMessages {
+    fn name(&self) -> &'static str {
+        "vectorize-messages"
+    }
+
+    fn run(&self, p: &Program) -> PassResult {
+        let mut notes = Vec::new();
+        let mut program = p.clone();
+        let mut changed = false;
+        // rewrite_block over a snapshot; new ghost decls appended to
+        // `program` as we go.
+        let body = rewrite_block(&p.body.clone(), &mut |s| match recognize(&s) {
+            Some(pat) => match try_vectorize(&mut program, &pat, &mut notes) {
+                Some(stmts) => {
+                    changed = true;
+                    stmts
+                }
+                None => vec![s],
+            },
+            None => vec![s],
+        });
+        program.body = body;
+        PassResult {
+            program,
+            changed,
+            notes,
+        }
+    }
+}
+
+/// The affine unit-coefficient offset of the single loop-var subscript of
+/// `r`, along with its dimension: `r[... i + c ...]` -> `(dim, c)`.
+/// All other subscripts must be loop-var-free.
+fn unit_affine_sub(r: &SectionRef, var: &str) -> Option<(usize, i64)> {
+    let mut found = None;
+    for (d, sub) in r.subs.iter().enumerate() {
+        match sub {
+            Subscript::Point(e) if e.uses_var(var) => {
+                let e0 = eval_static(e, &Bindings::from([(var.to_string(), 0i64)]))?;
+                let e1 = eval_static(e, &Bindings::from([(var.to_string(), 1i64)]))?;
+                if e1 - e0 != 1 || found.is_some() {
+                    return None;
+                }
+                found = Some((d, e0));
+            }
+            Subscript::Point(_) => {}
+            Subscript::Range(t)
+                if t.lb.uses_var(var) || t.ub.uses_var(var) || t.st.uses_var(var) =>
+            {
+                return None
+            }
+            _ => {}
+        }
+    }
+    found
+}
+
+fn try_vectorize(
+    program: &mut Program,
+    pat: &NaiveCommLoop,
+    notes: &mut Vec<String>,
+) -> Option<Vec<Stmt>> {
+    let env = Bindings::new();
+    let values = loop_values(&pat.lo, &pat.hi, &IntExpr::Const(1), &env, MAX_ENUM)?;
+    if values.is_empty() {
+        return None;
+    }
+    // The target must carry the loop variable in exactly one point
+    // subscript with unit coefficient; all other subscripts loop-invariant.
+    let (td, c_t) = unit_affine_sub(&pat.target, &pat.var)?;
+    let _ = (td, c_t);
+    let tdecl = program.decl(pat.target.var).clone();
+    if tdecl.ownership != Ownership::Exclusive {
+        return None;
+    }
+
+    let mut comm_phase: Vec<Stmt> = Vec::new();
+    let mut compute_rhs = pat.rhs_with_temps.clone();
+    let mut awaits: Vec<SectionRef> = Vec::new();
+    let mut total_runs = 0usize;
+    let mut remote_elems = 0usize;
+
+    for slot in &pat.slots {
+        // The operand likewise: one unit-affine loop-var dim `od`, other
+        // dims loop-invariant (any rank).
+        let (od, c_o) = unit_affine_sub(&slot.operand, &pat.var)?;
+        let odecl = program.decl(slot.operand.var).clone();
+        if odecl.ownership != Ownership::Exclusive {
+            return None;
+        }
+        let odist = odecl.dist.clone()?;
+        let tdist = tdecl.dist.clone()?;
+        if tdist.alignment().is_some() || odist.alignment().is_some() {
+            return None;
+        }
+
+        // Bucket the loop-dim operand index j = i + c_o by
+        // (sender, receiver); the operand's other dims must be constant
+        // across iterations and single-sender per iteration.
+        let mut buckets: BTreeMap<(usize, usize), Vec<i64>> = BTreeMap::new();
+        let mut fixed_dims: Option<xdp_ir::Section> = None;
+        for &i in &values {
+            let envi = Bindings::from([(pat.var.clone(), i)]);
+            let osec = crate::analysis::concrete_section(program, &slot.operand, &envi)?;
+            let tsec = crate::analysis::concrete_section(program, &pat.target, &envi)?;
+            // Loop-invariant shape check: zero out the loop dim and
+            // compare across iterations.
+            let shape_probe = osec.with_dim(od, Triplet::point(0));
+            match &fixed_dims {
+                None => fixed_dims = Some(shape_probe),
+                Some(prev) if *prev != shape_probe => return None,
+                _ => {}
+            }
+            let mut sender = None;
+            for idx in osec.iter() {
+                let o = odist.owner_of(&odecl.bounds, &idx);
+                match sender {
+                    None => sender = Some(o),
+                    Some(prev) if prev != o => return None,
+                    _ => {}
+                }
+            }
+            let mut recv_owner = None;
+            for idx in tsec.iter() {
+                let o = tdist.owner_of(&tdecl.bounds, &idx);
+                match recv_owner {
+                    None => recv_owner = Some(o),
+                    Some(prev) if prev != o => return None,
+                    _ => {}
+                }
+            }
+            buckets
+                .entry((sender?, recv_owner?))
+                .or_default()
+                .push(i + c_o);
+        }
+        let fixed = fixed_dims?;
+
+        // Ghost array shaped like the operand's touched region; ownership
+        // of its loop dim follows the *target*: element with loop-dim
+        // index j is consumed by the owner of the target at iteration
+        // i = j - c_o, i.e. target index j - c_o + c_t in the target's
+        // loop dim. Other ghost dims are unconstrained.
+        let jmin = values.first().unwrap() + c_o;
+        let jmax = values.last().unwrap() + c_o;
+        let mut gbounds: Vec<Triplet> = (0..odecl.rank())
+            .map(|d| {
+                if d == od {
+                    Triplet::range(jmin, jmax)
+                } else {
+                    // The fixed (loop-invariant) extent of this dim.
+                    let t = fixed.dim(d);
+                    Triplet::new(t.lb, t.ub, t.st.max(1))
+                }
+            })
+            .collect();
+        // Normalize strided fixed dims to their hull so the ghost bounds
+        // are plain ranges; subscripts still address the strided subset.
+        for gb in gbounds.iter_mut() {
+            *gb = Triplet::range(gb.lb, gb.ub);
+        }
+        let mut map: Vec<Option<(usize, i64)>> = vec![None; odecl.rank()];
+        map[od] = Some((td, c_o - c_t));
+        // Loop-dim-granular segments: receives of disjoint runs touch
+        // disjoint segments, so their initiations do not serialize.
+        let seg_shape: Vec<i64> = gbounds
+            .iter()
+            .enumerate()
+            .map(|(d, t)| if d == od { 1 } else { t.count() })
+            .collect();
+        let ghost_name = format!("_G{}", program.decls.len());
+        let ghost = program.declare(Decl {
+            name: ghost_name.clone(),
+            elem: odecl.elem,
+            bounds: gbounds,
+            ownership: Ownership::Exclusive,
+            dist: Some(Distribution::aligned_map(
+                tdist.clone(),
+                tdecl.bounds.clone(),
+                map,
+            )),
+            segment_shape: Some(seg_shape),
+        });
+
+        // Emit transfers per (p, q) bucket, compressed into runs over the
+        // loop dim; the other dims carry the operand's fixed subscripts.
+        let run_sub = |run: &Triplet| b::span_st(b::c(run.lb), b::c(run.ub), b::c(run.st));
+        let fixed_subs: Vec<xdp_ir::Subscript> = slot.operand.subs.clone();
+        for ((pq_p, pq_q), mut js) in buckets {
+            js.sort_unstable();
+            js.dedup();
+            let runs = compress_runs(&js);
+            for run in runs {
+                let mut osubs = fixed_subs.clone();
+                osubs[od] = run_sub(&run);
+                let osec_run = SectionRef::new(slot.operand.var, osubs.clone());
+                let mut gsubs = fixed_subs.clone();
+                gsubs[od] = run_sub(&run);
+                let gsec_run = SectionRef::new(ghost, gsubs);
+                if pq_p == pq_q {
+                    // Same-owner: local copy into the ghost.
+                    comm_phase.push(b::guarded(
+                        b::iown(gsec_run.clone()),
+                        vec![b::assign(gsec_run, b::val(osec_run))],
+                    ));
+                } else {
+                    total_runs += 1;
+                    remote_elems += run.count() as usize;
+                    comm_phase.push(b::guarded(
+                        b::iown(osec_run.clone()),
+                        vec![b::send(osec_run.clone())],
+                    ));
+                    comm_phase.push(b::guarded(
+                        b::iown(gsec_run.clone()),
+                        vec![b::recv_val(gsec_run, osec_run)],
+                    ));
+                }
+            }
+        }
+
+        // Compute phase: substitute the temp with the ghost at the
+        // operand's subscripts (same shape, ghost storage).
+        let gref = SectionRef::new(ghost, slot.operand.subs.clone());
+        compute_rhs = substitute_ref(&compute_rhs, &slot.temp, &gref);
+        awaits.push(gref);
+    }
+
+    // Rebuild: comm phase, then the guarded compute loop with per-element
+    // awaits (finer-grain overlap; LocalizeBounds can contract the loop).
+    let mut rule = b::iown(pat.target.clone());
+    for g in &awaits {
+        rule = rule.and(b::await_(g.clone()));
+    }
+    let compute_loop = b::do_loop(
+        &pat.var,
+        pat.lo.clone(),
+        pat.hi.clone(),
+        vec![b::guarded(
+            rule,
+            vec![b::assign(pat.target.clone(), compute_rhs)],
+        )],
+    );
+    notes.push(format!(
+        "vectorized {} per-element transfers into {} section messages ({} remote elements) through aligned ghosts",
+        values.len() * pat.slots.len(),
+        total_runs,
+        remote_elems,
+    ));
+    let mut out = comm_phase;
+    out.push(compute_loop);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::{lower_owner_computes, FrontendOptions};
+    use crate::seq::{SeqProgram, SeqStmt};
+    use xdp_ir::{DimDist, ElemType, ProcGrid};
+
+    fn lowered(n: i64, nprocs: usize, b_dist: DimDist, shift: i64) -> Program {
+        let grid = ProcGrid::linear(nprocs);
+        let mut s = SeqProgram::new();
+        let a = s.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let bb = s.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![b_dist],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let bi = b::sref(bb, vec![b::at(b::iv("i").add(b::c(shift)))]);
+        s.body = vec![SeqStmt::DoLoop {
+            var: "i".into(),
+            lo: b::c(1),
+            hi: b::c(n - shift.max(0)),
+            body: vec![SeqStmt::Assign {
+                target: ai.clone(),
+                rhs: b::val(ai).add(b::val(bi)),
+            }],
+        }];
+        lower_owner_computes(&s, &FrontendOptions::default())
+    }
+
+    #[test]
+    fn vectorizes_cyclic_to_block() {
+        let p = lowered(16, 4, DimDist::Cyclic, 0);
+        let before = p.stmt_census();
+        assert_eq!(before.sends, 1); // inside the loop: 16 dynamic sends
+        let r = VectorizeMessages.run(&p);
+        assert!(r.changed, "{}", xdp_ir::pretty::program(&r.program));
+        let text = xdp_ir::pretty::program(&r.program);
+        // A ghost was declared and aligned.
+        assert!(r.program.lookup("_G3").is_some(), "{text}");
+        // Sends are now outside any loop: static census counts them all.
+        let after = r.program.stmt_census();
+        assert!(after.sends > 1, "section sends emitted: {text}");
+        // Every send section is a range, not a point.
+        let mut saw_range_send = false;
+        r.program.visit(&mut |s| {
+            if let Stmt::Send { sec, .. } = s {
+                if matches!(sec.subs[0], Subscript::Range(_)) {
+                    saw_range_send = true;
+                }
+            }
+        });
+        assert!(saw_range_send, "{text}");
+        assert!(!r.notes.is_empty());
+    }
+
+    #[test]
+    fn shifted_stencil_vectorizes_to_boundary_messages() {
+        // A[i] = A[i] + B[i+1] for i in 1..15, both BLOCK over 4: only one
+        // boundary element per adjacent processor pair moves.
+        let p = lowered(16, 4, DimDist::Block, 1);
+        let r = VectorizeMessages.run(&p);
+        assert!(r.changed);
+        // 3 pair boundaries x 1 element = 3 sends + 3 recvs.
+        let mut sends = 0;
+        r.program.visit(&mut |s| {
+            if matches!(s, Stmt::Send { .. }) {
+                sends += 1;
+            }
+        });
+        assert_eq!(sends, 3, "{}", xdp_ir::pretty::program(&r.program));
+    }
+
+    #[test]
+    fn leaves_symbolic_loops_alone() {
+        let mut p = lowered(16, 4, DimDist::Cyclic, 0);
+        // Make the loop bound symbolic.
+        if let Stmt::DoLoop { hi, .. } = &mut p.body[0] {
+            *hi = b::iv("n");
+        }
+        let r = VectorizeMessages.run(&p);
+        assert!(!r.changed);
+    }
+}

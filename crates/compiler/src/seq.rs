@@ -1,0 +1,157 @@
+//! The sequential shared-memory mini-language the frontend consumes.
+//!
+//! The paper's compilation story (§1) starts from "a shared memory
+//! (sequential or parallel) program ... replicated along with all its
+//! data, on every node"; the compiler then uses data partitioning to
+//! derive the distributed SPMD program. [`SeqProgram`] is that starting
+//! point: ordinary do-loops and array assignments, with HPF distribution
+//! annotations on the declarations (reusing [`xdp_ir::Decl`]).
+
+use xdp_ir::{Decl, ElemExpr, IntExpr, SectionRef, VarId};
+
+/// A sequential statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SeqStmt {
+    /// `target = rhs`, element-wise.
+    Assign { target: SectionRef, rhs: ElemExpr },
+    /// Kernel invocation (local computation on its arguments).
+    Kernel {
+        name: String,
+        args: Vec<SectionRef>,
+        int_args: Vec<IntExpr>,
+    },
+    /// `do var = lo, hi { body }` (unit step).
+    DoLoop {
+        var: String,
+        lo: IntExpr,
+        hi: IntExpr,
+        body: Vec<SeqStmt>,
+    },
+}
+
+/// A sequential program with distribution-annotated declarations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SeqProgram {
+    pub decls: Vec<Decl>,
+    pub body: Vec<SeqStmt>,
+}
+
+impl SeqProgram {
+    /// Empty program.
+    pub fn new() -> SeqProgram {
+        SeqProgram {
+            decls: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Add a declaration, returning its id.
+    pub fn declare(&mut self, decl: Decl) -> VarId {
+        assert!(
+            self.decls.iter().all(|d| d.name != decl.name),
+            "duplicate declaration of {}",
+            decl.name
+        );
+        let id = VarId(self.decls.len() as u32);
+        self.decls.push(decl);
+        id
+    }
+
+    /// Find a variable by source name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.decls
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| VarId(i as u32))
+    }
+}
+
+impl Default for SeqProgram {
+    fn default() -> Self {
+        SeqProgram::new()
+    }
+}
+
+/// Reinterpret a parsed IL program as a *sequential* program — the paper's
+/// starting point ("the original shared memory program can be considered
+/// to be an SPMD node program that is replicated along with all its data",
+/// §1). Rejects any XDP statement (sends, receives, guards, barriers):
+/// those belong to the output of compilation, not its input.
+pub fn from_program(p: &xdp_ir::Program) -> Result<SeqProgram, String> {
+    fn stmts(block: &[xdp_ir::Stmt]) -> Result<Vec<SeqStmt>, String> {
+        block.iter().map(stmt).collect()
+    }
+    fn stmt(s: &xdp_ir::Stmt) -> Result<SeqStmt, String> {
+        match s {
+            xdp_ir::Stmt::Assign { target, rhs } => Ok(SeqStmt::Assign {
+                target: target.clone(),
+                rhs: rhs.clone(),
+            }),
+            xdp_ir::Stmt::Kernel {
+                name,
+                args,
+                int_args,
+            } => Ok(SeqStmt::Kernel {
+                name: name.clone(),
+                args: args.clone(),
+                int_args: int_args.clone(),
+            }),
+            xdp_ir::Stmt::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                if step.as_const() != Some(1) {
+                    return Err(format!(
+                        "sequential frontend supports unit-step loops only (loop `{var}`)"
+                    ));
+                }
+                Ok(SeqStmt::DoLoop {
+                    var: var.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    body: stmts(body)?,
+                })
+            }
+            other => Err(format!(
+                "not a sequential statement (XDP construct in input): {other:?}"
+            )),
+        }
+    }
+    Ok(SeqProgram {
+        decls: p.decls.clone(),
+        body: stmts(&p.body)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_ir::build as b;
+    use xdp_ir::{DimDist, ElemType, ProcGrid};
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut p = SeqProgram::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Block],
+            ProcGrid::linear(2),
+        ));
+        assert_eq!(p.lookup("A"), Some(a));
+        assert_eq!(p.lookup("B"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_panics() {
+        let mut p = SeqProgram::new();
+        let d = b::universal_array("x", ElemType::F64, vec![(1, 1)]);
+        p.declare(d.clone());
+        p.declare(d);
+    }
+}

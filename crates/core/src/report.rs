@@ -1,0 +1,241 @@
+//! Execution reports: virtual/wall time, per-processor breakdowns,
+//! network traffic, and optional timelines.
+
+use std::collections::BTreeMap;
+use xdp_ir::{Section, VarId};
+use xdp_machine::NetStats;
+use xdp_runtime::symtab::SymtabStats;
+use xdp_runtime::Value;
+
+/// What a processor was doing during a timeline interval.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// Local computation (assignments, kernels, rule evaluation).
+    Compute,
+    /// Waiting for a receive to complete or at a barrier.
+    Wait,
+    /// Send initiation overhead.
+    SendInit,
+    /// Receive initiation overhead.
+    RecvInit,
+}
+
+/// One interval of one processor's virtual timeline.
+#[derive(Clone, Debug)]
+pub struct TimelineEvent {
+    pub pid: usize,
+    pub t0: f64,
+    pub t1: f64,
+    pub kind: EventKind,
+}
+
+/// Per-processor execution summary.
+#[derive(Clone, Debug, Default)]
+pub struct ProcReport {
+    /// Virtual time at which this processor finished.
+    pub finish_time: f64,
+    /// Time spent computing (including rule evaluation and comm CPU
+    /// overhead).
+    pub busy: f64,
+    /// Time spent blocked on receives/barriers.
+    pub wait: f64,
+    /// Messages sent / receive completions.
+    pub sends: u64,
+    pub recvs: u64,
+    /// Final symbol-table statistics.
+    pub symtab: SymtabStats,
+}
+
+/// Result of a simulated execution.
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// Machine size.
+    pub nprocs: usize,
+    /// Completion time = max over processors (virtual).
+    pub virtual_time: f64,
+    /// Per-processor summaries.
+    pub procs: Vec<ProcReport>,
+    /// Network counters.
+    pub net: NetStats,
+    /// Per-interval timeline (empty unless recording was enabled).
+    pub timeline: Vec<TimelineEvent>,
+}
+
+impl ExecReport {
+    /// Total busy time across processors.
+    pub fn total_busy(&self) -> f64 {
+        self.procs.iter().map(|p| p.busy).sum()
+    }
+
+    /// Total wait time across processors.
+    pub fn total_wait(&self) -> f64 {
+        self.procs.iter().map(|p| p.wait).sum()
+    }
+
+    /// Parallel efficiency proxy: busy / (nprocs * makespan).
+    pub fn efficiency(&self) -> f64 {
+        if self.virtual_time == 0.0 {
+            return 1.0;
+        }
+        self.total_busy() / (self.nprocs as f64 * self.virtual_time)
+    }
+
+    /// Render a compact textual Gantt chart of the timeline (one row per
+    /// processor, `#` compute, `.` wait, `s`/`r` comm overhead).
+    pub fn gantt(&self, width: usize) -> String {
+        if self.timeline.is_empty() || self.virtual_time <= 0.0 {
+            return String::from("(no timeline recorded)\n");
+        }
+        let scale = width as f64 / self.virtual_time;
+        let mut rows = vec![vec![' '; width]; self.nprocs];
+        for ev in &self.timeline {
+            let a = (ev.t0 * scale) as usize;
+            let b = ((ev.t1 * scale) as usize).min(width.saturating_sub(1));
+            let ch = match ev.kind {
+                EventKind::Compute => '#',
+                EventKind::Wait => '.',
+                EventKind::SendInit => 's',
+                EventKind::RecvInit => 'r',
+            };
+            for c in rows[ev.pid].iter_mut().take(b + 1).skip(a) {
+                // Compute wins over wait when intervals round to one cell.
+                if *c == ' ' || (*c == '.' && ch != ' ') {
+                    *c = ch;
+                }
+            }
+        }
+        let mut out = String::new();
+        for (pid, row) in rows.iter().enumerate() {
+            out.push_str(&format!("p{pid:<2} |"));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push_str("    (# compute   . wait   s send   r receive)\n");
+        out
+    }
+}
+
+/// The gathered global contents of one exclusive array after execution:
+/// every element index mapped to (owner pid, value). Used by tests to
+/// verify distributed results against sequential references.
+#[derive(Clone, Debug, Default)]
+pub struct Gathered {
+    pub values: BTreeMap<Vec<i64>, (usize, Value)>,
+}
+
+impl Gathered {
+    /// Value at an index, if owned anywhere.
+    pub fn get(&self, idx: &[i64]) -> Option<Value> {
+        self.values.get(idx).map(|(_, v)| *v)
+    }
+
+    /// Owner pid of an index.
+    pub fn owner(&self, idx: &[i64]) -> Option<usize> {
+        self.values.get(idx).map(|(p, _)| *p)
+    }
+
+    /// Dense row-major values over `sec` (None where unowned).
+    pub fn dense(&self, sec: &Section) -> Vec<Option<Value>> {
+        sec.iter().map(|idx| self.get(&idx)).collect()
+    }
+
+    /// Assert every element of `sec` is present and f64-close to `want`
+    /// (row-major).
+    pub fn assert_close_f64(&self, sec: &Section, want: &[f64], tol: f64) {
+        assert_eq!(want.len() as i64, sec.volume());
+        for (k, idx) in sec.iter().enumerate() {
+            let got = self
+                .get(&idx)
+                .unwrap_or_else(|| panic!("element {idx:?} unowned"))
+                .as_f64();
+            assert!(
+                (got - want[k]).abs() <= tol,
+                "at {idx:?}: got {got}, want {}",
+                want[k]
+            );
+        }
+    }
+
+    /// Which pid owns each element of `sec`, row-major; None if unowned.
+    pub fn owners(&self, sec: &Section) -> Vec<Option<usize>> {
+        sec.iter().map(|idx| self.owner(&idx)).collect()
+    }
+}
+
+/// Build a [`Gathered`] for `var` from per-processor symbol tables.
+pub fn gather_var(var: VarId, tables: &[&xdp_runtime::RtSymbolTable], full: &Section) -> Gathered {
+    let mut g = Gathered::default();
+    for (pid, t) in tables.iter().enumerate() {
+        if let Some(entry) = t.entry(var) {
+            for seg in &entry.segments {
+                if !seg.status.is_owned() {
+                    continue;
+                }
+                for idx in seg.section.intersect(full).iter() {
+                    if let Some(v) = seg.read(&idx) {
+                        let prev = g.values.insert(idx.clone(), (pid, v));
+                        assert!(prev.is_none(), "element {idx:?} owned by two processors");
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_and_totals() {
+        let r = ExecReport {
+            nprocs: 2,
+            virtual_time: 100.0,
+            procs: vec![
+                ProcReport {
+                    busy: 80.0,
+                    wait: 20.0,
+                    ..Default::default()
+                },
+                ProcReport {
+                    busy: 60.0,
+                    wait: 40.0,
+                    ..Default::default()
+                },
+            ],
+            net: NetStats::new(2),
+            timeline: vec![],
+        };
+        assert_eq!(r.total_busy(), 140.0);
+        assert_eq!(r.total_wait(), 60.0);
+        assert!((r.efficiency() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let r = ExecReport {
+            nprocs: 1,
+            virtual_time: 10.0,
+            procs: vec![ProcReport::default()],
+            net: NetStats::new(1),
+            timeline: vec![
+                TimelineEvent {
+                    pid: 0,
+                    t0: 0.0,
+                    t1: 5.0,
+                    kind: EventKind::Compute,
+                },
+                TimelineEvent {
+                    pid: 0,
+                    t0: 5.0,
+                    t1: 10.0,
+                    kind: EventKind::Wait,
+                },
+            ],
+        };
+        let g = r.gantt(20);
+        assert!(g.contains('#'));
+        assert!(g.contains('.'));
+    }
+}

@@ -1,0 +1,611 @@
+//! The deterministic simulated SPMD executor.
+//!
+//! Drives one [`Interp`] per processor over a [`SimNet`] in virtual time.
+//! Scheduling is canonical — among runnable processors, always the one with
+//! the smallest `(clock, pid)` — so a given program, machine, and seed
+//! reproduce the exact same virtual timeline, message log, and final state
+//! on every run.
+
+use crate::env::RtError;
+use crate::interp::{Action, Interp};
+use crate::kernels::KernelRegistry;
+use crate::report::{EventKind, ExecReport, Gathered, ProcReport, TimelineEvent};
+use std::sync::Arc;
+use xdp_ir::{Program, Section, VarId};
+use xdp_machine::{Completion, CostModel, SimNet, Topology};
+use xdp_runtime::{Buffer, Value};
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of processors.
+    pub nprocs: usize,
+    /// The machine cost model.
+    pub cost: CostModel,
+    /// Interconnect topology.
+    pub topo: Topology,
+    /// Enable the checked runtime (flags transitional reads etc.).
+    pub checked: bool,
+    /// Record a per-interval timeline (costs memory; off by default).
+    pub record_timeline: bool,
+    /// Abort after this many interpreter steps (safety net).
+    pub max_steps: u64,
+}
+
+impl SimConfig {
+    /// A checked 1993-flavored machine of `nprocs` processors.
+    pub fn new(nprocs: usize) -> SimConfig {
+        SimConfig {
+            nprocs,
+            cost: CostModel::default_1993(),
+            topo: Topology::Uniform,
+            checked: true,
+            record_timeline: false,
+            max_steps: 500_000_000,
+        }
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> SimConfig {
+        self.cost = cost;
+        self
+    }
+
+    /// Replace the topology.
+    pub fn with_topo(mut self, topo: Topology) -> SimConfig {
+        self.topo = topo;
+        self
+    }
+
+    /// Enable timeline recording.
+    pub fn with_timeline(mut self) -> SimConfig {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Disable the checked runtime.
+    pub fn unchecked(mut self) -> SimConfig {
+        self.checked = false;
+        self
+    }
+}
+
+/// `XDP_TRACE=1` prints every interpreter action and wake event.
+fn trace() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("XDP_TRACE").is_ok_and(|v| v == "1"))
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum PStatus {
+    Ready,
+    Blocked { var: VarId, sec: Section },
+    AtBarrier,
+    Done,
+}
+
+/// The simulated executor. Construct with [`SimExec::new`], optionally
+/// initialize data with [`SimExec::init_exclusive`] /
+/// [`SimExec::init_universal`], then [`SimExec::run`] and inspect the
+/// report or [`SimExec::gather`] final state.
+pub struct SimExec {
+    cfg: SimConfig,
+    interps: Vec<Interp>,
+    clocks: Vec<f64>,
+    status: Vec<PStatus>,
+    inbox: Vec<Vec<(u64, Completion)>>,
+    net: SimNet,
+    busy: Vec<f64>,
+    wait: Vec<f64>,
+    sends: Vec<u64>,
+    recvs: Vec<u64>,
+    timeline: Vec<TimelineEvent>,
+    /// Accumulated interpreter op counts per processor (diagnostics).
+    pub ops_flops: Vec<u64>,
+    pub ops_symtab: Vec<u64>,
+}
+
+impl SimExec {
+    /// Load `program` onto every processor of the configured machine.
+    pub fn new(program: Arc<Program>, kernels: KernelRegistry, cfg: SimConfig) -> SimExec {
+        let n = cfg.nprocs;
+        let interps = (0..n)
+            .map(|pid| Interp::new(program.clone(), kernels.clone(), pid, n, cfg.checked))
+            .collect();
+        let net = SimNet::new(n, cfg.cost, cfg.topo.clone());
+        SimExec {
+            cfg,
+            interps,
+            clocks: vec![0.0; n],
+            status: vec![PStatus::Ready; n],
+            inbox: vec![Vec::new(); n],
+            net,
+            busy: vec![0.0; n],
+            wait: vec![0.0; n],
+            sends: vec![0; n],
+            recvs: vec![0; n],
+            timeline: Vec::new(),
+            ops_flops: vec![0; n],
+            ops_symtab: vec![0; n],
+        }
+    }
+
+    /// Initialize an exclusive array: every processor sets the elements it
+    /// owns to `f(index)`.
+    pub fn init_exclusive(&mut self, var: VarId, f: impl Fn(&[i64]) -> Value) {
+        for interp in &mut self.interps {
+            let full = interp.env.full_section(var);
+            for idx in full.iter() {
+                let v = f(&idx);
+                let _ = interp.env.symtab.write(var, &idx, v);
+            }
+        }
+    }
+
+    /// Initialize a universal array identically on every processor.
+    pub fn init_universal(&mut self, var: VarId, f: impl Fn(&[i64]) -> Value) {
+        for interp in &mut self.interps {
+            let full = interp.env.full_section(var);
+            let mut buf = Buffer::zeros(interp.env.decls[var.index()].elem, full.volume() as usize);
+            for (ord, idx) in full.iter().enumerate() {
+                buf.set(ord, f(&idx));
+            }
+            interp
+                .env
+                .write_section(var, &full, &buf)
+                .expect("universal init");
+        }
+    }
+
+    /// Direct mutable access to a processor's interpreter (tests).
+    pub fn interp_mut(&mut self, pid: usize) -> &mut Interp {
+        &mut self.interps[pid]
+    }
+
+    fn record(&mut self, pid: usize, t0: f64, t1: f64, kind: EventKind) {
+        if self.cfg.record_timeline && t1 > t0 {
+            self.timeline.push(TimelineEvent { pid, t0, t1, kind });
+        }
+    }
+
+    /// Apply all inbox completions whose message has arrived by `pid`'s
+    /// clock, charging each one's handling cost to the processor.
+    fn drain_due(&mut self, pid: usize) -> Result<(), RtError> {
+        loop {
+            let now = self.clocks[pid];
+            let due = self.inbox[pid]
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, c))| c.arrive_at <= now)
+                .min_by(|(_, (_, a)), (_, (_, b))| {
+                    (a.arrive_at, a.req_id)
+                        .partial_cmp(&(b.arrive_at, b.req_id))
+                        .unwrap()
+                })
+                .map(|(i, _)| i);
+            match due {
+                None => return Ok(()),
+                Some(i) => {
+                    let (req, c) = self.inbox[pid].remove(i);
+                    self.recvs[pid] += 1;
+                    let t0 = self.clocks[pid];
+                    self.clocks[pid] += c.handling;
+                    self.busy[pid] += c.handling;
+                    self.record(pid, t0, self.clocks[pid], EventKind::RecvInit);
+                    self.interps[pid].complete_recv(req, c.msg)?;
+                }
+            }
+        }
+    }
+
+    /// Deliver a match produced by the network.
+    fn deliver(&mut self, c: Completion) {
+        self.inbox[c.dst].push((c.req_id, c));
+    }
+
+    /// Run to completion, returning the report.
+    pub fn run(&mut self) -> Result<ExecReport, RtError> {
+        let mut steps: u64 = 0;
+        let o = self.cfg.cost.cpu_overhead;
+        loop {
+            steps += 1;
+            if steps > self.cfg.max_steps {
+                return Err(RtError::Deadlock(format!(
+                    "step budget {} exhausted (livelock?)",
+                    self.cfg.max_steps
+                )));
+            }
+            // Pick the runnable processor with the smallest (clock, pid).
+            let ready = (0..self.cfg.nprocs)
+                .filter(|&p| self.status[p] == PStatus::Ready)
+                .min_by(|&a, &b| {
+                    (self.clocks[a], a)
+                        .partial_cmp(&(self.clocks[b], b))
+                        .unwrap()
+                });
+            if let Some(p) = ready {
+                self.drain_due(p)?;
+                let t0 = self.clocks[p];
+                let out = self.interps[p].step()?;
+                self.ops_flops[p] += out.ops.flops;
+                self.ops_symtab[p] += out.ops.symtab_ops;
+                if trace() {
+                    eprintln!("[t={t0:.1}] p{p}: {:?}", out.action);
+                }
+                let cost = out.ops.symtab_ops as f64 * self.cfg.cost.symtab_op_time
+                    + out.ops.seg_scans as f64 * self.cfg.cost.seg_scan_time
+                    + out.ops.flops as f64 * self.cfg.cost.flop_time;
+                self.clocks[p] += cost;
+                self.busy[p] += cost;
+                self.record(p, t0, self.clocks[p], EventKind::Compute);
+                match out.action {
+                    Action::Continue => {}
+                    Action::Send { msg, dest } => {
+                        let t1 = self.clocks[p];
+                        self.clocks[p] += o;
+                        self.busy[p] += o;
+                        self.record(p, t1, self.clocks[p], EventKind::SendInit);
+                        self.sends[p] += 1;
+                        let time = self.clocks[p];
+                        match dest {
+                            None => {
+                                if let Some(c) = self.net.post_send(msg, None, time) {
+                                    self.deliver(c);
+                                }
+                            }
+                            Some(pids) => {
+                                // Multicast: one bound copy per destination.
+                                for q in pids {
+                                    if let Some(c) =
+                                        self.net.post_send(msg.clone(), Some(vec![q]), time)
+                                    {
+                                        self.deliver(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Action::PostRecv { tag, req_id } => {
+                        let t1 = self.clocks[p];
+                        self.clocks[p] += o;
+                        self.busy[p] += o;
+                        self.record(p, t1, self.clocks[p], EventKind::RecvInit);
+                        if let Some(c) = self.net.post_recv(tag, p, self.clocks[p], req_id) {
+                            self.deliver(c);
+                        }
+                    }
+                    Action::BlockOn { var, sec } => {
+                        self.status[p] = PStatus::Blocked { var, sec };
+                    }
+                    Action::Barrier => {
+                        self.status[p] = PStatus::AtBarrier;
+                    }
+                    Action::Done => {
+                        self.status[p] = PStatus::Done;
+                    }
+                }
+                continue;
+            }
+
+            // No processor ready: wake the blocked processor whose earliest
+            // inbox completion is soonest.
+            let wake = (0..self.cfg.nprocs)
+                .filter(|&p| matches!(self.status[p], PStatus::Blocked { .. }))
+                .filter_map(|p| {
+                    self.inbox[p]
+                        .iter()
+                        .map(|(_, c)| c.arrive_at)
+                        .min_by(|a, b| a.partial_cmp(b).unwrap())
+                        .map(|t| (t, p))
+                })
+                .min_by(|a, b| a.partial_cmp(b).unwrap());
+            if let Some((t, p)) = wake {
+                if trace() {
+                    eprintln!("[wake] p{p} at t={t:.1} (was {:.1})", self.clocks[p]);
+                }
+                let t0 = self.clocks[p];
+                if t > t0 {
+                    self.wait[p] += t - t0;
+                    self.clocks[p] = t;
+                    self.record(p, t0, t, EventKind::Wait);
+                }
+                self.drain_due(p)?;
+                self.status[p] = PStatus::Ready;
+                continue;
+            }
+
+            // Barrier release: every unfinished processor is at the
+            // barrier.
+            let unfinished: Vec<usize> = (0..self.cfg.nprocs)
+                .filter(|&p| self.status[p] != PStatus::Done)
+                .collect();
+            if !unfinished.is_empty()
+                && unfinished
+                    .iter()
+                    .all(|&p| self.status[p] == PStatus::AtBarrier)
+            {
+                let t = unfinished
+                    .iter()
+                    .map(|&p| self.clocks[p])
+                    .fold(0.0f64, f64::max);
+                for &p in &unfinished {
+                    let t0 = self.clocks[p];
+                    if t > t0 {
+                        self.wait[p] += t - t0;
+                        self.record(p, t0, t, EventKind::Wait);
+                    }
+                    self.clocks[p] = t;
+                    self.status[p] = PStatus::Ready;
+                    self.interps[p].pass_barrier();
+                }
+                continue;
+            }
+
+            if unfinished.is_empty() {
+                // Quiesce: processors may have finished with matched but
+                // not-yet-applied completions (receives the program never
+                // awaited). Apply them so the final state reflects every
+                // completed transfer, charging handling as usual.
+                for pid in 0..self.cfg.nprocs {
+                    while let Some(t) = self.inbox[pid]
+                        .iter()
+                        .map(|(_, c)| c.arrive_at)
+                        .min_by(|a, b| a.partial_cmp(b).unwrap())
+                    {
+                        let t0 = self.clocks[pid];
+                        if t > t0 {
+                            self.wait[pid] += t - t0;
+                            self.clocks[pid] = t;
+                            self.record(pid, t0, t, EventKind::Wait);
+                        }
+                        self.drain_due(pid)?;
+                    }
+                }
+                break;
+            }
+
+            // Deadlock.
+            let mut detail = String::new();
+            for p in 0..self.cfg.nprocs {
+                detail.push_str(&format!(
+                    "  p{p}: {:?} at t={} [{}]\n",
+                    self.status[p],
+                    self.clocks[p],
+                    self.interps[p].position(),
+                ));
+            }
+            detail.push_str(&self.net.pending_detail());
+            return Err(RtError::Deadlock(detail));
+        }
+
+        let virtual_time = self.clocks.iter().copied().fold(0.0f64, f64::max);
+        let procs = (0..self.cfg.nprocs)
+            .map(|p| ProcReport {
+                finish_time: self.clocks[p],
+                busy: self.busy[p],
+                wait: self.wait[p],
+                sends: self.sends[p],
+                recvs: self.recvs[p],
+                symtab: self.interps[p].env.symtab.stats,
+            })
+            .collect();
+        Ok(ExecReport {
+            nprocs: self.cfg.nprocs,
+            virtual_time,
+            procs,
+            net: self.net.stats.clone(),
+            timeline: std::mem::take(&mut self.timeline),
+        })
+    }
+
+    /// Gather the global contents of an exclusive array after execution.
+    pub fn gather(&self, var: VarId) -> Gathered {
+        let tables: Vec<&xdp_runtime::RtSymbolTable> =
+            self.interps.iter().map(|i| &i.env.symtab).collect();
+        let full = self.interps[0].env.full_section(var);
+        crate::report::gather_var(var, &tables, &full)
+    }
+
+    /// A processor's private copy of a universal array, row-major over the
+    /// full bounds.
+    pub fn universal_copy(&mut self, pid: usize, var: VarId) -> Buffer {
+        let full = self.interps[pid].env.full_section(var);
+        self.interps[pid]
+            .env
+            .read_section(var, &full)
+            .expect("universal copy")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_ir::build as b;
+    use xdp_ir::{DimDist, ElemType, ProcGrid};
+
+    /// The paper's §2.2 straightforward owner-computes translation of
+    /// `do i: A[i] = A[i] + B[i]`.
+    fn paper_simple(n: i64, nprocs: usize) -> (Arc<Program>, VarId, VarId) {
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(nprocs);
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let bb = p.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, n)],
+            // Misaligned on purpose: B cyclic, so most B[i] live elsewhere.
+            vec![DimDist::Cyclic],
+            grid.clone(),
+        ));
+        let t = p.declare(b::array(
+            "T",
+            ElemType::F64,
+            vec![(0, nprocs as i64 - 1)],
+            vec![DimDist::Block],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let bi = b::sref(bb, vec![b::at(b::iv("i"))]);
+        let tm = b::sref(t, vec![b::at(b::mypid())]);
+        p.body = vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(n),
+            vec![
+                b::guarded(b::iown(bi.clone()), vec![b::send(bi.clone())]),
+                b::guarded(
+                    b::iown(ai.clone()),
+                    vec![
+                        b::recv_val(tm.clone(), bi.clone()),
+                        b::guarded(
+                            b::await_(tm.clone()),
+                            vec![b::assign(
+                                ai.clone(),
+                                b::val(ai.clone()).add(b::val(tm.clone())),
+                            )],
+                        ),
+                    ],
+                ),
+            ],
+        )];
+        (Arc::new(p), a, bb)
+    }
+
+    #[test]
+    fn paper_simple_example_computes_correctly() {
+        let n = 16;
+        let (prog, a, bb) = paper_simple(n, 4);
+        let mut exec = SimExec::new(prog, KernelRegistry::standard(), SimConfig::new(4));
+        exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        exec.init_exclusive(bb, |idx| Value::F64(100.0 * idx[0] as f64));
+        let report = exec.run().unwrap();
+        let g = exec.gather(a);
+        for i in 1..=n {
+            assert_eq!(g.get(&[i]).unwrap().as_f64(), 101.0 * i as f64, "i={i}");
+        }
+        // Every iteration moved one message (B cyclic vs A block => all but
+        // aligned ones remote... the rendezvous still transfers each B[i]).
+        assert_eq!(report.net.messages, n as u64);
+        assert!(report.virtual_time > 0.0);
+        assert!(report.efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn determinism_same_program_same_timeline() {
+        let (prog, a, bb) = paper_simple(12, 3);
+        let run = || {
+            let mut exec =
+                SimExec::new(prog.clone(), KernelRegistry::standard(), SimConfig::new(3));
+            exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+            exec.init_exclusive(bb, |idx| Value::F64(2.0 * idx[0] as f64));
+            let r = exec.run().unwrap();
+            (r.virtual_time, r.net.messages, r.net.wire_bytes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        // A receive with no matching send anywhere.
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 4)],
+            vec![DimDist::Block],
+            ProcGrid::linear(2),
+        ));
+        let mine = b::sref(
+            a,
+            vec![b::span(
+                b::mylb(b::sref(a, vec![b::all()]), 1),
+                b::myub(b::sref(a, vec![b::all()]), 1),
+            )],
+        );
+        p.body = vec![
+            b::recv_val(mine.clone(), mine.clone()),
+            b::guarded(b::await_(mine.clone()), vec![]),
+        ];
+        let mut exec = SimExec::new(Arc::new(p), KernelRegistry::standard(), SimConfig::new(2));
+        match exec.run() {
+            Err(RtError::Deadlock(d)) => {
+                assert!(d.contains("unmatched recv"), "{d}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 4)],
+            vec![DimDist::Block],
+            ProcGrid::linear(2),
+        ));
+        let mine = b::sref(
+            a,
+            vec![b::span(
+                b::mylb(b::sref(a, vec![b::all()]), 1),
+                b::myub(b::sref(a, vec![b::all()]), 1),
+            )],
+        );
+        // P0 does extra work before the barrier.
+        p.body = vec![
+            b::guarded(
+                b::cmp(xdp_ir::CmpOp::Eq, b::mypid(), b::c(0)),
+                vec![b::kernel_with(
+                    "work",
+                    vec![mine.clone()],
+                    vec![b::c(100_000)],
+                )],
+            ),
+            xdp_ir::Stmt::Barrier,
+            b::assign(mine.clone(), xdp_ir::ElemExpr::LitF(1.0)),
+        ];
+        let mut exec = SimExec::new(Arc::new(p), KernelRegistry::standard(), SimConfig::new(2));
+        let r = exec.run().unwrap();
+        // P1 waited at the barrier for P0's work.
+        assert!(r.procs[1].wait > 0.0, "{:?}", r.procs);
+        let g = exec.gather(a);
+        assert_eq!(g.get(&[3]).unwrap().as_f64(), 1.0);
+    }
+
+    #[test]
+    fn timeline_records_intervals() {
+        let (prog, a, bb) = paper_simple(8, 2);
+        let mut exec = SimExec::new(
+            prog,
+            KernelRegistry::standard(),
+            SimConfig::new(2).with_timeline(),
+        );
+        exec.init_exclusive(a, |_| Value::F64(0.0));
+        exec.init_exclusive(bb, |_| Value::F64(1.0));
+        let r = exec.run().unwrap();
+        assert!(!r.timeline.is_empty());
+        let gantt = r.gantt(60);
+        assert!(gantt.contains("p0"));
+        assert!(gantt.contains('#'));
+    }
+
+    #[test]
+    fn gather_reports_owners() {
+        let (prog, a, bb) = paper_simple(8, 2);
+        let mut exec = SimExec::new(prog, KernelRegistry::standard(), SimConfig::new(2));
+        exec.init_exclusive(a, |_| Value::F64(0.0));
+        exec.init_exclusive(bb, |_| Value::F64(1.0));
+        exec.run().unwrap();
+        let g = exec.gather(a);
+        // Block distribution of 8 over 2: P0 owns 1..4, P1 owns 5..8.
+        assert_eq!(g.owner(&[1]), Some(0));
+        assert_eq!(g.owner(&[8]), Some(1));
+    }
+}

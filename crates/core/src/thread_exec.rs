@@ -1,0 +1,316 @@
+//! The real-parallel executor: one OS thread per simulated processor over a
+//! shared [`ThreadNet`].
+//!
+//! Used for wall-clock (Criterion) measurements and to validate that the
+//! virtual-time simulator and a genuinely concurrent execution compute the
+//! same final state. Virtual-time accounting does not apply here; the
+//! report carries wall time and traffic counters only.
+
+use crate::env::RtError;
+use crate::interp::{Action, Interp};
+use crate::kernels::KernelRegistry;
+use crate::report::Gathered;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use xdp_ir::{Program, VarId};
+use xdp_machine::{NetStats, ThreadNet};
+use xdp_runtime::Value;
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadReport {
+    /// Wall-clock duration of the parallel section.
+    pub wall: Duration,
+    /// Network counters.
+    pub net: NetStats,
+    /// Final per-processor symbol-table statistics.
+    pub symtab: Vec<xdp_runtime::symtab::SymtabStats>,
+}
+
+/// Configuration for the threaded executor.
+#[derive(Clone, Debug)]
+pub struct ThreadConfig {
+    /// Number of processors (threads).
+    pub nprocs: usize,
+    /// Checked runtime?
+    pub checked: bool,
+    /// How long a blocked receive may wait before the run is declared
+    /// deadlocked.
+    pub recv_timeout: Duration,
+}
+
+impl ThreadConfig {
+    /// Defaults: checked, 5-second deadlock timeout.
+    pub fn new(nprocs: usize) -> ThreadConfig {
+        ThreadConfig {
+            nprocs,
+            checked: true,
+            recv_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The threaded executor. Mirrors [`crate::SimExec`]'s init/run/gather API.
+pub struct ThreadExec {
+    cfg: ThreadConfig,
+    interps: Vec<Interp>,
+}
+
+impl ThreadExec {
+    /// Load `program` onto every processor.
+    pub fn new(program: Arc<Program>, kernels: KernelRegistry, cfg: ThreadConfig) -> ThreadExec {
+        let n = cfg.nprocs;
+        let interps = (0..n)
+            .map(|pid| Interp::new(program.clone(), kernels.clone(), pid, n, cfg.checked))
+            .collect();
+        ThreadExec { cfg, interps }
+    }
+
+    /// Initialize an exclusive array (owned elements on each processor).
+    pub fn init_exclusive(&mut self, var: VarId, f: impl Fn(&[i64]) -> Value) {
+        for interp in &mut self.interps {
+            let full = interp.env.full_section(var);
+            for idx in full.iter() {
+                let _ = interp.env.symtab.write(var, &idx, f(&idx));
+            }
+        }
+    }
+
+    /// Run all processors concurrently to completion.
+    pub fn run(&mut self) -> Result<ThreadReport, RtError> {
+        let n = self.cfg.nprocs;
+        let net = ThreadNet::new(n);
+        let barrier = Arc::new(Barrier::new(n));
+        let timeout = self.cfg.recv_timeout;
+        let start = Instant::now();
+        let results: Vec<Result<(), RtError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for interp in self.interps.iter_mut() {
+                let net = net.clone();
+                let barrier = barrier.clone();
+                handles.push(scope.spawn(move || run_proc(interp, &net, &barrier, timeout)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("proc panicked"))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        let symtab = self.interps.iter().map(|i| i.env.symtab.stats).collect();
+        Ok(ThreadReport {
+            wall: start.elapsed(),
+            net: net.stats(),
+            symtab,
+        })
+    }
+
+    /// Gather the global contents of an exclusive array after execution.
+    pub fn gather(&self, var: VarId) -> Gathered {
+        let tables: Vec<&xdp_runtime::RtSymbolTable> =
+            self.interps.iter().map(|i| &i.env.symtab).collect();
+        let full = self.interps[0].env.full_section(var);
+        crate::report::gather_var(var, &tables, &full)
+    }
+}
+
+/// Drive one processor's interpreter against the shared network.
+fn run_proc(
+    interp: &mut Interp,
+    net: &ThreadNet,
+    barrier: &Barrier,
+    timeout: Duration,
+) -> Result<(), RtError> {
+    let pid = interp.env.pid;
+    loop {
+        // Opportunistically complete any receive whose message has already
+        // arrived, so `accessible()` polls stay live.
+        for (req, tag) in interp.outstanding() {
+            if let Some(msg) = net.recv(&tag, pid, Duration::ZERO) {
+                interp.complete_recv(req, msg)?;
+            }
+        }
+        let out = interp.step()?;
+        match out.action {
+            Action::Continue => {}
+            Action::Done => break,
+            Action::Send { msg, dest } => match dest {
+                None => net.send(msg, None),
+                Some(pids) => {
+                    for q in pids {
+                        net.send(msg.clone(), Some(vec![q]));
+                    }
+                }
+            },
+            Action::PostRecv { .. } => {
+                // Nothing to do eagerly; the message is claimed at the next
+                // opportunistic poll or blocking wait.
+            }
+            Action::BlockOn { var, sec } => {
+                // Service the outstanding receives that gate this section.
+                let gating = interp.outstanding_for(var, &sec);
+                if gating.is_empty() {
+                    return Err(RtError::Deadlock(format!(
+                        "p{pid}: blocked on {var}{sec} with no outstanding receive"
+                    )));
+                }
+                let (req, tag) = gating[0].clone();
+                match net.recv(&tag, pid, timeout) {
+                    Some(msg) => interp.complete_recv(req, msg)?,
+                    None => {
+                        return Err(RtError::Deadlock(format!(
+                            "p{pid}: receive of {tag} timed out after {timeout:?}"
+                        )))
+                    }
+                }
+            }
+            Action::Barrier => {
+                barrier.wait();
+                interp.pass_barrier();
+            }
+        }
+    }
+    // Drain leftover outstanding receives so the final state is coherent.
+    for (req, tag) in interp.outstanding() {
+        match net.recv(&tag, pid, timeout) {
+            Some(msg) => interp.complete_recv(req, msg)?,
+            None => {
+                return Err(RtError::Deadlock(format!(
+                    "p{pid}: unfinished receive of {tag} at program end"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_ir::build as b;
+    use xdp_ir::{DimDist, ElemType, ProcGrid};
+
+    /// Block-distributed A and cyclic B: every A[i] += B[i] via messages.
+    fn simple(n: i64, nprocs: usize) -> (Arc<Program>, VarId, VarId) {
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(nprocs);
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let bb = p.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![DimDist::Cyclic],
+            grid.clone(),
+        ));
+        let t = p.declare(b::array(
+            "T",
+            ElemType::F64,
+            vec![(0, nprocs as i64 - 1)],
+            vec![DimDist::Block],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let bi = b::sref(bb, vec![b::at(b::iv("i"))]);
+        let tm = b::sref(t, vec![b::at(b::mypid())]);
+        p.body = vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(n),
+            vec![
+                b::guarded(b::iown(bi.clone()), vec![b::send(bi.clone())]),
+                b::guarded(
+                    b::iown(ai.clone()),
+                    vec![
+                        b::recv_val(tm.clone(), bi.clone()),
+                        b::guarded(
+                            b::await_(tm.clone()),
+                            vec![b::assign(
+                                ai.clone(),
+                                b::val(ai.clone()).add(b::val(tm.clone())),
+                            )],
+                        ),
+                    ],
+                ),
+            ],
+        )];
+        (Arc::new(p), a, bb)
+    }
+
+    #[test]
+    fn threaded_simple_example() {
+        let n = 16;
+        let (prog, a, bb) = simple(n, 4);
+        let mut exec = ThreadExec::new(prog, KernelRegistry::standard(), ThreadConfig::new(4));
+        exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        exec.init_exclusive(bb, |idx| Value::F64(100.0 * idx[0] as f64));
+        let report = exec.run().unwrap();
+        assert_eq!(report.net.messages, n as u64);
+        let g = exec.gather(a);
+        for i in 1..=n {
+            assert_eq!(g.get(&[i]).unwrap().as_f64(), 101.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn threaded_matches_simulator_final_state() {
+        let n = 24;
+        let (prog, a, bb) = simple(n, 3);
+        let mut texec = ThreadExec::new(
+            prog.clone(),
+            KernelRegistry::standard(),
+            ThreadConfig::new(3),
+        );
+        texec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        texec.init_exclusive(bb, |idx| Value::F64(idx[0] as f64 * 0.5));
+        texec.run().unwrap();
+
+        let mut sexec =
+            crate::SimExec::new(prog, KernelRegistry::standard(), crate::SimConfig::new(3));
+        sexec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        sexec.init_exclusive(bb, |idx| Value::F64(idx[0] as f64 * 0.5));
+        sexec.run().unwrap();
+
+        let (gt, gs) = (texec.gather(a), sexec.gather(a));
+        for i in 1..=n {
+            assert_eq!(gt.get(&[i]), gs.get(&[i]), "i={i}");
+        }
+    }
+
+    #[test]
+    fn threaded_deadlock_times_out() {
+        let mut p = Program::new();
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 4)],
+            vec![DimDist::Block],
+            ProcGrid::linear(2),
+        ));
+        let all = b::sref(a, vec![b::all()]);
+        let mine = b::sref(a, vec![b::span(b::mylb(all.clone(), 1), b::myub(all, 1))]);
+        p.body = vec![
+            b::recv_val(mine.clone(), mine.clone()),
+            b::guarded(b::await_(mine.clone()), vec![]),
+        ];
+        let mut exec = ThreadExec::new(
+            Arc::new(p),
+            KernelRegistry::standard(),
+            ThreadConfig {
+                nprocs: 2,
+                checked: true,
+                recv_timeout: Duration::from_millis(50),
+            },
+        );
+        match exec.run() {
+            Err(RtError::Deadlock(d)) => assert!(d.contains("timed out"), "{d}"),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Ergonomic builders for constructing IL+XDP programs in Rust.
+//!
+//! The compiler frontend, tests, and examples all construct programs through
+//! these helpers; they keep the paper's examples close to their published
+//! form. Naming mirrors the notation: [`iown`], [`await_`], [`send`],
+//! [`send_own_val`], [`recv_val`], ...
+
+use crate::dist::{DimDist, Distribution};
+use crate::expr::{BoolExpr, CmpOp, ElemExpr, IntExpr, SectionRef, Subscript, TripletExpr};
+use crate::grid::ProcGrid;
+use crate::stmt::{Block, Decl, DestSet, Ownership, Stmt, TransferKind};
+use crate::triplet::Triplet;
+use crate::types::{ElemType, VarId};
+
+/// Integer constant.
+pub fn c(v: i64) -> IntExpr {
+    IntExpr::Const(v)
+}
+
+/// Integer (universal scalar / loop) variable.
+pub fn iv(name: &str) -> IntExpr {
+    IntExpr::Var(name.to_string())
+}
+
+/// `mypid`.
+pub fn mypid() -> IntExpr {
+    IntExpr::MyPid
+}
+
+/// `mylb(X, d)` with 1-based dimension `d` as in the paper.
+pub fn mylb(x: SectionRef, d: u32) -> IntExpr {
+    IntExpr::MyLb(Box::new(x), d)
+}
+
+/// `myub(X, d)` with 1-based dimension `d`.
+pub fn myub(x: SectionRef, d: u32) -> IntExpr {
+    IntExpr::MyUb(Box::new(x), d)
+}
+
+/// Point subscript.
+pub fn at(e: IntExpr) -> Subscript {
+    Subscript::Point(e)
+}
+
+/// Whole-dimension subscript `*`.
+pub fn all() -> Subscript {
+    Subscript::All
+}
+
+/// Range subscript `lb:ub`.
+pub fn span(lb: IntExpr, ub: IntExpr) -> Subscript {
+    Subscript::Range(TripletExpr { lb, ub, st: c(1) })
+}
+
+/// Range subscript `lb:ub:st`.
+pub fn span_st(lb: IntExpr, ub: IntExpr, st: IntExpr) -> Subscript {
+    Subscript::Range(TripletExpr { lb, ub, st })
+}
+
+/// Section reference `var[subs...]`.
+pub fn sref(var: VarId, subs: Vec<Subscript>) -> SectionRef {
+    SectionRef::new(var, subs)
+}
+
+/// Element-wise use of a section.
+pub fn val(r: SectionRef) -> ElemExpr {
+    ElemExpr::Ref(r)
+}
+
+/// `iown(X)`.
+pub fn iown(x: SectionRef) -> BoolExpr {
+    BoolExpr::Iown(x)
+}
+
+/// `accessible(X)`.
+pub fn accessible(x: SectionRef) -> BoolExpr {
+    BoolExpr::Accessible(x)
+}
+
+/// `await(X)` (named with a trailing underscore; `await` is reserved).
+pub fn await_(x: SectionRef) -> BoolExpr {
+    BoolExpr::Await(x)
+}
+
+/// Integer comparison rule.
+pub fn cmp(op: CmpOp, a: IntExpr, b: IntExpr) -> BoolExpr {
+    BoolExpr::Cmp(op, a, b)
+}
+
+/// `rule : { body }`.
+pub fn guarded(rule: BoolExpr, body: Block) -> Stmt {
+    Stmt::Guarded { rule, body }
+}
+
+/// `do var = lo, hi { body }` (unit step).
+pub fn do_loop(var: &str, lo: IntExpr, hi: IntExpr, body: Block) -> Stmt {
+    Stmt::DoLoop {
+        var: var.to_string(),
+        lo,
+        hi,
+        step: c(1),
+        body,
+    }
+}
+
+/// `do var = lo, hi, step { body }`.
+pub fn do_loop_step(var: &str, lo: IntExpr, hi: IntExpr, step: IntExpr, body: Block) -> Stmt {
+    Stmt::DoLoop {
+        var: var.to_string(),
+        lo,
+        hi,
+        step,
+        body,
+    }
+}
+
+/// `target = rhs`.
+pub fn assign(target: SectionRef, rhs: ElemExpr) -> Stmt {
+    Stmt::Assign { target, rhs }
+}
+
+/// `var = value` for a universal integer scalar.
+pub fn set(var: &str, value: IntExpr) -> Stmt {
+    Stmt::ScalarAssign {
+        var: var.to_string(),
+        value,
+    }
+}
+
+/// Kernel call `name(args...)`.
+pub fn kernel(name: &str, args: Vec<SectionRef>) -> Stmt {
+    Stmt::Kernel {
+        name: name.to_string(),
+        args,
+        int_args: Vec::new(),
+    }
+}
+
+/// Kernel call with scalar parameters.
+pub fn kernel_with(name: &str, args: Vec<SectionRef>, int_args: Vec<IntExpr>) -> Stmt {
+    Stmt::Kernel {
+        name: name.to_string(),
+        args,
+        int_args,
+    }
+}
+
+/// `E ->` — value send to unspecified destination.
+pub fn send(sec: SectionRef) -> Stmt {
+    Stmt::Send {
+        sec,
+        kind: TransferKind::Value,
+        dest: DestSet::Unspecified,
+        salt: None,
+    }
+}
+
+/// `E -> S` — value send to explicit pids.
+pub fn send_to(sec: SectionRef, pids: Vec<IntExpr>) -> Stmt {
+    Stmt::Send {
+        sec,
+        kind: TransferKind::Value,
+        dest: DestSet::Pids(pids),
+        salt: None,
+    }
+}
+
+/// `E =>` — ownership-only send.
+pub fn send_own(sec: SectionRef) -> Stmt {
+    Stmt::Send {
+        sec,
+        kind: TransferKind::Ownership,
+        dest: DestSet::Unspecified,
+        salt: None,
+    }
+}
+
+/// `E -=>` — ownership-and-value send.
+pub fn send_own_val(sec: SectionRef) -> Stmt {
+    Stmt::Send {
+        sec,
+        kind: TransferKind::OwnershipValue,
+        dest: DestSet::Unspecified,
+        salt: None,
+    }
+}
+
+/// `E -=> S` — ownership-and-value send with a bound destination
+/// (produced by the communication-binding pass).
+pub fn send_own_val_to(sec: SectionRef, pids: Vec<IntExpr>) -> Stmt {
+    Stmt::Send {
+        sec,
+        kind: TransferKind::OwnershipValue,
+        dest: DestSet::Pids(pids),
+        salt: None,
+    }
+}
+
+/// `E ->` with a compiler-generated message type (salt).
+pub fn send_salted(sec: SectionRef, salt: IntExpr) -> Stmt {
+    Stmt::Send {
+        sec,
+        kind: TransferKind::Value,
+        dest: DestSet::Unspecified,
+        salt: Some(salt),
+    }
+}
+
+/// `E <- X` with a compiler-generated message type (salt).
+pub fn recv_val_salted(target: SectionRef, name: SectionRef, salt: IntExpr) -> Stmt {
+    Stmt::Recv {
+        target,
+        kind: TransferKind::Value,
+        name: Some(name),
+        salt: Some(salt),
+    }
+}
+
+/// `E <- X` — value receive of the message named `X` into `E`.
+pub fn recv_val(target: SectionRef, name: SectionRef) -> Stmt {
+    Stmt::Recv {
+        target,
+        kind: TransferKind::Value,
+        name: Some(name),
+        salt: None,
+    }
+}
+
+/// `U <=` — ownership-only receive.
+pub fn recv_own(target: SectionRef) -> Stmt {
+    Stmt::Recv {
+        target,
+        kind: TransferKind::Ownership,
+        name: None,
+        salt: None,
+    }
+}
+
+/// `U <=-` — ownership-and-value receive.
+pub fn recv_own_val(target: SectionRef) -> Stmt {
+    Stmt::Recv {
+        target,
+        kind: TransferKind::OwnershipValue,
+        name: None,
+        salt: None,
+    }
+}
+
+/// Declaration helper: exclusive array with a distribution.
+pub fn array(
+    name: &str,
+    elem: ElemType,
+    bounds: Vec<(i64, i64)>,
+    dims: Vec<DimDist>,
+    grid: ProcGrid,
+) -> Decl {
+    Decl {
+        name: name.to_string(),
+        elem,
+        bounds: bounds.iter().map(|&(l, u)| Triplet::range(l, u)).collect(),
+        ownership: Ownership::Exclusive,
+        dist: Some(Distribution::new(dims, grid)),
+        segment_shape: None,
+    }
+}
+
+/// Declaration helper: exclusive array with an explicit segment shape.
+pub fn array_seg(
+    name: &str,
+    elem: ElemType,
+    bounds: Vec<(i64, i64)>,
+    dims: Vec<DimDist>,
+    grid: ProcGrid,
+    segment_shape: Vec<i64>,
+) -> Decl {
+    let mut d = array(name, elem, bounds, dims, grid);
+    d.segment_shape = Some(segment_shape);
+    d
+}
+
+/// Declaration helper: universal (replicated, per-processor-copy) array.
+pub fn universal_array(name: &str, elem: ElemType, bounds: Vec<(i64, i64)>) -> Decl {
+    Decl {
+        name: name.to_string(),
+        elem,
+        bounds: bounds.iter().map(|&(l, u)| Triplet::range(l, u)).collect(),
+        ownership: Ownership::Universal,
+        dist: None,
+        segment_shape: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::Program;
+
+    #[test]
+    fn build_paper_simple_example() {
+        // The §2.2 straightforward translation of `A[i] = A[i] + B[i]`.
+        let n = 16;
+        let nprocs = 4;
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(nprocs);
+        let a = p.declare(array(
+            "A",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let b = p.declare(array(
+            "B",
+            ElemType::F64,
+            vec![(1, n)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let t = p.declare(array(
+            "T",
+            ElemType::F64,
+            vec![(1, nprocs as i64)],
+            vec![DimDist::Block],
+            grid,
+        ));
+
+        let ai = sref(a, vec![at(iv("i"))]);
+        let bi = sref(b, vec![at(iv("i"))]);
+        let tm = sref(t, vec![at(mypid())]);
+
+        p.body = vec![do_loop(
+            "i",
+            c(1),
+            c(n),
+            vec![
+                guarded(iown(bi.clone()), vec![send(bi.clone())]),
+                guarded(
+                    iown(ai.clone()),
+                    vec![
+                        recv_val(tm.clone(), bi.clone()),
+                        guarded(
+                            await_(tm.clone()),
+                            vec![assign(ai.clone(), val(ai.clone()).add(val(tm.clone())))],
+                        ),
+                    ],
+                ),
+            ],
+        )];
+
+        let census = p.stmt_census();
+        assert_eq!(census.loops, 1);
+        assert_eq!(census.guards, 3);
+        assert_eq!(census.sends, 1);
+        assert_eq!(census.recvs, 1);
+        assert_eq!(census.assigns, 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! Expressions: integer index expressions, boolean compute rules, and
+//! element-valued expressions.
+//!
+//! Compute rules (§2.4) are side-effect-free boolean expressions built from
+//! the XDP intrinsics (`iown`, `accessible`, `await`) plus ordinary integer
+//! comparisons and connectives. A reference to an unowned section inside a
+//! compute rule makes the whole rule false, so rules can run anywhere.
+
+use crate::types::VarId;
+use std::fmt;
+
+/// Integer-valued expressions: loop variables, intrinsics, arithmetic.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum IntExpr {
+    /// Integer literal.
+    Const(i64),
+    /// A universally owned integer scalar — loop induction variables and
+    /// helper scalars; each processor has its own copy (§2.2's `i`).
+    Var(String),
+    /// The executing processor's unique id (§2.3).
+    MyPid,
+    /// `mylb(X, d)`: smallest owned index of `X` in dimension `d`
+    /// (1-based, as in the paper), `MAXINT` if none owned.
+    MyLb(Box<SectionRef>, u32),
+    /// `myub(X, d)`: largest owned index, `MININT` if none owned.
+    MyUb(Box<SectionRef>, u32),
+    /// Binary arithmetic.
+    Bin(IntBinOp, Box<IntExpr>, Box<IntExpr>),
+    /// Negation.
+    Neg(Box<IntExpr>),
+}
+
+/// Binary integer operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IntBinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Truncating division (Fortran-style).
+    Div,
+    /// Euclidean remainder.
+    Mod,
+    Min,
+    Max,
+}
+
+#[allow(clippy::should_implement_trait)] // builder sugar, deliberately named like the operators
+impl IntExpr {
+    /// Convenience: `self + other`.
+    pub fn add(self, other: IntExpr) -> IntExpr {
+        IntExpr::Bin(IntBinOp::Add, Box::new(self), Box::new(other))
+    }
+    /// Convenience: `self - other`.
+    pub fn sub(self, other: IntExpr) -> IntExpr {
+        IntExpr::Bin(IntBinOp::Sub, Box::new(self), Box::new(other))
+    }
+    /// Convenience: `self * other`.
+    pub fn mul(self, other: IntExpr) -> IntExpr {
+        IntExpr::Bin(IntBinOp::Mul, Box::new(self), Box::new(other))
+    }
+
+    /// Constant-fold if the expression contains no variables or intrinsics.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            IntExpr::Const(c) => Some(*c),
+            IntExpr::Neg(e) => e.as_const().map(|v| -v),
+            IntExpr::Bin(op, a, b) => {
+                let (a, b) = (a.as_const()?, b.as_const()?);
+                Some(match op {
+                    IntBinOp::Add => a + b,
+                    IntBinOp::Sub => a - b,
+                    IntBinOp::Mul => a * b,
+                    IntBinOp::Div => a / b,
+                    IntBinOp::Mod => a.rem_euclid(b),
+                    IntBinOp::Min => a.min(b),
+                    IntBinOp::Max => a.max(b),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Algebraic simplification: constant folding plus the unit/zero
+    /// identities (`x+0`, `x-0`, `x*1`, `x*0`, `0+x`, `1*x`, `x/1`).
+    pub fn simplify(&self) -> IntExpr {
+        if let Some(c) = self.as_const() {
+            return IntExpr::Const(c);
+        }
+        match self {
+            IntExpr::Bin(op, a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (op, &a, &b) {
+                    (IntBinOp::Add, x, IntExpr::Const(0)) => x.clone(),
+                    (IntBinOp::Add, IntExpr::Const(0), x) => x.clone(),
+                    (IntBinOp::Sub, x, IntExpr::Const(0)) => x.clone(),
+                    (IntBinOp::Mul, x, IntExpr::Const(1)) => x.clone(),
+                    (IntBinOp::Mul, IntExpr::Const(1), x) => x.clone(),
+                    (IntBinOp::Mul, _, IntExpr::Const(0)) => IntExpr::Const(0),
+                    (IntBinOp::Mul, IntExpr::Const(0), _) => IntExpr::Const(0),
+                    (IntBinOp::Div, x, IntExpr::Const(1)) => x.clone(),
+                    _ => IntExpr::Bin(*op, Box::new(a), Box::new(b)),
+                }
+            }
+            IntExpr::Neg(a) => match a.simplify() {
+                IntExpr::Neg(inner) => *inner,
+                other => IntExpr::Neg(Box::new(other)),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Does the expression mention variable `name`?
+    pub fn uses_var(&self, name: &str) -> bool {
+        match self {
+            IntExpr::Var(v) => v == name,
+            IntExpr::Bin(_, a, b) => a.uses_var(name) || b.uses_var(name),
+            IntExpr::Neg(e) => e.uses_var(name),
+            IntExpr::MyLb(s, _) | IntExpr::MyUb(s, _) => s.uses_var(name),
+            IntExpr::Const(_) | IntExpr::MyPid => false,
+        }
+    }
+
+    /// Substitute `name := replacement` throughout.
+    pub fn subst(&self, name: &str, replacement: &IntExpr) -> IntExpr {
+        match self {
+            IntExpr::Var(v) if v == name => replacement.clone(),
+            IntExpr::Var(_) | IntExpr::Const(_) | IntExpr::MyPid => self.clone(),
+            IntExpr::Bin(op, a, b) => IntExpr::Bin(
+                *op,
+                Box::new(a.subst(name, replacement)),
+                Box::new(b.subst(name, replacement)),
+            ),
+            IntExpr::Neg(e) => IntExpr::Neg(Box::new(e.subst(name, replacement))),
+            IntExpr::MyLb(s, d) => IntExpr::MyLb(Box::new(s.subst(name, replacement)), *d),
+            IntExpr::MyUb(s, d) => IntExpr::MyUb(Box::new(s.subst(name, replacement)), *d),
+        }
+    }
+}
+
+/// A per-dimension subscript of a section reference.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Subscript {
+    /// A single index, e.g. `A[i]`.
+    Point(IntExpr),
+    /// A triplet range, e.g. `A[1:n:2]`.
+    Range(TripletExpr),
+    /// The whole dimension, `A[*]`.
+    All,
+}
+
+/// A triplet whose bounds are expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TripletExpr {
+    pub lb: IntExpr,
+    pub ub: IntExpr,
+    pub st: IntExpr,
+}
+
+/// A (possibly symbolic) reference to a section of a variable:
+/// the variable plus one subscript per dimension.
+///
+/// Scalars are referenced with an empty subscript list.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SectionRef {
+    pub var: VarId,
+    pub subs: Vec<Subscript>,
+}
+
+impl SectionRef {
+    /// Reference a scalar variable.
+    pub fn scalar(var: VarId) -> SectionRef {
+        SectionRef {
+            var,
+            subs: Vec::new(),
+        }
+    }
+
+    /// Reference with the given subscripts.
+    pub fn new(var: VarId, subs: Vec<Subscript>) -> SectionRef {
+        SectionRef { var, subs }
+    }
+
+    /// Does any subscript mention variable `name`?
+    pub fn uses_var(&self, name: &str) -> bool {
+        self.subs.iter().any(|s| match s {
+            Subscript::Point(e) => e.uses_var(name),
+            Subscript::Range(t) => {
+                t.lb.uses_var(name) || t.ub.uses_var(name) || t.st.uses_var(name)
+            }
+            Subscript::All => false,
+        })
+    }
+
+    /// Substitute a variable in every subscript.
+    pub fn subst(&self, name: &str, replacement: &IntExpr) -> SectionRef {
+        SectionRef {
+            var: self.var,
+            subs: self
+                .subs
+                .iter()
+                .map(|s| match s {
+                    Subscript::Point(e) => Subscript::Point(e.subst(name, replacement)),
+                    Subscript::Range(t) => Subscript::Range(TripletExpr {
+                        lb: t.lb.subst(name, replacement),
+                        ub: t.ub.subst(name, replacement),
+                        st: t.st.subst(name, replacement),
+                    }),
+                    Subscript::All => Subscript::All,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Comparison operators for compute rules.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Boolean expressions — the compute-rule language (§2.4) plus the
+/// intrinsic predicates of §2.3.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BoolExpr {
+    True,
+    False,
+    /// `iown(X)`: executing processor owns all elements of `X`.
+    Iown(SectionRef),
+    /// `accessible(X)`: owned and no uncompleted receive.
+    Accessible(SectionRef),
+    /// `await(X)`: false if unowned; otherwise block until accessible,
+    /// then true. The only blocking intrinsic.
+    Await(SectionRef),
+    /// Integer comparison.
+    Cmp(CmpOp, IntExpr, IntExpr),
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Conjunction helper.
+    pub fn and(self, other: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Substitute an integer variable throughout.
+    pub fn subst(&self, name: &str, replacement: &IntExpr) -> BoolExpr {
+        match self {
+            BoolExpr::True | BoolExpr::False => self.clone(),
+            BoolExpr::Iown(s) => BoolExpr::Iown(s.subst(name, replacement)),
+            BoolExpr::Accessible(s) => BoolExpr::Accessible(s.subst(name, replacement)),
+            BoolExpr::Await(s) => BoolExpr::Await(s.subst(name, replacement)),
+            BoolExpr::Cmp(op, a, b) => {
+                BoolExpr::Cmp(*op, a.subst(name, replacement), b.subst(name, replacement))
+            }
+            BoolExpr::And(a, b) => BoolExpr::And(
+                Box::new(a.subst(name, replacement)),
+                Box::new(b.subst(name, replacement)),
+            ),
+            BoolExpr::Or(a, b) => BoolExpr::Or(
+                Box::new(a.subst(name, replacement)),
+                Box::new(b.subst(name, replacement)),
+            ),
+            BoolExpr::Not(a) => BoolExpr::Not(Box::new(a.subst(name, replacement))),
+        }
+    }
+
+    /// Does this rule (transitively) contain a blocking `await`?
+    pub fn contains_await(&self) -> bool {
+        match self {
+            BoolExpr::Await(_) => true,
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => a.contains_await() || b.contains_await(),
+            BoolExpr::Not(a) => a.contains_await(),
+            _ => false,
+        }
+    }
+}
+
+/// Binary operators on element values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ElemBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Element-valued expressions, evaluated element-wise over conformable
+/// sections in an [`crate::stmt::Stmt::Assign`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum ElemExpr {
+    /// A section reference; yields that section's elements in row-major
+    /// order. All `Ref`s in one expression must be conformable with the
+    /// assignment target.
+    Ref(SectionRef),
+    /// A literal (real) constant, broadcast.
+    LitF(f64),
+    /// A literal integer constant, broadcast.
+    LitI(i64),
+    /// An integer expression (e.g. `mypid`), broadcast.
+    FromInt(IntExpr),
+    /// Element-wise binary operation.
+    Bin(ElemBinOp, Box<ElemExpr>, Box<ElemExpr>),
+    /// Element-wise negation.
+    Neg(Box<ElemExpr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder sugar, deliberately named like the operators
+impl ElemExpr {
+    /// Convenience: `self + other`.
+    pub fn add(self, other: ElemExpr) -> ElemExpr {
+        ElemExpr::Bin(ElemBinOp::Add, Box::new(self), Box::new(other))
+    }
+    /// Convenience: `self * other`.
+    pub fn mul(self, other: ElemExpr) -> ElemExpr {
+        ElemExpr::Bin(ElemBinOp::Mul, Box::new(self), Box::new(other))
+    }
+
+    /// All section references in the expression, left to right.
+    pub fn refs(&self) -> Vec<&SectionRef> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a SectionRef>) {
+        match self {
+            ElemExpr::Ref(r) => out.push(r),
+            ElemExpr::Bin(_, a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+            ElemExpr::Neg(a) => a.collect_refs(out),
+            _ => {}
+        }
+    }
+
+    /// Substitute an integer variable in all subscripts.
+    pub fn subst(&self, name: &str, replacement: &IntExpr) -> ElemExpr {
+        match self {
+            ElemExpr::Ref(r) => ElemExpr::Ref(r.subst(name, replacement)),
+            ElemExpr::LitF(_) | ElemExpr::LitI(_) => self.clone(),
+            ElemExpr::FromInt(e) => ElemExpr::FromInt(e.subst(name, replacement)),
+            ElemExpr::Bin(op, a, b) => ElemExpr::Bin(
+                *op,
+                Box::new(a.subst(name, replacement)),
+                Box::new(b.subst(name, replacement)),
+            ),
+            ElemExpr::Neg(a) => ElemExpr::Neg(Box::new(a.subst(name, replacement))),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> IntExpr {
+        IntExpr::Var(n.into())
+    }
+
+    #[test]
+    fn const_folding() {
+        let e = IntExpr::Const(3)
+            .add(IntExpr::Const(4))
+            .mul(IntExpr::Const(2));
+        assert_eq!(e.as_const(), Some(14));
+        assert_eq!(var("i").add(IntExpr::Const(1)).as_const(), None);
+        assert_eq!(
+            IntExpr::Bin(
+                IntBinOp::Mod,
+                Box::new(IntExpr::Const(-7)),
+                Box::new(IntExpr::Const(4))
+            )
+            .as_const(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn simplify_identities() {
+        let i = var("i");
+        assert_eq!(i.clone().add(IntExpr::Const(0)).simplify(), i);
+        assert_eq!(i.clone().mul(IntExpr::Const(1)).simplify(), i);
+        assert_eq!(
+            i.clone().mul(IntExpr::Const(0)).simplify(),
+            IntExpr::Const(0)
+        );
+        assert_eq!(i.clone().sub(IntExpr::Const(0)).simplify(), i);
+        assert_eq!(
+            IntExpr::Neg(Box::new(IntExpr::Neg(Box::new(i.clone())))).simplify(),
+            i
+        );
+        // Nested: (i + 0) * 1 -> i; constants fold.
+        assert_eq!(
+            i.clone()
+                .add(IntExpr::Const(0))
+                .mul(IntExpr::Const(1))
+                .simplify(),
+            i
+        );
+        assert_eq!(
+            IntExpr::Const(3).add(IntExpr::Const(4)).simplify(),
+            IntExpr::Const(7)
+        );
+        // Non-simplifiable stays put.
+        let e = i.clone().add(IntExpr::Const(2));
+        assert_eq!(e.simplify(), e);
+    }
+
+    #[test]
+    fn subst_int() {
+        let e = var("i").add(IntExpr::Const(1));
+        let s = e.subst("i", &IntExpr::MyPid);
+        assert_eq!(s, IntExpr::MyPid.add(IntExpr::Const(1)));
+        assert!(!s.uses_var("i"));
+    }
+
+    #[test]
+    fn subst_section_ref() {
+        let r = SectionRef::new(VarId(0), vec![Subscript::Point(var("i")), Subscript::All]);
+        assert!(r.uses_var("i"));
+        let r2 = r.subst("i", &IntExpr::Const(5));
+        assert!(!r2.uses_var("i"));
+        assert_eq!(r2.subs[0], Subscript::Point(IntExpr::Const(5)));
+    }
+
+    #[test]
+    fn bool_subst_and_await_detection() {
+        let r = SectionRef::new(VarId(1), vec![Subscript::Point(var("k"))]);
+        let rule = BoolExpr::Iown(r.clone()).and(BoolExpr::Await(r));
+        assert!(rule.contains_await());
+        let rule2 = rule.subst("k", &IntExpr::Const(2));
+        match &rule2 {
+            BoolExpr::And(a, _) => match a.as_ref() {
+                BoolExpr::Iown(s) => {
+                    assert_eq!(s.subs[0], Subscript::Point(IntExpr::Const(2)))
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!BoolExpr::Iown(SectionRef::scalar(VarId(0))).contains_await());
+    }
+
+    #[test]
+    fn elem_refs() {
+        let a = SectionRef::new(VarId(0), vec![Subscript::Point(var("i"))]);
+        let b = SectionRef::new(VarId(1), vec![Subscript::Point(var("i"))]);
+        let e = ElemExpr::Ref(a.clone()).add(ElemExpr::Ref(b.clone()));
+        let refs = e.refs();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0], &a);
+        assert_eq!(refs[1], &b);
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Le.eval(3, 3));
+        assert!(CmpOp::Lt.eval(2, 3));
+        assert!(!CmpOp::Gt.eval(2, 3));
+        assert!(CmpOp::Ne.eval(2, 3));
+    }
+}

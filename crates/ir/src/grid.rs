@@ -1,0 +1,133 @@
+//! Processor grids.
+//!
+//! Our reference implementation, like the paper's (§3), assumes "a fixed,
+//! known processor grid": a rank-g rectangular grid of processors with
+//! row-major linearization to processor ids `0..nprocs`.
+
+use std::fmt;
+
+/// A rectangular processor grid, e.g. `2x2` or a linear array of 4.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProcGrid {
+    dims: Vec<usize>,
+}
+
+impl ProcGrid {
+    /// Build a grid from per-axis extents. Every extent must be >= 1.
+    pub fn new(dims: Vec<usize>) -> ProcGrid {
+        assert!(!dims.is_empty(), "processor grid needs at least one axis");
+        assert!(dims.iter().all(|&d| d >= 1), "grid extents must be >= 1");
+        ProcGrid { dims }
+    }
+
+    /// A 1-D grid (linear processor array) of `n` processors.
+    pub fn linear(n: usize) -> ProcGrid {
+        ProcGrid::new(vec![n])
+    }
+
+    /// A 2-D `rows x cols` grid.
+    pub fn grid2(rows: usize, cols: usize) -> ProcGrid {
+        ProcGrid::new(vec![rows, cols])
+    }
+
+    /// Number of grid axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent of axis `a`.
+    pub fn extent(&self, a: usize) -> usize {
+        self.dims[a]
+    }
+
+    /// Total number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major linearization of grid coordinates to a pid.
+    pub fn pid_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.rank(), "coordinate rank mismatch");
+        let mut pid = 0;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            assert!(c < d, "grid coordinate {c} out of range {d}");
+            pid = pid * d + c;
+        }
+        pid
+    }
+
+    /// Inverse of [`ProcGrid::pid_of`].
+    pub fn coords_of(&self, pid: usize) -> Vec<usize> {
+        assert!(pid < self.nprocs(), "pid {pid} out of range");
+        let mut coords = vec![0; self.rank()];
+        let mut rem = pid;
+        for a in (0..self.rank()).rev() {
+            coords[a] = rem % self.dims[a];
+            rem /= self.dims[a];
+        }
+        coords
+    }
+
+    /// All pids, in order.
+    pub fn pids(&self) -> impl Iterator<Item = usize> {
+        0..self.nprocs()
+    }
+}
+
+impl fmt::Display for ProcGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let strs: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", strs.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_grid() {
+        let g = ProcGrid::linear(4);
+        assert_eq!(g.nprocs(), 4);
+        assert_eq!(g.pid_of(&[2]), 2);
+        assert_eq!(g.coords_of(3), vec![3]);
+    }
+
+    #[test]
+    fn grid2_row_major() {
+        let g = ProcGrid::grid2(2, 2);
+        assert_eq!(g.nprocs(), 4);
+        // Row-major: P0=(0,0) P1=(0,1) P2=(1,0) P3=(1,1).
+        assert_eq!(g.pid_of(&[0, 0]), 0);
+        assert_eq!(g.pid_of(&[0, 1]), 1);
+        assert_eq!(g.pid_of(&[1, 0]), 2);
+        assert_eq!(g.pid_of(&[1, 1]), 3);
+        for pid in g.pids() {
+            assert_eq!(g.pid_of(&g.coords_of(pid)), pid);
+        }
+    }
+
+    #[test]
+    fn rectangular() {
+        let g = ProcGrid::new(vec![2, 3, 4]);
+        assert_eq!(g.nprocs(), 24);
+        assert_eq!(g.coords_of(23), vec![1, 2, 3]);
+        assert_eq!(g.pid_of(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_coord_panics() {
+        ProcGrid::grid2(2, 2).pid_of(&[2, 0]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProcGrid::grid2(2, 4).to_string(), "2x4");
+    }
+}

@@ -1,0 +1,332 @@
+//! Pretty-printer emitting the paper's concrete notation.
+//!
+//! Round-trips with the `xdp-lang` parser; every example prints programs
+//! through this module so derivation stages can be compared against the
+//! paper's listings.
+
+use crate::expr::{BoolExpr, ElemBinOp, ElemExpr, IntBinOp, IntExpr, SectionRef, Subscript};
+use crate::stmt::{Block, DestSet, Program, Stmt, TransferKind};
+use std::fmt::Write;
+
+/// Pretty-print a whole program, declarations included.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        let bounds: Vec<String> = d.bounds.iter().map(|t| t.to_string()).collect();
+        let dims = if bounds.is_empty() {
+            String::new()
+        } else {
+            format!("[{}]", bounds.join(","))
+        };
+        let _ = write!(out, "{} {}{}", d.elem, d.name, dims);
+        match (&d.dist, d.ownership) {
+            (Some(dist), _) => {
+                let _ = write!(out, " distribute {dist}");
+            }
+            (None, crate::stmt::Ownership::Universal) => {
+                let _ = write!(out, " universal");
+            }
+            _ => {}
+        }
+        if let Some(seg) = &d.segment_shape {
+            let s: Vec<String> = seg.iter().map(|x| x.to_string()).collect();
+            let _ = write!(out, " segment ({})", s.join(","));
+        }
+        out.push('\n');
+    }
+    if !p.decls.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&block(p, &p.body, 0));
+    out
+}
+
+/// Pretty-print a statement block at the given indent level.
+pub fn block(p: &Program, b: &Block, indent: usize) -> String {
+    let mut out = String::new();
+    for s in b {
+        out.push_str(&stmt(p, s, indent));
+    }
+    out
+}
+
+fn pad(indent: usize) -> String {
+    "  ".repeat(indent)
+}
+
+/// Pretty-print one statement.
+pub fn stmt(p: &Program, s: &Stmt, indent: usize) -> String {
+    let ind = pad(indent);
+    match s {
+        Stmt::Assign { target, rhs } => {
+            format!("{ind}{} = {}\n", section_ref(p, target), elem_expr(p, rhs))
+        }
+        Stmt::ScalarAssign { var, value } => {
+            format!("{ind}{var} = {}\n", int_expr(p, value))
+        }
+        Stmt::Kernel {
+            name,
+            args,
+            int_args,
+        } => {
+            let mut parts: Vec<String> = args.iter().map(|a| section_ref(p, a)).collect();
+            parts.extend(int_args.iter().map(|e| int_expr(p, e)));
+            format!("{ind}{name}({})\n", parts.join(", "))
+        }
+        Stmt::Send {
+            sec,
+            kind,
+            dest,
+            salt,
+        } => {
+            let arrow = match kind {
+                TransferKind::Value => "->",
+                TransferKind::Ownership => "=>",
+                TransferKind::OwnershipValue => "-=>",
+            };
+            let salt_str = salt
+                .as_ref()
+                .map(|e| format!(" #{}", int_expr(p, e)))
+                .unwrap_or_default();
+            match dest {
+                DestSet::Unspecified => {
+                    format!("{ind}{} {arrow}{salt_str}\n", section_ref(p, sec))
+                }
+                DestSet::Pids(pids) => {
+                    let ps: Vec<String> = pids.iter().map(|e| int_expr(p, e)).collect();
+                    format!(
+                        "{ind}{} {arrow} {{{}}}{salt_str}\n",
+                        section_ref(p, sec),
+                        ps.join(",")
+                    )
+                }
+            }
+        }
+        Stmt::Recv {
+            target,
+            kind,
+            name,
+            salt,
+        } => {
+            let salt_str = salt
+                .as_ref()
+                .map(|e| format!(" #{}", int_expr(p, e)))
+                .unwrap_or_default();
+            match kind {
+                TransferKind::Value => {
+                    let nm = Stmt::recv_match_name(target, name);
+                    format!(
+                        "{ind}{} <- {}{salt_str}\n",
+                        section_ref(p, target),
+                        section_ref(p, &nm)
+                    )
+                }
+                TransferKind::Ownership => {
+                    format!("{ind}{} <={salt_str}\n", section_ref(p, target))
+                }
+                TransferKind::OwnershipValue => {
+                    format!("{ind}{} <=-{salt_str}\n", section_ref(p, target))
+                }
+            }
+        }
+        Stmt::Guarded { rule, body } => {
+            let mut out = format!("{ind}{} : {{\n", bool_expr(p, rule));
+            out.push_str(&block(p, body, indent + 1));
+            out.push_str(&format!("{ind}}}\n"));
+            out
+        }
+        Stmt::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            let step_str = match step.as_const() {
+                Some(1) => String::new(),
+                _ => format!(", {}", int_expr(p, step)),
+            };
+            let mut out = format!(
+                "{ind}do {var} = {}, {}{step_str} {{\n",
+                int_expr(p, lo),
+                int_expr(p, hi)
+            );
+            out.push_str(&block(p, body, indent + 1));
+            out.push_str(&format!("{ind}}}\n"));
+            out
+        }
+        Stmt::Barrier => format!("{ind}barrier\n"),
+    }
+}
+
+/// Pretty-print a section reference, e.g. `A[i,*,1:4:2]`.
+pub fn section_ref(p: &Program, r: &SectionRef) -> String {
+    let name = &p.decl(r.var).name;
+    if r.subs.is_empty() {
+        return name.clone();
+    }
+    let subs: Vec<String> = r
+        .subs
+        .iter()
+        .map(|s| match s {
+            Subscript::Point(e) => int_expr(p, e),
+            Subscript::All => "*".to_string(),
+            Subscript::Range(t) => {
+                let st = match t.st.as_const() {
+                    Some(1) => String::new(),
+                    _ => format!(":{}", int_expr(p, &t.st)),
+                };
+                format!("{}:{}{st}", int_expr(p, &t.lb), int_expr(p, &t.ub))
+            }
+        })
+        .collect();
+    format!("{name}[{}]", subs.join(","))
+}
+
+/// Pretty-print an integer expression.
+pub fn int_expr(p: &Program, e: &IntExpr) -> String {
+    match e {
+        IntExpr::Const(v) => v.to_string(),
+        IntExpr::Var(v) => v.clone(),
+        IntExpr::MyPid => "mypid".to_string(),
+        IntExpr::MyLb(s, d) => format!("mylb({}, {d})", section_ref(p, s)),
+        IntExpr::MyUb(s, d) => format!("myub({}, {d})", section_ref(p, s)),
+        IntExpr::Neg(a) => format!("(-{})", int_expr(p, a)),
+        IntExpr::Bin(op, a, b) => {
+            let (a, b) = (int_expr(p, a), int_expr(p, b));
+            match op {
+                IntBinOp::Add => format!("({a} + {b})"),
+                IntBinOp::Sub => format!("({a} - {b})"),
+                IntBinOp::Mul => format!("({a} * {b})"),
+                IntBinOp::Div => format!("({a} / {b})"),
+                IntBinOp::Mod => format!("({a} % {b})"),
+                IntBinOp::Min => format!("min({a}, {b})"),
+                IntBinOp::Max => format!("max({a}, {b})"),
+            }
+        }
+    }
+}
+
+/// Pretty-print a compute rule.
+pub fn bool_expr(p: &Program, e: &BoolExpr) -> String {
+    match e {
+        BoolExpr::True => "true".to_string(),
+        BoolExpr::False => "false".to_string(),
+        BoolExpr::Iown(s) => format!("iown({})", section_ref(p, s)),
+        BoolExpr::Accessible(s) => format!("accessible({})", section_ref(p, s)),
+        BoolExpr::Await(s) => format!("await({})", section_ref(p, s)),
+        BoolExpr::Cmp(op, a, b) => {
+            format!("{} {op} {}", int_expr(p, a), int_expr(p, b))
+        }
+        BoolExpr::And(a, b) => {
+            format!("({} && {})", bool_expr(p, a), bool_expr(p, b))
+        }
+        BoolExpr::Or(a, b) => {
+            format!("({} || {})", bool_expr(p, a), bool_expr(p, b))
+        }
+        BoolExpr::Not(a) => format!("!{}", bool_expr(p, a)),
+    }
+}
+
+/// Pretty-print an element expression.
+pub fn elem_expr(p: &Program, e: &ElemExpr) -> String {
+    match e {
+        ElemExpr::Ref(r) => section_ref(p, r),
+        ElemExpr::LitF(v) => format!("{v:?}"),
+        ElemExpr::LitI(v) => v.to_string(),
+        ElemExpr::FromInt(i) => int_expr(p, i),
+        ElemExpr::Neg(a) => format!("(-{})", elem_expr(p, a)),
+        ElemExpr::Bin(op, a, b) => {
+            let (a, b) = (elem_expr(p, a), elem_expr(p, b));
+            match op {
+                ElemBinOp::Add => format!("({a} + {b})"),
+                ElemBinOp::Sub => format!("({a} - {b})"),
+                ElemBinOp::Mul => format!("({a} * {b})"),
+                ElemBinOp::Div => format!("({a} / {b})"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build as b;
+    use crate::dist::DimDist;
+    use crate::grid::ProcGrid;
+    use crate::stmt::Program;
+    use crate::types::ElemType;
+
+    #[test]
+    fn prints_paper_notation() {
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(4);
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 16)],
+            vec![DimDist::Block],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        p.body = vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(16),
+            vec![
+                b::guarded(b::iown(ai.clone()), vec![b::send_own_val(ai.clone())]),
+                b::recv_own_val(ai.clone()),
+            ],
+        )];
+        let s = program(&p);
+        assert!(s.contains("real A[1:16] distribute (BLOCK) onto 4"), "{s}");
+        assert!(s.contains("do i = 1, 16 {"), "{s}");
+        assert!(s.contains("iown(A[i]) : {"), "{s}");
+        assert!(s.contains("A[i] -=>"), "{s}");
+        assert!(s.contains("A[i] <=-"), "{s}");
+    }
+
+    #[test]
+    fn prints_sends_and_ranges() {
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(2);
+        let a = p.declare(b::array(
+            "A",
+            ElemType::C64,
+            vec![(1, 4), (1, 8)],
+            vec![DimDist::Star, DimDist::Block],
+            grid,
+        ));
+        let sec = b::sref(a, vec![b::all(), b::span_st(b::c(1), b::iv("n"), b::c(2))]);
+        p.body = vec![
+            b::send_to(sec.clone(), vec![b::c(0), b::mypid()]),
+            b::recv_val(sec.clone(), sec.clone()),
+            Stmt::Barrier,
+        ];
+        let s = program(&p);
+        assert!(s.contains("A[*,1:n:2] -> {0,mypid}"), "{s}");
+        assert!(s.contains("A[*,1:n:2] <- A[*,1:n:2]"), "{s}");
+        assert!(s.contains("barrier"), "{s}");
+    }
+
+    #[test]
+    fn prints_rules() {
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(2);
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 4)],
+            vec![DimDist::Block],
+            grid,
+        ));
+        let s = b::sref(a, vec![b::at(b::c(1))]);
+        let rule = b::iown(s.clone()).and(b::cmp(crate::expr::CmpOp::Le, b::iv("i"), b::c(4)));
+        assert_eq!(bool_expr(&p, &rule), "(iown(A[1]) && i <= 4)");
+        assert_eq!(
+            bool_expr(&p, &BoolExpr::Not(Box::new(b::accessible(s.clone())))),
+            "!accessible(A[1])"
+        );
+        assert_eq!(int_expr(&p, &b::mylb(s, 1)), "mylb(A[1], 1)");
+    }
+}

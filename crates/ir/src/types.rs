@@ -1,0 +1,72 @@
+//! Element types and variable identities.
+
+use std::fmt;
+
+/// Identifies a declared variable by its index in the program's declaration
+/// list (also its compile-time symbol-table index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The declaration-list index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Element type of an array or scalar variable.
+///
+/// The paper's examples use Fortran reals and complex numbers (the 3-D FFT);
+/// we also support integers for index-valued data.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ElemType {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+    /// Complex of two 64-bit floats.
+    C64,
+}
+
+impl ElemType {
+    /// Size of one element in bytes (used by the machine cost model).
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            ElemType::I64 | ElemType::F64 => 8,
+            ElemType::C64 => 16,
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemType::I64 => write!(f, "integer"),
+            ElemType::F64 => write!(f, "real"),
+            ElemType::C64 => write!(f, "complex"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ElemType::I64.size_bytes(), 8);
+        assert_eq!(ElemType::C64.size_bytes(), 16);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VarId(3).to_string(), "v3");
+        assert_eq!(ElemType::C64.to_string(), "complex");
+    }
+}

@@ -1,0 +1,334 @@
+//! Static well-formedness checks for IL+XDP programs.
+//!
+//! The XDP philosophy is *not* to check at run time (§2.5); these are the
+//! compile-time checks a front end would run once: subscript ranks match
+//! declarations, constant processor ids are in range, transfer statements
+//! name exclusive variables, and loop variables do not collide with
+//! declared array names.
+
+use crate::expr::{BoolExpr, ElemExpr, IntExpr, SectionRef, Subscript};
+use crate::stmt::{DestSet, Ownership, Program, Stmt};
+
+/// Collect static diagnostics; an empty result means the program is
+/// well-formed (not necessarily deadlock-free — that is behaviour, not
+/// form).
+pub fn validate(p: &Program) -> Vec<String> {
+    let mut v = Validator {
+        p,
+        out: Vec::new(),
+        nprocs: machine_size(p),
+    };
+    for (i, d) in p.decls.iter().enumerate() {
+        if d.ownership == Ownership::Exclusive && d.dist.is_none() {
+            v.out
+                .push(format!("exclusive array `{}` has no distribution", d.name));
+        }
+        if let Some(shape) = &d.segment_shape {
+            if shape.len() != d.rank() {
+                v.out.push(format!(
+                    "array `{}`: segment shape rank {} != array rank {}",
+                    d.name,
+                    shape.len(),
+                    d.rank()
+                ));
+            }
+            if shape.iter().any(|&s| s < 1) {
+                v.out
+                    .push(format!("array `{}`: segment extents must be >= 1", d.name));
+            }
+        }
+        let _ = i;
+    }
+    for s in &p.body {
+        v.stmt(s);
+    }
+    v.out
+}
+
+fn machine_size(p: &Program) -> Option<usize> {
+    p.decls
+        .iter()
+        .filter_map(|d| d.dist.as_ref().map(|x| x.nprocs()))
+        .max()
+}
+
+struct Validator<'a> {
+    p: &'a Program,
+    out: Vec<String>,
+    nprocs: Option<usize>,
+}
+
+impl<'a> Validator<'a> {
+    fn sref(&mut self, r: &SectionRef, ctx: &str) {
+        let decl = self.p.decl(r.var);
+        if r.subs.len() != decl.rank() {
+            self.out.push(format!(
+                "{ctx}: `{}` subscripted with {} dimension(s), declared rank {}",
+                decl.name,
+                r.subs.len(),
+                decl.rank()
+            ));
+        }
+        for s in &r.subs {
+            match s {
+                Subscript::Point(e) => self.int(e, ctx),
+                Subscript::Range(t) => {
+                    self.int(&t.lb, ctx);
+                    self.int(&t.ub, ctx);
+                    self.int(&t.st, ctx);
+                }
+                Subscript::All => {}
+            }
+        }
+    }
+
+    fn transfer_sref(&mut self, r: &SectionRef, ctx: &str) {
+        self.sref(r, ctx);
+        if self.p.decl(r.var).ownership == Ownership::Universal {
+            self.out.push(format!(
+                "{ctx}: `{}` is universal; transfers require exclusive sections",
+                self.p.decl(r.var).name
+            ));
+        }
+    }
+
+    fn int(&mut self, e: &IntExpr, ctx: &str) {
+        match e {
+            IntExpr::MyLb(r, d) | IntExpr::MyUb(r, d) => {
+                self.sref(r, ctx);
+                let rank = self.p.decl(r.var).rank() as u32;
+                if *d == 0 || *d > rank {
+                    self.out.push(format!(
+                        "{ctx}: mylb/myub dimension {d} out of range 1..={rank}"
+                    ));
+                }
+                if self.p.decl(r.var).ownership == Ownership::Universal {
+                    self.out.push(format!(
+                        "{ctx}: intrinsic on universal `{}`",
+                        self.p.decl(r.var).name
+                    ));
+                }
+            }
+            IntExpr::Bin(_, a, b) => {
+                self.int(a, ctx);
+                self.int(b, ctx);
+            }
+            IntExpr::Neg(a) => self.int(a, ctx),
+            _ => {}
+        }
+    }
+
+    fn rule(&mut self, e: &BoolExpr, ctx: &str) {
+        match e {
+            BoolExpr::Iown(r) | BoolExpr::Accessible(r) | BoolExpr::Await(r) => {
+                self.sref(r, ctx);
+                if self.p.decl(r.var).ownership == Ownership::Universal {
+                    self.out.push(format!(
+                        "{ctx}: intrinsic on universal `{}`",
+                        self.p.decl(r.var).name
+                    ));
+                }
+            }
+            BoolExpr::Cmp(_, a, b) => {
+                self.int(a, ctx);
+                self.int(b, ctx);
+            }
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                self.rule(a, ctx);
+                self.rule(b, ctx);
+            }
+            BoolExpr::Not(a) => self.rule(a, ctx),
+            BoolExpr::True | BoolExpr::False => {}
+        }
+    }
+
+    fn elem(&mut self, e: &ElemExpr, ctx: &str) {
+        match e {
+            ElemExpr::Ref(r) => self.sref(r, ctx),
+            ElemExpr::Bin(_, a, b) => {
+                self.elem(a, ctx);
+                self.elem(b, ctx);
+            }
+            ElemExpr::Neg(a) => self.elem(a, ctx),
+            ElemExpr::FromInt(i) => self.int(i, ctx),
+            _ => {}
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { target, rhs } => {
+                self.sref(target, "assignment target");
+                self.elem(rhs, "assignment rhs");
+            }
+            Stmt::ScalarAssign { var, value } => {
+                if self.p.lookup(var).is_some() {
+                    self.out.push(format!(
+                        "scalar assignment to `{var}` shadows a declared array"
+                    ));
+                }
+                self.int(value, "scalar assignment");
+            }
+            Stmt::Kernel { args, int_args, .. } => {
+                for a in args {
+                    self.sref(a, "kernel argument");
+                }
+                for e in int_args {
+                    self.int(e, "kernel parameter");
+                }
+            }
+            Stmt::Send {
+                sec, dest, salt, ..
+            } => {
+                self.transfer_sref(sec, "send");
+                if let DestSet::Pids(es) = dest {
+                    for e in es {
+                        self.int(e, "send destination");
+                        if let (Some(np), Some(c)) = (self.nprocs, e.as_const()) {
+                            if c < 0 || c >= np as i64 {
+                                self.out
+                                    .push(format!("send destination {c} out of range 0..{np}"));
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = salt {
+                    self.int(e, "send salt");
+                }
+            }
+            Stmt::Recv {
+                target, name, salt, ..
+            } => {
+                self.transfer_sref(target, "receive target");
+                if let Some(n) = name {
+                    self.transfer_sref(n, "receive name");
+                }
+                if let Some(e) = salt {
+                    self.int(e, "receive salt");
+                }
+            }
+            Stmt::Guarded { rule, body } => {
+                self.rule(rule, "compute rule");
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            Stmt::DoLoop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                if self.p.lookup(var).is_some() {
+                    self.out
+                        .push(format!("loop variable `{var}` shadows a declared array"));
+                }
+                self.int(lo, "loop bound");
+                self.int(hi, "loop bound");
+                self.int(step, "loop step");
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            Stmt::Barrier => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build as b;
+    use crate::{DimDist, ElemType, ProcGrid};
+
+    fn base() -> (Program, crate::VarId, crate::VarId) {
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(4);
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8), (1, 8)],
+            vec![DimDist::Block, DimDist::Star],
+            grid,
+        ));
+        let u = p.declare(b::universal_array("U", ElemType::F64, vec![(1, 8)]));
+        (p, a, u)
+    }
+
+    #[test]
+    fn clean_program_validates() {
+        let (mut p, a, _) = base();
+        let r = b::sref(a, vec![b::at(b::c(1)), b::all()]);
+        p.body = vec![b::guarded(b::iown(r.clone()), vec![b::send(r)])];
+        assert!(validate(&p).is_empty(), "{:?}", validate(&p));
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let (mut p, a, _) = base();
+        let bad = b::sref(a, vec![b::at(b::c(1))]); // rank 2 array, 1 sub
+        p.body = vec![b::send(bad)];
+        let d = validate(&p);
+        assert!(d.iter().any(|m| m.contains("declared rank 2")), "{d:?}");
+    }
+
+    #[test]
+    fn universal_transfers_and_intrinsics_detected() {
+        let (mut p, _, u) = base();
+        let ur = b::sref(u, vec![b::all()]);
+        p.body = vec![b::send(ur.clone()), b::guarded(b::iown(ur.clone()), vec![])];
+        let d = validate(&p);
+        assert!(
+            d.iter().any(|m| m.contains("transfers require exclusive")),
+            "{d:?}"
+        );
+        assert!(
+            d.iter().any(|m| m.contains("intrinsic on universal")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn bad_destination_and_dim_detected() {
+        let (mut p, a, _) = base();
+        let r = b::sref(a, vec![b::at(b::c(1)), b::all()]);
+        p.body = vec![
+            b::send_to(r.clone(), vec![b::c(9)]),
+            b::assign(
+                b::sref(a, vec![b::at(b::mylb(r.clone(), 3)), b::all()]),
+                xdp_ir_elem_lit(),
+            ),
+        ];
+        let d = validate(&p);
+        assert!(d.iter().any(|m| m.contains("out of range 0..4")), "{d:?}");
+        assert!(
+            d.iter().any(|m| m.contains("dimension 3 out of range")),
+            "{d:?}"
+        );
+    }
+
+    fn xdp_ir_elem_lit() -> ElemExpr {
+        ElemExpr::LitF(1.0)
+    }
+
+    #[test]
+    fn loop_var_shadowing_detected() {
+        let (mut p, a, _) = base();
+        let r = b::sref(a, vec![b::at(b::c(1)), b::all()]);
+        p.body = vec![b::do_loop("A", b::c(1), b::c(2), vec![b::send(r)])];
+        let d = validate(&p);
+        assert!(
+            d.iter().any(|m| m.contains("shadows a declared array")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn segment_shape_rank_detected() {
+        let (mut p, _, _) = base();
+        p.decls[0].segment_shape = Some(vec![2]); // rank-2 array
+        let d = validate(&p);
+        assert!(d.iter().any(|m| m.contains("segment shape rank")), "{d:?}");
+    }
+}

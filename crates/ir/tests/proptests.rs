@@ -1,0 +1,156 @@
+//! Property-based tests for the xdp-ir geometric core: triplet/section
+//! algebra laws and the ownership-partition invariant of HPF distributions.
+
+use proptest::prelude::*;
+use xdp_ir::{DimDist, Distribution, ProcGrid, Section, Triplet};
+
+fn triplet_strategy() -> impl Strategy<Value = Triplet> {
+    (-20i64..20, 0i64..40, 1i64..6).prop_map(|(lb, len, st)| Triplet::new(lb, lb + len, st))
+}
+
+fn section_strategy(rank: usize) -> impl Strategy<Value = Section> {
+    prop::collection::vec(triplet_strategy(), rank).prop_map(Section::new)
+}
+
+proptest! {
+    #[test]
+    fn triplet_intersect_matches_enumeration(a in triplet_strategy(), b in triplet_strategy()) {
+        let got: Vec<i64> = a.intersect(&b).iter().collect();
+        let want: Vec<i64> = a.iter().filter(|i| b.contains(*i)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn triplet_intersect_commutative(a in triplet_strategy(), b in triplet_strategy()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn triplet_intersect_idempotent(a in triplet_strategy()) {
+        prop_assert_eq!(a.intersect(&a), a);
+    }
+
+    #[test]
+    fn triplet_covers_iff_all_elements(a in triplet_strategy(), b in triplet_strategy()) {
+        let want = b.iter().all(|i| a.contains(i));
+        prop_assert_eq!(a.covers(&b), want);
+    }
+
+    #[test]
+    fn triplet_count_matches_iter(a in triplet_strategy()) {
+        prop_assert_eq!(a.count() as usize, a.iter().count());
+    }
+
+    #[test]
+    fn section_intersect_matches_enumeration(
+        a in section_strategy(2),
+        b in section_strategy(2),
+    ) {
+        let isec = a.intersect(&b);
+        for idx in a.iter() {
+            prop_assert_eq!(isec.contains(&idx), b.contains(&idx));
+        }
+        prop_assert!(isec.volume() <= a.volume().min(b.volume()));
+    }
+
+    #[test]
+    fn section_ordinal_roundtrip(s in section_strategy(3)) {
+        prop_assume!(s.volume() > 0 && s.volume() < 500);
+        for ord in 0..s.volume() {
+            let idx = s.nth(ord).unwrap();
+            prop_assert_eq!(s.ordinal_of(&idx), Some(ord));
+        }
+    }
+
+    #[test]
+    fn section_covers_consistent_with_intersect(
+        a in section_strategy(2),
+        b in section_strategy(2),
+    ) {
+        prop_assert_eq!(a.covers(&b), a.intersect(&b).volume() == b.volume());
+    }
+}
+
+fn dimdist_strategy() -> impl Strategy<Value = DimDist> {
+    prop_oneof![
+        Just(DimDist::Block),
+        Just(DimDist::Cyclic),
+        (1i64..4).prop_map(DimDist::BlockCyclic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every element of a distributed array is owned by exactly one pid,
+    /// owner_of agrees with owned_rects, and the rects are pairwise
+    /// disjoint.
+    #[test]
+    fn distribution_partitions_elements(
+        d0 in dimdist_strategy(),
+        d1 in dimdist_strategy(),
+        star0 in any::<bool>(),
+        p0 in 1usize..4,
+        p1 in 1usize..4,
+        n0 in 1i64..12,
+        n1 in 1i64..12,
+        lb0 in -3i64..4,
+    ) {
+        let dims = if star0 {
+            vec![DimDist::Star, d1]
+        } else {
+            vec![d0, d1]
+        };
+        let grid = if star0 {
+            ProcGrid::linear(p1)
+        } else {
+            ProcGrid::grid2(p0, p1)
+        };
+        let dist = Distribution::new(dims, grid);
+        let bounds = vec![
+            Triplet::range(lb0, lb0 + n0 - 1),
+            Triplet::range(1, n1),
+        ];
+        let mut seen = std::collections::HashMap::new();
+        for pid in 0..dist.nprocs() {
+            let rects = dist.owned_rects(&bounds, pid);
+            // Pairwise disjoint rects.
+            for i in 0..rects.len() {
+                for j in (i + 1)..rects.len() {
+                    prop_assert!(!rects[i].overlaps(&rects[j]));
+                }
+            }
+            for r in &rects {
+                for idx in r.iter() {
+                    prop_assert_eq!(dist.owner_of(&bounds, &idx), pid);
+                    let prev = seen.insert(idx.clone(), pid);
+                    prop_assert!(prev.is_none(), "element owned twice");
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as i64, n0 * n1);
+    }
+
+    /// owns_section is exactly "every element's owner is pid".
+    #[test]
+    fn owns_section_matches_elementwise(
+        d0 in dimdist_strategy(),
+        p in 1usize..5,
+        n in 1i64..16,
+        qlb in 1i64..16,
+        qlen in 0i64..8,
+        qst in 1i64..3,
+    ) {
+        let dist = Distribution::new(vec![d0], ProcGrid::linear(p));
+        let bounds = vec![Triplet::range(1, n)];
+        let q = Triplet::new(qlb, (qlb + qlen).min(n), qst);
+        prop_assume!(!q.is_empty() && q.ub <= n);
+        let qsec = Section::new(vec![q]);
+        for pid in 0..p {
+            let want = qsec
+                .iter()
+                .all(|idx| dist.owner_of(&bounds, &idx) == pid);
+            prop_assert_eq!(dist.owns_section(&bounds, pid, &qsec), want);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Tokenizer for the IL+XDP concrete syntax.
+//!
+//! Newlines are significant (they terminate statements, which keeps
+//! `U <=` receives unambiguous against `<=` comparisons); `//` comments
+//! run to end of line.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    /// `->`
+    Arrow,
+    /// `=>`
+    OwnArrow,
+    /// `-=>`
+    OwnValArrow,
+    /// `<-`
+    RecvArrow,
+    /// `<=` in receive position (also less-or-equal in expressions; the
+    /// parser decides by context).
+    RecvOwnArrow,
+    /// `<=-`
+    RecvOwnValArrow,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Semi,
+    Hash,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    GtEq,
+    AndAnd,
+    OrOr,
+    Bang,
+    Newline,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable name for diagnostics.
+    pub fn name(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("float {v}"),
+            TokenKind::Newline => "newline".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// A token with its line number (1-based).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Lexer errors.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let push = |out: &mut Vec<Token>, kind: TokenKind, line: usize| {
+        out.push(Token { kind, line });
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                // Collapse runs of newlines into one token.
+                if !matches!(
+                    out.last().map(|t: &Token| &t.kind),
+                    Some(TokenKind::Newline) | None
+                ) {
+                    push(&mut out, TokenKind::Newline, line);
+                }
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push(&mut out, TokenKind::LParen, line);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, TokenKind::RParen, line);
+                i += 1;
+            }
+            '{' => {
+                push(&mut out, TokenKind::LBrace, line);
+                i += 1;
+            }
+            '}' => {
+                push(&mut out, TokenKind::RBrace, line);
+                i += 1;
+            }
+            '[' => {
+                push(&mut out, TokenKind::LBracket, line);
+                i += 1;
+            }
+            ']' => {
+                push(&mut out, TokenKind::RBracket, line);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, TokenKind::Comma, line);
+                i += 1;
+            }
+            ':' => {
+                push(&mut out, TokenKind::Colon, line);
+                i += 1;
+            }
+            ';' => {
+                push(&mut out, TokenKind::Semi, line);
+                i += 1;
+            }
+            '#' => {
+                push(&mut out, TokenKind::Hash, line);
+                i += 1;
+            }
+            '*' => {
+                push(&mut out, TokenKind::Star, line);
+                i += 1;
+            }
+            '+' => {
+                push(&mut out, TokenKind::Plus, line);
+                i += 1;
+            }
+            '%' => {
+                push(&mut out, TokenKind::Percent, line);
+                i += 1;
+            }
+            '/' => {
+                push(&mut out, TokenKind::Slash, line);
+                i += 1;
+            }
+            '-' => {
+                if src[i..].starts_with("-=>") {
+                    push(&mut out, TokenKind::OwnValArrow, line);
+                    i += 3;
+                } else if src[i..].starts_with("->") {
+                    push(&mut out, TokenKind::Arrow, line);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Minus, line);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if src[i..].starts_with("==") {
+                    push(&mut out, TokenKind::EqEq, line);
+                    i += 2;
+                } else if src[i..].starts_with("=>") {
+                    push(&mut out, TokenKind::OwnArrow, line);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Eq, line);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if src[i..].starts_with("<=-") {
+                    push(&mut out, TokenKind::RecvOwnValArrow, line);
+                    i += 3;
+                } else if src[i..].starts_with("<=") {
+                    push(&mut out, TokenKind::RecvOwnArrow, line);
+                    i += 2;
+                } else if src[i..].starts_with("<-") {
+                    push(&mut out, TokenKind::RecvArrow, line);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Lt, line);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if src[i..].starts_with(">=") {
+                    push(&mut out, TokenKind::GtEq, line);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Gt, line);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if src[i..].starts_with("!=") {
+                    push(&mut out, TokenKind::NotEq, line);
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Bang, line);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if src[i..].starts_with("&&") {
+                    push(&mut out, TokenKind::AndAnd, line);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "stray `&`".into(),
+                    });
+                }
+            }
+            '|' => {
+                if src[i..].starts_with("||") {
+                    push(&mut out, TokenKind::OrOr, line);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "stray `|`".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let save = i;
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    } else {
+                        i = save;
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    push(
+                        &mut out,
+                        TokenKind::Float(text.parse().map_err(|e| LexError {
+                            line,
+                            message: format!("bad float `{text}`: {e}"),
+                        })?),
+                        line,
+                    );
+                } else {
+                    push(
+                        &mut out,
+                        TokenKind::Int(text.parse().map_err(|e| LexError {
+                            line,
+                            message: format!("bad integer `{text}`: {e}"),
+                        })?),
+                        line,
+                    );
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push(&mut out, TokenKind::Ident(src[start..i].to_string()), line);
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    push(&mut out, TokenKind::Eof, line);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn arrows_lex_greedily() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("-> => -=> <- <= <=-"),
+            vec![
+                Arrow,
+                OwnArrow,
+                OwnValArrow,
+                RecvArrow,
+                RecvOwnArrow,
+                RecvOwnValArrow,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a == 3 != 4.5 >= x && !y || 1e3"),
+            vec![
+                Ident("a".into()),
+                EqEq,
+                Int(3),
+                NotEq,
+                Float(4.5),
+                GtEq,
+                Ident("x".into()),
+                AndAnd,
+                Bang,
+                Ident("y".into()),
+                OrOr,
+                Float(1000.0),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_newlines() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // comment\n\n\nb"),
+            vec![Ident("a".into()), Newline, Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn section_notation() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("A[1:8:2,*]"),
+            vec![
+                Ident("A".into()),
+                LBracket,
+                Int(1),
+                Colon,
+                Int(8),
+                Colon,
+                Int(2),
+                Comma,
+                Star,
+                RBracket,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors_carry_lines() {
+        let e = lex("ok\n  @").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains('@'));
+    }
+
+    #[test]
+    fn minus_vs_arrows() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a - b"),
+            vec![Ident("a".into()), Minus, Ident("b".into()), Eof]
+        );
+        assert_eq!(kinds("a -=> "), vec![Ident("a".into()), OwnValArrow, Eof]);
+    }
+}

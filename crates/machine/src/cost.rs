@@ -1,0 +1,135 @@
+//! The parametric machine cost model.
+//!
+//! Times are in abstract microseconds of virtual time. Defaults approximate
+//! an early-90s multicomputer (high per-message latency relative to flop
+//! time), which is the regime in which XDP's message-count optimizations
+//! matter most; every experiment harness sweeps the parameters that its
+//! claim depends on.
+
+/// Hockney/LogP-style cost parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Per-message network latency α (one hop), charged between send
+    /// initiation and receive completion.
+    pub alpha: f64,
+    /// Per-byte transfer time β.
+    pub beta: f64,
+    /// Per-message CPU overhead o charged to the sender at initiation and
+    /// to the receiver at completion (the LogP `o`).
+    pub cpu_overhead: f64,
+    /// Extra latency multiplier per additional hop (topology scaling).
+    pub hop_factor: f64,
+    /// Time per floating-point operation (kernels and element-wise
+    /// assignments charge this).
+    pub flop_time: f64,
+    /// Fixed time per run-time symbol-table query (`iown`/`accessible`/
+    /// `await` polls) — the run-time price of un-eliminated compute rules
+    /// (§3.1).
+    pub symtab_op_time: f64,
+    /// Time per segment descriptor examined by a query — the §3.1 `iown()`
+    /// algorithm scans the descriptor array, so finer segmentation makes
+    /// every surviving compute rule slower.
+    pub seg_scan_time: f64,
+    /// Extra receiver-side time to match an *unbound* (name-carrying)
+    /// message; compile-time-bound communication (§3.2) skips it.
+    pub match_overhead: f64,
+    /// Extra receiver-side time when a message arrives before its receive
+    /// was posted (an *unexpected* message buffered by the eager protocol
+    /// and copied on match); preposted receives (§3.2) avoid it. Charged as
+    /// `unexpected_overhead + beta * bytes` (the extra copy).
+    pub unexpected_overhead: f64,
+}
+
+impl CostModel {
+    /// A 1993-flavored default: 100us message latency, 10MB/s network,
+    /// ~10 MFLOP/s processors.
+    pub fn default_1993() -> CostModel {
+        CostModel {
+            alpha: 100.0,
+            beta: 0.1,
+            cpu_overhead: 10.0,
+            hop_factor: 0.2,
+            flop_time: 0.1,
+            symtab_op_time: 0.5,
+            seg_scan_time: 0.05,
+            match_overhead: 2.0,
+            unexpected_overhead: 5.0,
+        }
+    }
+
+    /// A low-latency variant (latency 10x smaller) for crossover sweeps.
+    pub fn low_latency() -> CostModel {
+        CostModel {
+            alpha: 10.0,
+            beta: 0.01,
+            ..CostModel::default_1993()
+        }
+    }
+
+    /// A shared-address machine in the KSR1 mold (§3.2: "receives and
+    /// sends might be translated as prefetch and poststore instructions"):
+    /// transfers cost a cache-line-ish setup plus per-byte copy, no
+    /// software rendezvous, no eager-buffer copies.
+    pub fn shared_address() -> CostModel {
+        CostModel {
+            alpha: 2.0,
+            beta: 0.02,
+            cpu_overhead: 1.0,
+            hop_factor: 0.0,
+            match_overhead: 0.0,
+            unexpected_overhead: 0.0,
+            ..CostModel::default_1993()
+        }
+    }
+
+    /// Free communication — isolates pure computation time.
+    pub fn zero_comm() -> CostModel {
+        CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            cpu_overhead: 0.0,
+            hop_factor: 0.0,
+            match_overhead: 0.0,
+            unexpected_overhead: 0.0,
+            ..CostModel::default_1993()
+        }
+    }
+
+    /// Wire time of a `bytes`-byte message over `hops` hops. A self
+    /// message (`hops == 0`, the ownership-migration loopback case) pays
+    /// only the copy cost, not network latency.
+    pub fn wire_time(&self, bytes: u64, hops: u32) -> f64 {
+        if hops == 0 {
+            return self.beta * bytes as f64;
+        }
+        let hop_scale = 1.0 + self.hop_factor * (hops - 1) as f64;
+        self.alpha * hop_scale + self.beta * bytes as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::default_1993()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_with_bytes_and_hops() {
+        let m = CostModel::default_1993();
+        assert_eq!(m.wire_time(0, 1), 100.0);
+        assert_eq!(m.wire_time(1000, 1), 200.0);
+        assert_eq!(m.wire_time(0, 2), 120.0);
+        assert!(m.wire_time(100, 3) > m.wire_time(100, 2));
+    }
+
+    #[test]
+    fn zero_comm_is_free() {
+        let m = CostModel::zero_comm();
+        assert_eq!(m.wire_time(1 << 20, 5), 0.0);
+        assert!(m.flop_time > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # xdp-machine — a simulated distributed-memory multicomputer
+//!
+//! The paper targets 1993-era message-passing machines (and shared-address
+//! machines like the KSR1). This crate supplies the executable substitute:
+//!
+//! * [`cost::CostModel`] — a Hockney/LogP-style parametric cost model
+//!   (per-message latency α, per-byte time β, per-message CPU overhead o,
+//!   per-flop time, symbol-table-query time).
+//! * [`topo::Topology`] — uniform, linear-array, or 2-D-mesh hop scaling.
+//! * [`sim::SimNet`] — a deterministic virtual-time network with XDP's
+//!   rendezvous-by-name matching, including *unspecified-destination* sends
+//!   and multiple outstanding sends/receives on one name (the §2.7
+//!   load-balancing idiom). Completion times are computed analytically at
+//!   match time, so simulations are reproducible bit-for-bit.
+//! * [`thread_net::ThreadNet`] — a real shared-memory backend (one OS
+//!   thread per processor) with the same matching semantics, for wall-clock
+//!   benchmarking and for validating that the simulator and a genuinely
+//!   parallel execution agree on results.
+//!
+//! The simulated network never reorders two messages with the same name
+//! between the same pair of processors (FIFO per name), and matching is by
+//! earliest virtual post time with pid tie-breaking.
+
+pub mod cost;
+pub mod sim;
+pub mod stats;
+pub mod thread_net;
+pub mod topo;
+
+pub use cost::CostModel;
+pub use sim::{Completion, SimNet};
+pub use stats::NetStats;
+pub use thread_net::ThreadNet;
+pub use topo::Topology;

@@ -1,0 +1,385 @@
+//! The deterministic virtual-time network.
+//!
+//! XDP's communication is a rendezvous on the transferred section's *name*:
+//! a send with unspecified destination pairs with whichever processor posts
+//! a matching receive ("It is legal to have several processors initiate
+//! receive statements for the same section concurrently", §2.7). [`SimNet`]
+//! implements that matching over virtual time:
+//!
+//! * sends and receives are posted with the posting processor's virtual
+//!   clock;
+//! * a pair is matched as soon as both sides are present, earliest virtual
+//!   post time first (sequence numbers break ties deterministically);
+//! * the receive's completion time is computed analytically:
+//!   `max(send_time + wire_time, recv_time) + cpu_overhead
+//!   (+ match_overhead if the message carried its name)`.
+//!
+//! Because completion times are pure functions of post times, the whole
+//! simulation is reproducible bit-for-bit regardless of host scheduling.
+
+use crate::cost::CostModel;
+use crate::stats::NetStats;
+use crate::topo::Topology;
+use std::collections::HashMap;
+use xdp_runtime::{Msg, Tag};
+
+/// A posted, not-yet-matched send.
+#[derive(Clone, Debug)]
+struct SendPost {
+    msg: Msg,
+    /// Explicit destination pids (`E -> S`) or `None` for `E ->`.
+    dest: Option<Vec<usize>>,
+    time: f64,
+    seq: u64,
+}
+
+/// A posted, not-yet-matched receive.
+#[derive(Clone, Debug)]
+struct RecvPost {
+    dst: usize,
+    time: f64,
+    seq: u64,
+    req_id: u64,
+}
+
+/// A matched receive: delivered message plus its timing.
+///
+/// `arrive_at` is when the message is available at the receiver;
+/// `handling` is the receiver-CPU cost of completing it (the LogP `o`,
+/// plus the matcher lookup for name-carrying messages, plus the
+/// eager-protocol extra copy when the message arrived *unexpected*). The
+/// executor charges `handling` to the receiving processor's clock at the
+/// moment the completion is applied.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The request id the receiver supplied at post time.
+    pub req_id: u64,
+    /// Receiving processor.
+    pub dst: usize,
+    /// The delivered message.
+    pub msg: Msg,
+    /// Virtual time at which the message is available on `dst`.
+    pub arrive_at: f64,
+    /// Receiver-CPU time to complete the receive.
+    pub handling: f64,
+}
+
+/// The simulated network and matcher.
+#[derive(Clone, Debug)]
+pub struct SimNet {
+    model: CostModel,
+    topo: Topology,
+    sends: HashMap<Tag, Vec<SendPost>>,
+    recvs: HashMap<Tag, Vec<RecvPost>>,
+    seq: u64,
+    /// Traffic counters.
+    pub stats: NetStats,
+}
+
+impl SimNet {
+    /// A network of `nprocs` processors.
+    pub fn new(nprocs: usize, model: CostModel, topo: Topology) -> SimNet {
+        SimNet {
+            model,
+            topo,
+            sends: HashMap::new(),
+            recvs: HashMap::new(),
+            seq: 0,
+            stats: NetStats::new(nprocs),
+        }
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Post a send at virtual `time` on the sending processor. Returns the
+    /// completion if a matching receive was already waiting.
+    pub fn post_send(
+        &mut self,
+        msg: Msg,
+        dest: Option<Vec<usize>>,
+        time: f64,
+    ) -> Option<Completion> {
+        let seq = self.next_seq();
+        let post = SendPost {
+            msg,
+            dest,
+            time,
+            seq,
+        };
+        // Earliest eligible receive.
+        let tag = post.msg.tag.clone();
+        let eligible = |r: &RecvPost, d: &Option<Vec<usize>>| match d {
+            None => true,
+            Some(pids) => pids.contains(&r.dst),
+        };
+        let pick = self.recvs.get(&tag).and_then(|q| {
+            q.iter()
+                .enumerate()
+                .filter(|(_, r)| eligible(r, &post.dest))
+                .min_by(|(_, a), (_, b)| (a.time, a.seq).partial_cmp(&(b.time, b.seq)).unwrap())
+                .map(|(i, _)| i)
+        });
+        match pick {
+            Some(i) => {
+                let recv = self.recvs.get_mut(&tag).unwrap().remove(i);
+                Some(self.complete(post, recv))
+            }
+            None => {
+                self.sends.entry(tag).or_default().push(post);
+                None
+            }
+        }
+    }
+
+    /// Post a receive for `tag` at virtual `time` on processor `dst`.
+    /// Returns the completion if a matching send was already posted.
+    pub fn post_recv(
+        &mut self,
+        tag: Tag,
+        dst: usize,
+        time: f64,
+        req_id: u64,
+    ) -> Option<Completion> {
+        let seq = self.next_seq();
+        let recv = RecvPost {
+            dst,
+            time,
+            seq,
+            req_id,
+        };
+        let pick = self.sends.get(&tag).and_then(|q| {
+            q.iter()
+                .enumerate()
+                .filter(|(_, s)| match &s.dest {
+                    None => true,
+                    Some(pids) => pids.contains(&dst),
+                })
+                .min_by(|(_, a), (_, b)| (a.time, a.seq).partial_cmp(&(b.time, b.seq)).unwrap())
+                .map(|(i, _)| i)
+        });
+        match pick {
+            Some(i) => {
+                let send = self.sends.get_mut(&tag).unwrap().remove(i);
+                Some(self.complete(send, recv))
+            }
+            None => {
+                self.recvs.entry(tag).or_default().push(recv);
+                None
+            }
+        }
+    }
+
+    fn complete(&mut self, send: SendPost, recv: RecvPost) -> Completion {
+        let bound = send.dest.is_some();
+        let wire = if bound {
+            send.msg.payload_bytes()
+        } else {
+            send.msg.size_bytes()
+        };
+        let hops = self.topo.hops(send.msg.src, recv.dst);
+        let arrive_at = send.time + self.model.wire_time(wire, hops);
+        let mut handling = self.model.cpu_overhead;
+        if !bound {
+            handling += self.model.match_overhead;
+        }
+        if arrive_at < recv.time && self.model.unexpected_overhead > 0.0 {
+            // Unexpected message under an eager protocol: it sat in the
+            // system buffer and costs an extra copy at match time.
+            // Preposted receives avoid this (§3.2's motivation for
+            // hoisting receives). `unexpected_overhead == 0` models a
+            // rendezvous protocol with no buffering copy at all.
+            handling += self.model.unexpected_overhead + self.model.beta * wire as f64;
+        }
+        self.stats.record(
+            send.msg.src,
+            recv.dst,
+            send.msg.payload_bytes(),
+            wire,
+            bound,
+        );
+        Completion {
+            req_id: recv.req_id,
+            dst: recv.dst,
+            msg: send.msg,
+            arrive_at,
+            handling,
+        }
+    }
+
+    /// Numbers of unmatched sends and receives (for deadlock diagnosis).
+    pub fn pending(&self) -> (usize, usize) {
+        (
+            self.sends.values().map(|v| v.len()).sum(),
+            self.recvs.values().map(|v| v.len()).sum(),
+        )
+    }
+
+    /// Human-readable description of unmatched posts.
+    pub fn pending_detail(&self) -> String {
+        let mut out = String::new();
+        for (tag, q) in &self.sends {
+            for s in q {
+                out.push_str(&format!(
+                    "  unmatched send {tag} from p{} at t={}\n",
+                    s.msg.src, s.time
+                ));
+            }
+        }
+        for (tag, q) in &self.recvs {
+            for r in q {
+                out.push_str(&format!(
+                    "  unmatched recv {tag} on p{} at t={}\n",
+                    r.dst, r.time
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_ir::{ElemType, Section, TransferKind, Triplet, VarId};
+    use xdp_runtime::Buffer;
+
+    fn tag(v: u32) -> Tag {
+        Tag::new(VarId(v), Section::new(vec![Triplet::range(1, 4)]))
+    }
+
+    fn msg(v: u32, src: usize) -> Msg {
+        Msg {
+            tag: tag(v),
+            kind: TransferKind::Value,
+            payload: Some(Buffer::zeros(ElemType::F64, 4)),
+            src,
+        }
+    }
+
+    fn net() -> SimNet {
+        SimNet::new(4, CostModel::default_1993(), Topology::Uniform)
+    }
+
+    #[test]
+    fn send_then_recv_matches() {
+        let mut n = net();
+        assert!(n.post_send(msg(0, 0), None, 10.0).is_none());
+        let c = n.post_recv(tag(0), 1, 50.0, 7).expect("match");
+        assert_eq!(c.req_id, 7);
+        assert_eq!(c.dst, 1);
+        // arrive = 10 + (100 + 0.1*(32+8+24)) = 116.4; receive was posted
+        // before arrival, so handling = o + match = 12.
+        assert!((c.arrive_at - 116.4).abs() < 1e-9, "{}", c.arrive_at);
+        assert!((c.handling - 12.0).abs() < 1e-9, "{}", c.handling);
+        assert_eq!(n.pending(), (0, 0));
+    }
+
+    #[test]
+    fn recv_then_send_matches() {
+        let mut n = net();
+        assert!(n.post_recv(tag(0), 2, 5.0, 1).is_none());
+        let c = n.post_send(msg(0, 0), None, 200.0).expect("match");
+        assert_eq!(c.dst, 2);
+        // Receiver waited: the message arrives after the wire.
+        assert!(c.arrive_at > 300.0);
+    }
+
+    #[test]
+    fn late_receiver_pays_no_wire_wait() {
+        let mut n = net();
+        n.post_send(msg(0, 0), None, 0.0);
+        let c = n.post_recv(tag(0), 1, 10_000.0, 1).unwrap();
+        // Message long since arrived: it was *unexpected*, so handling
+        // includes the eager-protocol copy (5 + 0.1 * 64 wire bytes).
+        assert!((c.arrive_at - 106.4).abs() < 1e-9, "{}", c.arrive_at);
+        assert!(
+            (c.handling - (12.0 + 5.0 + 6.4)).abs() < 1e-9,
+            "{}",
+            c.handling
+        );
+    }
+
+    #[test]
+    fn bound_send_only_matches_listed_destination() {
+        let mut n = net();
+        assert!(n.post_send(msg(0, 0), Some(vec![2]), 0.0).is_none());
+        // P1's receive does not match a send bound to P2.
+        assert!(n.post_recv(tag(0), 1, 0.0, 1).is_none());
+        let c = n.post_recv(tag(0), 2, 0.0, 2).expect("match");
+        assert_eq!(c.dst, 2);
+        // The bound message pays no name header and no match overhead:
+        // arrives at 100 + 0.1*32 = 103.2; handling is the bare o = 10.
+        assert!((c.arrive_at - 103.2).abs() < 1e-9, "{}", c.arrive_at);
+        assert!((c.handling - 10.0).abs() < 1e-9, "{}", c.handling);
+        // P1's receive still pending.
+        assert_eq!(n.pending(), (0, 1));
+    }
+
+    #[test]
+    fn fifo_matching_among_multiple_outstanding() {
+        // Two sends on one tag, two receives: earliest send pairs with
+        // earliest receive — the §2.7 task-farm pattern.
+        let mut n = net();
+        n.post_send(msg(0, 0), None, 0.0);
+        n.post_send(msg(0, 1), None, 5.0);
+        let c1 = n.post_recv(tag(0), 2, 1.0, 11).unwrap();
+        assert_eq!(c1.msg.src, 0, "earliest send first");
+        let c2 = n.post_recv(tag(0), 3, 1.0, 12).unwrap();
+        assert_eq!(c2.msg.src, 1);
+    }
+
+    #[test]
+    fn earliest_receiver_wins() {
+        let mut n = net();
+        n.post_recv(tag(0), 3, 7.0, 31);
+        n.post_recv(tag(0), 1, 2.0, 11);
+        let c = n.post_send(msg(0, 0), None, 10.0).unwrap();
+        assert_eq!(c.dst, 1, "earlier-posted receive matches first");
+        assert_eq!(n.pending(), (0, 1));
+    }
+
+    #[test]
+    fn tags_do_not_cross_match() {
+        let mut n = net();
+        n.post_send(msg(0, 0), None, 0.0);
+        assert!(n.post_recv(tag(1), 1, 0.0, 1).is_none());
+        assert_eq!(n.pending(), (1, 1));
+        assert!(n.pending_detail().contains("unmatched send"));
+        assert!(n.pending_detail().contains("unmatched recv"));
+    }
+
+    #[test]
+    fn topology_affects_completion() {
+        let mut near = SimNet::new(4, CostModel::default_1993(), Topology::Linear);
+        let mut far = SimNet::new(4, CostModel::default_1993(), Topology::Linear);
+        near.post_send(msg(0, 0), None, 0.0);
+        far.post_send(msg(0, 0), None, 0.0);
+        let c_near = near.post_recv(tag(0), 1, 0.0, 1).unwrap();
+        let c_far = far.post_recv(tag(0), 3, 0.0, 1).unwrap();
+        assert!(c_far.arrive_at > c_near.arrive_at);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net();
+        n.post_send(msg(0, 0), None, 0.0);
+        n.post_recv(tag(0), 1, 0.0, 1).unwrap();
+        n.post_send(msg(1, 2), Some(vec![3]), 0.0);
+        n.post_recv(tag(1), 3, 0.0, 2).unwrap();
+        assert_eq!(n.stats.messages, 2);
+        assert_eq!(n.stats.unbound_messages, 1);
+        assert_eq!(n.stats.bound_messages, 1);
+        assert_eq!(n.stats.payload_bytes, 64);
+        assert_eq!(n.stats.wire_bytes, 64 + 32); // header only on unbound
+        assert_eq!(n.stats.sent_by, vec![1, 0, 1, 0]);
+        assert_eq!(n.stats.received_by, vec![0, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,187 @@
+//! The real-parallel backend: one OS thread per simulated processor,
+//! rendezvous matching through a shared, lock-protected message pool.
+//!
+//! Matching semantics are those of [`crate::sim::SimNet`]: messages pair
+//! with receives by exact name; unspecified-destination messages go to the
+//! first claiming receiver; destination-bound messages only to a listed
+//! pid. Wall-clock benchmarks (Criterion) run on this backend; correctness
+//! tests assert its final state equals the simulator's.
+
+use crate::stats::NetStats;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+use xdp_runtime::{Msg, Tag};
+
+/// A queued message with its optional bound destination set.
+type QueuedMsg = (Msg, Option<Vec<usize>>);
+
+struct State {
+    queues: HashMap<Tag, VecDeque<QueuedMsg>>,
+    stats: NetStats,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+/// A cloneable handle to the shared network.
+#[derive(Clone)]
+pub struct ThreadNet {
+    inner: Arc<Inner>,
+}
+
+impl ThreadNet {
+    /// A network for `nprocs` processors.
+    pub fn new(nprocs: usize) -> ThreadNet {
+        ThreadNet {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    queues: HashMap::new(),
+                    stats: NetStats::new(nprocs),
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Post a message (non-blocking: XDP sends are initiations).
+    pub fn send(&self, msg: Msg, dest: Option<Vec<usize>>) {
+        let mut st = self.inner.state.lock();
+        st.queues
+            .entry(msg.tag.clone())
+            .or_default()
+            .push_back((msg, dest));
+        drop(st);
+        self.inner.cond.notify_all();
+    }
+
+    /// Claim the first eligible message with this name; blocks until one
+    /// arrives or `timeout` elapses (`None` on timeout — callers turn that
+    /// into a deadlock diagnosis).
+    pub fn recv(&self, tag: &Tag, self_pid: usize, timeout: Duration) -> Option<Msg> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(q) = st.queues.get_mut(tag) {
+                if let Some(pos) = q.iter().position(|(_, dest)| match dest {
+                    None => true,
+                    Some(pids) => pids.contains(&self_pid),
+                }) {
+                    let (msg, dest) = q.remove(pos).unwrap();
+                    let bound = dest.is_some();
+                    let wire = if bound {
+                        msg.payload_bytes()
+                    } else {
+                        msg.size_bytes()
+                    };
+                    st.stats
+                        .record(msg.src, self_pid, msg.payload_bytes(), wire, bound);
+                    return Some(msg);
+                }
+            }
+            if self.inner.cond.wait_for(&mut st, timeout).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.inner.state.lock().stats.clone()
+    }
+
+    /// Count of unclaimed messages (diagnostics).
+    pub fn pending_messages(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .queues
+            .values()
+            .map(|q| q.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use xdp_ir::{ElemType, Section, TransferKind, Triplet, VarId};
+    use xdp_runtime::Buffer;
+
+    fn tag(v: u32) -> Tag {
+        Tag::new(VarId(v), Section::new(vec![Triplet::range(1, 2)]))
+    }
+
+    fn msg(v: u32, src: usize) -> Msg {
+        Msg {
+            tag: tag(v),
+            kind: TransferKind::Value,
+            payload: Some(Buffer::zeros(ElemType::F64, 2)),
+            src,
+        }
+    }
+
+    const T: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn send_then_recv() {
+        let net = ThreadNet::new(2);
+        net.send(msg(0, 0), None);
+        let got = net.recv(&tag(0), 1, T).unwrap();
+        assert_eq!(got.src, 0);
+        assert_eq!(net.pending_messages(), 0);
+        assert_eq!(net.stats().messages, 1);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let net = ThreadNet::new(2);
+        let n2 = net.clone();
+        let h = std::thread::spawn(move || n2.recv(&tag(0), 1, T).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        net.send(msg(0, 0), None);
+        assert_eq!(h.join().unwrap().src, 0);
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let net = ThreadNet::new(2);
+        assert!(net.recv(&tag(0), 1, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn bound_messages_skip_other_pids() {
+        let net = ThreadNet::new(3);
+        net.send(msg(0, 0), Some(vec![2]));
+        // P1 times out; P2 gets it.
+        assert!(net.recv(&tag(0), 1, Duration::from_millis(10)).is_none());
+        assert!(net.recv(&tag(0), 2, T).is_some());
+    }
+
+    #[test]
+    fn farm_claims_are_exclusive() {
+        // 8 task messages, 3 claiming workers: each message claimed once.
+        let net = ThreadNet::new(4);
+        for k in 0..8 {
+            net.send(msg(0, 0), None);
+            let _ = k;
+        }
+        let mut handles = Vec::new();
+        for w in 1..4 {
+            let n = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0;
+                while n.recv(&tag(0), w, Duration::from_millis(50)).is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 8);
+        assert_eq!(net.pending_messages(), 0);
+    }
+}

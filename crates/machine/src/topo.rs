@@ -1,0 +1,59 @@
+//! Interconnect topologies, reduced to a hop count between processor pairs.
+
+/// The machine's interconnect shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair one hop apart (crossbar / idealized).
+    Uniform,
+    /// Linear processor array; hops = |i - j|.
+    Linear,
+    /// 2-D mesh with row-major pids; hops = Manhattan distance.
+    Mesh2D { rows: usize, cols: usize },
+}
+
+impl Topology {
+    /// Hop count between two pids (0 for self, else >= 1).
+    pub fn hops(&self, from: usize, to: usize) -> u32 {
+        if from == to {
+            return 0;
+        }
+        match self {
+            Topology::Uniform => 1,
+            Topology::Linear => from.abs_diff(to) as u32,
+            Topology::Mesh2D { cols, .. } => {
+                let (r1, c1) = (from / cols, from % cols);
+                let (r2, c2) = (to / cols, to % cols);
+                (r1.abs_diff(r2) + c1.abs_diff(c2)) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform() {
+        let t = Topology::Uniform;
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 7), 1);
+    }
+
+    #[test]
+    fn linear() {
+        let t = Topology::Linear;
+        assert_eq!(t.hops(1, 4), 3);
+        assert_eq!(t.hops(4, 1), 3);
+    }
+
+    #[test]
+    fn mesh() {
+        let t = Topology::Mesh2D { rows: 2, cols: 2 };
+        // P0=(0,0) P1=(0,1) P2=(1,0) P3=(1,1)
+        assert_eq!(t.hops(0, 3), 2);
+        assert_eq!(t.hops(1, 2), 2);
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(2, 2), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # xdp-runtime — run-time support structures for XDP
+//!
+//! The XDP methodology requires two run-time structures (§3):
+//!
+//! 1. A **per-processor run-time symbol table** for exclusive sections —
+//!    [`symtab::RtSymbolTable`] — holding, per variable, the partitioning
+//!    and an array of **segment descriptors** ([`segment::SegmentDesc`],
+//!    the struct of §3.1) that record each segment's bounds, its state
+//!    (`unowned` / `transitional` / `accessible`), and its local storage.
+//!    Every intrinsic (`iown`, `accessible`, `await`, `mylb`, `myub`) is a
+//!    lookup into this table; ownership transfers and receives update it.
+//!
+//! 2. **Message matching by name**: sends and receives rendezvous on a
+//!    [`tag::Tag`] — the transferred section's name (§2.2 footnote 2). The
+//!    matcher itself lives with the machine backends; this crate defines
+//!    the tag, the message envelope, and the payload encoding.
+//!
+//! The crate also provides the typed data plane: [`value::Value`],
+//! [`value::Buffer`], and [`complex::Complex`] (the 3-D FFT operates on
+//! complex data).
+
+pub mod complex;
+pub mod segment;
+pub mod symtab;
+pub mod tag;
+pub mod value;
+
+pub use complex::Complex;
+pub use segment::{SegStatus, SegmentDesc};
+pub use symtab::{RtSymbolTable, SymEntry, SymtabStats};
+pub use tag::{Msg, Tag};
+pub use value::{Buffer, Value};

@@ -1,0 +1,350 @@
+//! `xdpc` — the XDP command-line driver.
+//!
+//! ```text
+//! xdpc check <file.xdp>                  parse and pretty-print
+//! xdpc lower <file.xdp>                  sequential source -> naive owner-computes IL+XDP
+//! xdpc opt   <file.xdp> [--passes LIST]  optimize and print (default: paper pipeline)
+//! xdpc run   <file.xdp> [options]        execute on the simulated machine
+//! xdpc tune  <file.xdp> --array NAME --segments 1,2,4[,8x1,...]
+//!                                        pick the fastest segment shape by simulation
+//!
+//! run options:
+//!   --procs N        machine size (default: from the declarations)
+//!   --alpha X        per-message latency            (default 100)
+//!   --beta X         per-byte time                  (default 0.1)
+//!   --timeline       print a Gantt chart of the execution
+//!   --gather NAME    print the named array's final contents and owners
+//!   --optimize       run the paper pipeline before executing
+//!   --unchecked      disable the checked runtime
+//!
+//! pass names: elide-same-owner-comm, vectorize-messages, localize-bounds,
+//! bind-communication, elide-accessible-checks, fuse-loops, sink-await,
+//! migrate-ownership
+//! ```
+//!
+//! Exclusive arrays are initialized to their flattened 1-based element
+//! index (`A[i,j] = ordinal`), which makes small experiments reproducible
+//! without an input format.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// `println!` that ignores broken pipes (`xdpc run ... | head`).
+macro_rules! out {
+    ($($t:tt)*) => {{
+        let _ = writeln!(std::io::stdout(), $($t)*);
+    }};
+}
+
+/// `print!` that ignores broken pipes.
+macro_rules! outp {
+    ($($t:tt)*) => {{
+        let _ = write!(std::io::stdout(), $($t)*);
+    }};
+}
+use xdp::prelude::*;
+use xdp_compiler::passes::{
+    BindCommunication, ElideAccessibleChecks, ElideSameOwnerComm, FuseLoops, LocalizeBounds,
+    MigrateOwnership, SinkAwait, VectorizeMessages,
+};
+use xdp_ir::pretty;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xdpc <check|lower|opt|run|tune> <file.xdp> [options]\n(see `src/bin/xdpc.rs` header for options)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => return usage(),
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xdpc: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match xdp_lang::parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("xdpc: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rest = &args[2..];
+    match cmd {
+        "check" => {
+            let diags = xdp_ir::validate(&program);
+            outp!("{}", pretty::program(&program));
+            for d in &diags {
+                eprintln!("xdpc: warning: {d}");
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "lower" => match xdp_compiler::from_program(&program) {
+            Ok(seq) => {
+                let naive = lower_owner_computes(&seq, &FrontendOptions::default());
+                outp!("{}", pretty::program(&naive));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xdpc: {file}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "opt" => cmd_opt(&program, rest),
+        "run" => cmd_run(&program, rest),
+        "tune" => cmd_tune(&program, rest),
+        _ => usage(),
+    }
+}
+
+fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
+    Some(match name {
+        "elide-same-owner-comm" => Box::new(ElideSameOwnerComm),
+        "vectorize-messages" => Box::new(VectorizeMessages),
+        "localize-bounds" => Box::new(LocalizeBounds),
+        "bind-communication" => Box::new(BindCommunication),
+        "elide-accessible-checks" => Box::new(ElideAccessibleChecks),
+        "fuse-loops" => Box::new(FuseLoops),
+        "sink-await" => Box::new(SinkAwait),
+        "migrate-ownership" => Box::new(MigrateOwnership::default()),
+        _ => return None,
+    })
+}
+
+fn cmd_opt(program: &Program, rest: &[String]) -> ExitCode {
+    let mut cur = program.clone();
+    let passes: Vec<String> = match rest.iter().position(|a| a == "--passes") {
+        Some(i) => match rest.get(i + 1) {
+            Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+            None => {
+                eprintln!("xdpc: --passes needs a comma-separated list");
+                return ExitCode::from(2);
+            }
+        },
+        None => vec![
+            "elide-same-owner-comm".into(),
+            "vectorize-messages".into(),
+            "localize-bounds".into(),
+            "bind-communication".into(),
+            "elide-accessible-checks".into(),
+        ],
+    };
+    for name in passes {
+        let Some(pass) = pass_by_name(&name) else {
+            eprintln!("xdpc: unknown pass `{name}`");
+            return ExitCode::from(2);
+        };
+        let r = pass.run(&cur);
+        eprintln!(
+            "pass {name}: {}",
+            if r.changed { "changed" } else { "no change" }
+        );
+        for note in &r.notes {
+            eprintln!("  - {note}");
+        }
+        cur = r.program;
+    }
+    outp!("{}", pretty::program(&cur));
+    ExitCode::SUCCESS
+}
+
+fn cmd_tune(program: &Program, rest: &[String]) -> ExitCode {
+    let Some(array) = opt_val(rest, "--array") else {
+        eprintln!("xdpc: tune needs --array NAME");
+        return ExitCode::from(2);
+    };
+    let Some(pos) = program.decls.iter().position(|d| d.name == array) else {
+        eprintln!("xdpc: no array named `{array}`");
+        return ExitCode::FAILURE;
+    };
+    let rank = program.decls[pos].rank();
+    let shapes: Vec<Vec<i64>> = match opt_val(rest, "--segments") {
+        Some(list) => {
+            let mut out = Vec::new();
+            for spec in list.split(',') {
+                let dims: Option<Vec<i64>> =
+                    spec.split('x').map(|x| x.trim().parse().ok()).collect();
+                match dims {
+                    Some(d) if d.len() == rank && d.iter().all(|&x| x >= 1) => out.push(d),
+                    _ => {
+                        eprintln!(
+                            "xdpc: bad segment spec `{spec}` (rank-{rank} array; use e.g. 4 or 4x1)"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            out
+        }
+        None => {
+            eprintln!("xdpc: tune needs --segments LIST");
+            return ExitCode::from(2);
+        }
+    };
+    let nprocs = program
+        .decls
+        .iter()
+        .filter_map(|d| d.dist.as_ref().map(|x| x.nprocs()))
+        .max()
+        .unwrap_or(1);
+    let decls = program.decls.clone();
+    let result = xdp::tuning::tune(
+        &shapes,
+        xdp_apps::app_kernels(),
+        &SimConfig::new(nprocs),
+        |shape| {
+            let mut p = program.clone();
+            p.decls[pos].segment_shape = Some(shape.clone());
+            let decls = decls.clone();
+            (
+                p,
+                Box::new(move |exec: &mut SimExec| {
+                    for (i, d) in decls.iter().enumerate() {
+                        if d.is_exclusive() {
+                            let full = Section::new(d.bounds.clone());
+                            exec.init_exclusive(VarId(i as u32), move |idx| {
+                                Value::F64((full.ordinal_of(idx).unwrap_or(0) + 1) as f64)
+                            });
+                        }
+                    }
+                }),
+            )
+        },
+    );
+    match result {
+        Ok(r) => {
+            out!("{:>12}  {:>12}  {:>9}", "segments", "time", "messages");
+            for c in &r.all {
+                let label: Vec<String> = c.param.iter().map(|x| x.to_string()).collect();
+                out!(
+                    "{:>12}  {:>12.1}  {:>9}{}",
+                    label.join("x"),
+                    c.virtual_time,
+                    c.messages,
+                    if c.param == r.best.param {
+                        "   <- best"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xdpc: tuning failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt_val<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
+    for d in xdp_ir::validate(program) {
+        eprintln!("xdpc: error: {d}");
+        return ExitCode::FAILURE;
+    }
+    let mut program = program.clone();
+    if flag(rest, "--optimize") {
+        let (opt, log) = PassManager::paper_pipeline().run(&program);
+        for (name, r) in &log {
+            if r.changed {
+                eprintln!("pass {name}: changed");
+            }
+        }
+        program = opt;
+    }
+    // Machine size: --procs or the largest grid in the declarations.
+    let nprocs = opt_val(rest, "--procs")
+        .and_then(|v| v.parse().ok())
+        .or_else(|| {
+            program
+                .decls
+                .iter()
+                .filter_map(|d| d.dist.as_ref().map(|x| x.nprocs()))
+                .max()
+        })
+        .unwrap_or(1);
+    let mut cost = CostModel::default_1993();
+    if let Some(a) = opt_val(rest, "--alpha").and_then(|v| v.parse().ok()) {
+        cost.alpha = a;
+    }
+    if let Some(b) = opt_val(rest, "--beta").and_then(|v| v.parse().ok()) {
+        cost.beta = b;
+    }
+    let mut cfg = SimConfig::new(nprocs).with_cost(cost);
+    if flag(rest, "--timeline") {
+        cfg = cfg.with_timeline();
+    }
+    if flag(rest, "--unchecked") {
+        cfg = cfg.unchecked();
+    }
+
+    let decls = program.decls.clone();
+    let mut exec = SimExec::new(Arc::new(program), xdp_apps::app_kernels(), cfg);
+    // Deterministic default initialization: flattened element ordinal.
+    for (i, d) in decls.iter().enumerate() {
+        if d.is_exclusive() {
+            let full = Section::new(d.bounds.clone());
+            exec.init_exclusive(VarId(i as u32), move |idx| {
+                Value::F64((full.ordinal_of(idx).unwrap_or(0) + 1) as f64)
+            });
+        }
+    }
+    let report = match exec.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xdpc: runtime error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    out!(
+        "procs {nprocs}  virtual time {:.1}  messages {}  wire bytes {}  efficiency {:.1}%",
+        report.virtual_time,
+        report.net.messages,
+        report.net.wire_bytes,
+        100.0 * report.efficiency(),
+    );
+    for (pid, p) in report.procs.iter().enumerate() {
+        out!(
+            "  p{pid}: finish {:>10.1}  busy {:>10.1}  wait {:>10.1}  sends {:>4}  recvs {:>4}  symtab queries {:>5}",
+            p.finish_time, p.busy, p.wait, p.sends, p.recvs, p.symtab.queries
+        );
+    }
+    if flag(rest, "--timeline") {
+        out!("{}", report.gantt(96));
+    }
+    if let Some(name) = opt_val(rest, "--gather") {
+        let Some(pos) = decls.iter().position(|d| d.name == name) else {
+            eprintln!("xdpc: no array named `{name}`");
+            return ExitCode::FAILURE;
+        };
+        let g = exec.gather(VarId(pos as u32));
+        out!("{name}:");
+        for (idx, (owner, val)) in &g.values {
+            out!("  {name}{idx:?} = {:>12.4}   (p{owner})", val.as_f64());
+        }
+    }
+    ExitCode::SUCCESS
+}

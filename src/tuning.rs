@@ -1,0 +1,125 @@
+//! Simulation-driven parameter tuning.
+//!
+//! The paper leaves several knobs to the compiler — segment shape (§3.1),
+//! strategy choice (owner-computes vs ownership migration, §2.2), receive
+//! placement (§3.2) — and evaluates them by reasoning about the target
+//! machine. With a deterministic machine simulator in hand, the compiler
+//! can simply *measure*: build each candidate program, run it on the
+//! virtual machine, and keep the fastest. This module packages that loop.
+
+use crate::core::{KernelRegistry, RtError, SimConfig, SimExec};
+use crate::ir::Program;
+use std::sync::Arc;
+
+/// One evaluated candidate.
+#[derive(Clone, Debug)]
+pub struct Candidate<T> {
+    /// The candidate's parameter value.
+    pub param: T,
+    /// Simulated completion time.
+    pub virtual_time: f64,
+    /// Messages moved.
+    pub messages: u64,
+}
+
+/// Outcome of a tuning sweep: the winner plus every evaluated row.
+#[derive(Clone, Debug)]
+pub struct TuneResult<T> {
+    pub best: Candidate<T>,
+    pub all: Vec<Candidate<T>>,
+}
+
+/// Build and simulate every candidate; return the fastest.
+///
+/// `build` maps a parameter to a ready-to-run program plus an initializer
+/// (called with the fresh executor so candidates start from identical
+/// data). Candidates whose programs fail at run time are skipped; if all
+/// fail, the last error is returned.
+pub fn tune<T: Clone>(
+    params: &[T],
+    kernels: KernelRegistry,
+    cfg: &SimConfig,
+    mut build: impl FnMut(&T) -> (Program, Box<dyn Fn(&mut SimExec)>),
+) -> Result<TuneResult<T>, RtError> {
+    let mut all = Vec::new();
+    let mut last_err = None;
+    for p in params {
+        let (program, init) = build(p);
+        let mut exec = SimExec::new(Arc::new(program), kernels.clone(), cfg.clone());
+        init(&mut exec);
+        match exec.run() {
+            Ok(report) => all.push(Candidate {
+                param: p.clone(),
+                virtual_time: report.virtual_time,
+                messages: report.net.messages,
+            }),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match all
+        .iter()
+        .min_by(|a, b| a.virtual_time.partial_cmp(&b.virtual_time).unwrap())
+        .cloned()
+    {
+        Some(best) => Ok(TuneResult { best, all }),
+        None => {
+            Err(last_err
+                .unwrap_or_else(|| RtError::Deadlock("no tuning candidates supplied".into())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_apps::fft3d::{build_chunked, cube_ordinal, input_cube, Fft3dConfig};
+    use xdp_machine::CostModel;
+    use xdp_runtime::Value;
+
+    #[test]
+    fn tunes_the_redistribution_segment_size() {
+        // The E2 trade-off, resolved automatically: the tuner picks a
+        // middle segment size, not the 1-element or whole-column extremes.
+        let cfg = Fft3dConfig::new(8, 4);
+        let input = input_cube(8, 7);
+        let sim = SimConfig::new(4).with_cost(CostModel {
+            alpha: 100.0,
+            ..CostModel::default_1993()
+        });
+        let candidates = [1i64, 2, 4, 8];
+        let result = tune(&candidates, xdp_apps::app_kernels(), &sim, |&chunk| {
+            let (program, vars) = build_chunked(cfg, chunk);
+            let input = input.clone();
+            (
+                program,
+                Box::new(move |exec: &mut SimExec| {
+                    exec.init_exclusive(vars.a, |idx| Value::C64(input[cube_ordinal(8, idx)]));
+                }),
+            )
+        })
+        .expect("tuning");
+        assert_eq!(result.all.len(), candidates.len());
+        // Monotone message counts across candidates; the winner is the
+        // fastest of all rows.
+        for c in &result.all {
+            assert!(result.best.virtual_time <= c.virtual_time);
+        }
+        assert!(
+            result.best.param >= 2,
+            "1-element segments should not win: {:?}",
+            result.all
+        );
+    }
+
+    #[test]
+    fn empty_candidates_is_an_error() {
+        let sim = SimConfig::new(2);
+        let r = tune(
+            &[] as &[i64],
+            xdp_core::KernelRegistry::standard(),
+            &sim,
+            |_| unreachable!(),
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `xdpc` command-line driver against the sample
+//! programs in `xdp-programs/`.
+
+use std::process::Command;
+
+fn xdpc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xdpc"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn xdpc");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn check_parses_and_prints() {
+    let (stdout, _, ok) = xdpc(&["check", "xdp-programs/simple.xdp"]);
+    assert!(ok);
+    assert!(stdout.contains("T[mypid] <- B[i]"), "{stdout}");
+    assert!(stdout.contains("await(T[mypid]) : {"), "{stdout}");
+}
+
+#[test]
+fn run_simple_reports_traffic() {
+    let (stdout, _, ok) = xdpc(&["run", "xdp-programs/simple.xdp"]);
+    assert!(ok);
+    assert!(stdout.contains("messages 16"), "{stdout}");
+    assert!(stdout.contains("procs 4"), "{stdout}");
+}
+
+#[test]
+fn run_migration_gathers_new_owners() {
+    let (stdout, _, ok) = xdpc(&["run", "xdp-programs/migration.xdp", "--gather", "A"]);
+    assert!(ok);
+    // A[1] follows B (cyclic): owner p0, value 1 + 1 = 2.
+    assert!(stdout.contains("A[1] =       2.0000   (p0)"), "{stdout}");
+    assert!(stdout.contains("A[2] =       4.0000   (p1)"), "{stdout}");
+}
+
+#[test]
+fn opt_reduces_messages_when_rerun() {
+    let (optimized, stderr, ok) = xdpc(&["opt", "xdp-programs/simple.xdp"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("vectorize-messages: changed"), "{stderr}");
+    // The optimized text is itself valid input: write and run it.
+    let dir = std::env::temp_dir().join("xdpc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("opt.xdp");
+    std::fs::write(&path, &optimized).unwrap();
+    let (stdout, stderr2, ok2) = xdpc(&["run", path.to_str().unwrap()]);
+    assert!(ok2, "{stderr2}");
+    // 12 section messages instead of 16 element messages.
+    assert!(stdout.contains("messages 12"), "{stdout}");
+}
+
+#[test]
+fn run_fft_listing() {
+    let (stdout, _, ok) = xdpc(&["run", "xdp-programs/fft3d.xdp"]);
+    assert!(ok);
+    assert!(stdout.contains("messages 16"), "{stdout}");
+}
+
+#[test]
+fn errors_are_reported() {
+    let (_, stderr, ok) = xdpc(&["run", "xdp-programs/does-not-exist.xdp"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    let dir = std::env::temp_dir().join("xdpc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.xdp");
+    std::fs::write(&bad, "real A[1:4] distribute (WAT) onto 2\n").unwrap();
+    let (_, stderr, ok) = xdpc(&["check", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown distribution"), "{stderr}");
+}
+
+#[test]
+fn lower_translates_sequential_source() {
+    let (stdout, _, ok) = xdpc(&["lower", "xdp-programs/seq_sum.xdp"]);
+    assert!(ok);
+    assert!(stdout.contains("iown(B[i]) : {"), "{stdout}");
+    assert!(stdout.contains("_T0[mypid] <- B[i]"), "{stdout}");
+    // Lowered output is valid input for `opt` and `run`.
+    let dir = std::env::temp_dir().join("xdpc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lowered.xdp");
+    std::fs::write(&path, &stdout).unwrap();
+    let (out2, _, ok2) = xdpc(&["run", path.to_str().unwrap()]);
+    assert!(ok2);
+    assert!(out2.contains("messages 16"), "{out2}");
+}
+
+#[test]
+fn lower_rejects_xdp_constructs() {
+    let (_, stderr, ok) = xdpc(&["lower", "xdp-programs/migration.xdp"]);
+    assert!(!ok);
+    assert!(stderr.contains("not a sequential statement"), "{stderr}");
+}
+
+#[test]
+fn tune_picks_a_middle_segment_shape() {
+    let (stdout, stderr, ok) = xdpc(&[
+        "tune",
+        "xdp-programs/pipeline.xdp",
+        "--array",
+        "DST",
+        "--segments",
+        "1,16,64,256",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("<- best"), "{stdout}");
+    // Neither extreme wins: the serialized whole-half segment and the
+    // scan-heavy unit segment both lose to a middle shape.
+    for line in stdout.lines() {
+        if line.contains("<- best") {
+            let seg = line.split_whitespace().next().unwrap();
+            assert!(seg == "16" || seg == "64", "unexpected best: {line}");
+        }
+    }
+}

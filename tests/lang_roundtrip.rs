@@ -1,0 +1,118 @@
+//! Cross-crate round trips: every program the compiler can produce must
+//! survive pretty-print -> parse -> pretty-print unchanged, and the parsed
+//! program must execute identically to the original.
+
+use std::sync::Arc;
+use xdp::prelude::*;
+use xdp_compiler::passes::{BindCommunication, MigrateOwnership};
+use xdp_ir::pretty;
+use xdp_lang::parse_program;
+
+fn source(n: i64, nprocs: usize, bd: DimDist) -> (SeqProgram, VarId, VarId) {
+    let grid = ProcGrid::linear(nprocs);
+    let mut s = SeqProgram::new();
+    let a = s.declare(build::array(
+        "A",
+        ElemType::F64,
+        vec![(1, n)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    let b = s.declare(build::array(
+        "B",
+        ElemType::F64,
+        vec![(1, n)],
+        vec![bd],
+        grid,
+    ));
+    let ai = build::sref(a, vec![build::at(build::iv("i"))]);
+    let bi = build::sref(b, vec![build::at(build::iv("i"))]);
+    s.body = vec![SeqStmt::DoLoop {
+        var: "i".into(),
+        lo: build::c(1),
+        hi: build::c(n),
+        body: vec![SeqStmt::Assign {
+            target: ai.clone(),
+            rhs: build::val(ai).add(build::val(bi)),
+        }],
+    }];
+    (s, a, b)
+}
+
+fn assert_fixpoint_and_equivalent(p: &Program, a: VarId, b: VarId, nprocs: usize, n: i64) {
+    let text1 = pretty::program(p);
+    let reparsed = parse_program(&text1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text1}"));
+    let text2 = pretty::program(&reparsed);
+    assert_eq!(text1, text2, "pretty/parse fixpoint");
+
+    let run = |prog: &Program| {
+        let mut exec = SimExec::new(
+            Arc::new(prog.clone()),
+            KernelRegistry::standard(),
+            SimConfig::new(nprocs),
+        );
+        exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        exec.init_exclusive(b, |idx| Value::F64(7.0 * idx[0] as f64));
+        let r = exec.run().expect("run");
+        let g = exec.gather(a);
+        let vals: Vec<f64> = (1..=n).map(|i| g.get(&[i]).unwrap().as_f64()).collect();
+        (vals, r.net.messages, r.virtual_time)
+    };
+    assert_eq!(run(p), run(&reparsed), "parsed program behaves identically");
+}
+
+#[test]
+fn frontend_output_roundtrips() {
+    let (s, a, b) = source(16, 4, DimDist::Cyclic);
+    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    assert_fixpoint_and_equivalent(&naive, a, b, 4, 16);
+}
+
+#[test]
+fn optimized_output_roundtrips() {
+    let (s, a, b) = source(16, 4, DimDist::Cyclic);
+    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let (opt, _) = PassManager::paper_pipeline().run(&naive);
+    assert_fixpoint_and_equivalent(&opt, a, b, 4, 16);
+}
+
+#[test]
+fn bound_output_roundtrips() {
+    let (s, a, b) = source(16, 4, DimDist::Cyclic);
+    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let bound = BindCommunication.run(&naive).program;
+    assert_fixpoint_and_equivalent(&bound, a, b, 4, 16);
+}
+
+#[test]
+fn migrated_output_roundtrips() {
+    let (s, a, b) = source(16, 4, DimDist::Cyclic);
+    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let mig = MigrateOwnership::default().run(&naive).program;
+    assert_fixpoint_and_equivalent(&mig, a, b, 4, 16);
+}
+
+#[test]
+fn fft_stage_programs_roundtrip() {
+    use xdp_apps::fft3d::{build, Fft3dConfig, Stage};
+    for stage in Stage::all() {
+        let (p, _) = build(Fft3dConfig::new(8, 4), stage);
+        let text1 = pretty::program(&p);
+        let reparsed = parse_program(&text1)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text1}", stage.label()));
+        assert_eq!(text1, pretty::program(&reparsed), "{}", stage.label());
+    }
+}
+
+#[test]
+fn farm_program_roundtrips() {
+    use xdp_apps::farm::{build_farm, FarmConfig};
+    let (p, _) = build_farm(FarmConfig {
+        tasks: 8,
+        nprocs: 4,
+        scale: 3,
+    });
+    let text1 = pretty::program(&p);
+    let reparsed = parse_program(&text1).expect("reparse farm");
+    assert_eq!(text1, pretty::program(&reparsed));
+}
