@@ -21,14 +21,14 @@ bench:
 experiments:
 	@for b in fig1_conformance fig2_symtab fig3_segments fig4_fft3d \
 	          e1_simple e2_segsize e3_rulecost e4_loadbal e5_binding \
-	          e6_crossover e7_topology; do \
+	          e6_crossover e7_topology e8_collectives; do \
 	    echo "==== $$b ===="; \
 	    cargo run -q --release -p xdp-bench --bin $$b; \
 	done
 
 examples:
 	@for e in quickstart fft3d paper_listings load_balance redistribute \
-	          memory_hierarchy debug_monitor; do \
+	          collectives memory_hierarchy debug_monitor; do \
 	    echo "==== $$e ===="; \
 	    cargo run -q --release --example $$e; \
 	done

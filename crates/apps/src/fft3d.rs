@@ -21,6 +21,10 @@
 //!   arrived.
 //! * [`Stage::V4PrePosted`] — remote ownership receives posted before any
 //!   computation, so transfers complete while the dimension-1/2 FFTs run.
+//! * [`Stage::V5Planned`] — the per-column migration loops replaced by a
+//!   single `redistribute` statement: the `xdp-collectives` planner turns
+//!   the `(*,*,BLOCK) -> (*,BLOCK,*)` remap into a vectorized,
+//!   destination-bound schedule of `P(P-1)` plane-exchange messages.
 //!
 //! Generalization note: the paper's `4x4x4`-on-4 example owns one plane per
 //! processor, letting its Loop3 guard the receives with `iown(A[*,*,p])`
@@ -71,17 +75,22 @@ pub enum Stage {
     /// receives are posted before any computation, so transfers complete
     /// during the dimension-1/2 FFTs.
     V4PrePosted,
+    /// The migration loops replaced by one planned `redistribute`
+    /// statement (the `xdp-collectives` planner emits the message
+    /// schedule).
+    V5Planned,
 }
 
 impl Stage {
     /// All stages in derivation order.
-    pub fn all() -> [Stage; 5] {
+    pub fn all() -> [Stage; 6] {
         [
             Stage::V0Naive,
             Stage::V1Localized,
             Stage::V2Fused,
             Stage::V3AwaitSunk,
             Stage::V4PrePosted,
+            Stage::V5Planned,
         ]
     }
 
@@ -93,6 +102,7 @@ impl Stage {
             Stage::V2Fused => "v2-fused",
             Stage::V3AwaitSunk => "v3-await-sunk",
             Stage::V4PrePosted => "v4-preposted",
+            Stage::V5Planned => "v5-planned",
         }
     }
 }
@@ -386,6 +396,55 @@ pub fn build(cfg: Fft3dConfig, stage: Stage) -> (Program, Fft3dVars) {
                 ),
             ]
         }
+        Stage::V5Planned => vec![
+            // Dimension-2 then dimension-1 FFTs, local under (*,*,BLOCK).
+            b::do_loop_step(
+                "k",
+                klo.clone(),
+                khi.clone(),
+                b::c(1),
+                vec![b::do_loop(
+                    "i",
+                    b::c(1),
+                    b::c(n),
+                    vec![b::kernel("fft1d", vec![row_i_k.clone()])],
+                )],
+            ),
+            b::do_loop_step(
+                "k",
+                klo.clone(),
+                khi.clone(),
+                b::c(1),
+                vec![b::do_loop(
+                    "j",
+                    b::c(1),
+                    b::c(n),
+                    vec![b::kernel("fft1d", vec![col_j_k.clone()])],
+                )],
+            ),
+            // The whole migration, as one planned statement.
+            b::redistribute(
+                a,
+                xdp_ir::Distribution::new(
+                    vec![DimDist::Star, DimDist::Block, DimDist::Star],
+                    ProcGrid::linear(cfg.nprocs),
+                ),
+            ),
+            // Dimension-3 FFTs, local under (*,BLOCK,*). The witness gives
+            // the owned row-slab range.
+            b::do_loop_step(
+                "j",
+                jlo.clone(),
+                jhi.clone(),
+                b::c(1),
+                vec![b::do_loop(
+                    "i",
+                    b::c(1),
+                    b::c(n),
+                    vec![b::kernel("fft1d", vec![line_i_j.clone()])],
+                )],
+            ),
+        ],
         Stage::V2Fused | Stage::V3AwaitSunk => {
             let mut v = vec![
                 b::do_loop_step(
@@ -784,10 +843,16 @@ mod tests {
             let r = run_stage(cfg, stage, SimConfig::new(4), 7).expect("run");
             times.push((stage.label(), r.virtual_time, r.net.messages));
         }
-        // Redistribution always moves the off-diagonal columns: n*(n-1)
-        // remote + n self per proc... total = n*n columns transferred.
-        for (_, _, msgs) in &times {
-            assert_eq!(*msgs, 16, "{times:?}");
+        // The migration stages move the off-diagonal columns one message
+        // each: n*n columns transferred. The planner vectorizes each
+        // processor pair's columns into one plane message: P*(P-1).
+        for (label, _, msgs) in &times {
+            let want = if *label == Stage::V5Planned.label() {
+                12
+            } else {
+                16
+            };
+            assert_eq!(*msgs, want, "{times:?}");
         }
         // The derivation stages v1-v3 are no slower than naive. v4
         // (receive preposting) pays its posting overhead up front and only
@@ -801,7 +866,12 @@ mod tests {
     #[test]
     fn multi_plane_per_processor() {
         let cfg = Fft3dConfig::new(8, 2);
-        for stage in [Stage::V1Localized, Stage::V3AwaitSunk, Stage::V4PrePosted] {
+        for stage in [
+            Stage::V1Localized,
+            Stage::V3AwaitSunk,
+            Stage::V4PrePosted,
+            Stage::V5Planned,
+        ] {
             run_stage(cfg, stage, SimConfig::new(2), 11).expect("run");
         }
     }
@@ -872,7 +942,7 @@ mod tests {
     fn threaded_backend_runs_the_redistribution() {
         // Real threads + rendezvous matching + ownership transfer: the
         // strongest concurrency test in the suite.
-        for stage in [Stage::V1Localized, Stage::V3AwaitSunk] {
+        for stage in [Stage::V1Localized, Stage::V3AwaitSunk, Stage::V5Planned] {
             run_stage_threads(Fft3dConfig::new(8, 4), stage, 21)
                 .unwrap_or_else(|e| panic!("{}: {e}", stage.label()));
         }

@@ -1,0 +1,74 @@
+//! Wall-clock benchmarks of the collectives subsystem: planning cost
+//! (section algebra + strategy choice), schedule construction for the
+//! classic collectives, and packed schedule execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xdp_collectives::{allreduce, alltoall_bruck, plan, run_lockstep};
+use xdp_ir::{DimDist, Distribution, ProcGrid, Section, Triplet, VarId};
+use xdp_machine::{CostModel, Topology};
+
+fn bench_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redistribution_plan");
+    for &nprocs in &[4usize, 16] {
+        let n = 4096i64;
+        let bounds = [Triplet::range(1, n)];
+        let src = Distribution::new(vec![DimDist::Block], ProcGrid::linear(nprocs));
+        let dst = Distribution::new(vec![DimDist::Cyclic], ProcGrid::linear(nprocs));
+        let model = CostModel::default_1993();
+        g.bench_with_input(BenchmarkId::from_parameter(nprocs), &nprocs, |b, _| {
+            b.iter(|| {
+                black_box(plan(
+                    VarId(0),
+                    black_box(&bounds),
+                    8,
+                    &src,
+                    &dst,
+                    &model,
+                    &Topology::Linear,
+                    false,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collective_schedules");
+    for &nprocs in &[8usize, 32] {
+        let n = (nprocs as i64) * 64;
+        g.bench_with_input(BenchmarkId::new("allreduce", nprocs), &nprocs, |b, &p| {
+            b.iter(|| black_box(allreduce(VarId(0), black_box(n), 8, p)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("alltoall_bruck", nprocs),
+            &nprocs,
+            |b, &p| b.iter(|| black_box(alltoall_bruck(VarId(0), black_box(n), 8, p))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_lockstep_exec(c: &mut Criterion) {
+    let nprocs = 8usize;
+    let n = 2048i64;
+    let bounds = Section::new(vec![Triplet::range(1, n)]);
+    let s = alltoall_bruck(VarId(0), n, 8, nprocs);
+    let init: Vec<Vec<f64>> = (0..nprocs)
+        .map(|p| (0..n).map(|i| (p as f64) * 1e4 + i as f64).collect())
+        .collect();
+    c.bench_function("lockstep_alltoall_8x2048", |b| {
+        b.iter_batched(
+            || init.clone(),
+            |mut data| {
+                run_lockstep(&s, &bounds, &mut data);
+                data
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_plan, bench_schedules, bench_lockstep_exec);
+criterion_main!(benches);

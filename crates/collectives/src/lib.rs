@@ -1,0 +1,47 @@
+//! # xdp-collectives — explicit collective communication for XDP
+//!
+//! The paper's thesis is that data placement and movement deserve explicit
+//! compile-time representation. This crate extends that stance from
+//! point-to-point transfers to *collectives*: a broadcast, reduction,
+//! all-gather, all-to-all, or array redistribution is represented as a
+//! [`CommSchedule`] — an explicit, inspectable round structure of tagged
+//! point-to-point messages — rather than an opaque runtime call.
+//!
+//! Because the schedule is a value, one object serves four purposes:
+//!
+//! 1. **Prediction** — [`CommSchedule::predicted_cost`] prices it under a
+//!    [`xdp_machine::CostModel`] and [`xdp_machine::Topology`] before any
+//!    data moves.
+//! 2. **Simulation** — [`exec::run_sim`] replays it on the virtual-time
+//!    [`xdp_machine::SimNet`].
+//! 3. **Execution** — [`exec::run_pid`] runs one processor's side over any
+//!    [`Net`] (the threaded machine backend, or the in-process
+//!    [`LocalNet`]).
+//! 4. **Lowering** — [`planner::lower_redistribute_for_pid`] turns a
+//!    redistribution plan into ordinary IL+XDP send/receive statements, so
+//!    the interpreter's `redistribute` statement executes through the same
+//!    symbol-table machinery as hand-written transfers.
+//!
+//! [`algorithms`] supplies the classical schedules (binomial trees,
+//! recursive doubling, ring, pairwise exchange, Bruck); [`planner`] chooses
+//! between direct and staged routing for arbitrary
+//! distribution-to-distribution remaps using the section algebra and the
+//! cost model.
+
+pub mod algorithms;
+pub mod exec;
+pub mod net;
+pub mod planner;
+pub mod schedule;
+
+pub use algorithms::{
+    allgather_recursive_doubling, allgather_ring, allreduce, alltoall_bruck, alltoall_pairwise,
+    broadcast_binomial, reduce_binomial,
+};
+pub use exec::{run_lockstep, run_pid, run_sim};
+pub use net::{LocalNet, Net};
+pub use planner::{
+    compatible_segment_shape, lower_redistribute_for_pid, plan, prepare, prepare_arc,
+    redistribution_pieces, Piece, RedistPlan, Strategy,
+};
+pub use schedule::{CommSchedule, Round, Transfer};

@@ -1,0 +1,139 @@
+//! The network abstraction collective executors run over.
+//!
+//! A [`Net`] is any transport with XDP's rendezvous-by-name semantics:
+//! non-blocking sends, receives that claim the first eligible message with a
+//! matching tag. [`xdp_machine::ThreadNet`] implements it directly; the
+//! in-process [`LocalNet`] here provides the same semantics without the
+//! machine model, for deterministic unit tests and lockstep drivers.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+use xdp_machine::ThreadNet;
+use xdp_runtime::{Msg, Tag};
+
+/// A rendezvous-matching message transport.
+pub trait Net {
+    /// Post a message, optionally bound to destination pids.
+    fn send(&self, msg: Msg, dest: Option<Vec<usize>>);
+    /// Claim the first eligible message with this tag; `None` on timeout.
+    fn recv(&self, tag: &Tag, self_pid: usize, timeout: Duration) -> Option<Msg>;
+}
+
+impl Net for ThreadNet {
+    fn send(&self, msg: Msg, dest: Option<Vec<usize>>) {
+        ThreadNet::send(self, msg, dest);
+    }
+
+    fn recv(&self, tag: &Tag, self_pid: usize, timeout: Duration) -> Option<Msg> {
+        ThreadNet::recv(self, tag, self_pid, timeout)
+    }
+}
+
+type Queues = HashMap<Tag, VecDeque<(Msg, Option<Vec<usize>>)>>;
+
+/// A minimal in-process [`Net`]: FIFO per tag, destination-bound claiming,
+/// condvar-blocking receives. No traffic accounting, no cost model.
+#[derive(Default)]
+pub struct LocalNet {
+    queues: Mutex<Queues>,
+    cond: Condvar,
+}
+
+impl LocalNet {
+    /// An empty network.
+    pub fn new() -> LocalNet {
+        LocalNet::default()
+    }
+
+    /// Count of unclaimed messages.
+    pub fn pending(&self) -> usize {
+        self.queues
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(|q| q.len())
+            .sum()
+    }
+}
+
+impl Net for LocalNet {
+    fn send(&self, msg: Msg, dest: Option<Vec<usize>>) {
+        self.queues
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(msg.tag.clone())
+            .or_default()
+            .push_back((msg, dest));
+        self.cond.notify_all();
+    }
+
+    fn recv(&self, tag: &Tag, self_pid: usize, timeout: Duration) -> Option<Msg> {
+        let mut queues = self.queues.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(q) = queues.get_mut(tag) {
+                if let Some(pos) = q.iter().position(|(_, dest)| match dest {
+                    None => true,
+                    Some(pids) => pids.contains(&self_pid),
+                }) {
+                    let (msg, _) = q.remove(pos).unwrap();
+                    return Some(msg);
+                }
+            }
+            let (guard, res) = self
+                .cond
+                .wait_timeout(queues, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            queues = guard;
+            if res.timed_out() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_ir::{ElemType, Section, TransferKind, Triplet, VarId};
+    use xdp_runtime::Buffer;
+
+    fn msg(salt: i64, src: usize) -> Msg {
+        Msg {
+            tag: Tag::salted(VarId(0), Section::new(vec![Triplet::range(1, 2)]), salt),
+            kind: TransferKind::Value,
+            payload: Some(Buffer::zeros(ElemType::F64, 2)),
+            src,
+        }
+    }
+
+    #[test]
+    fn local_net_fifo_and_binding() {
+        let net = LocalNet::new();
+        net.send(msg(1, 0), Some(vec![2]));
+        net.send(msg(1, 1), None);
+        // P1 skips the bound message and claims the unbound one.
+        let got = net
+            .recv(&msg(1, 0).tag, 1, Duration::from_millis(10))
+            .unwrap();
+        assert_eq!(got.src, 1);
+        let got = net
+            .recv(&msg(1, 0).tag, 2, Duration::from_millis(10))
+            .unwrap();
+        assert_eq!(got.src, 0);
+        assert_eq!(net.pending(), 0);
+        assert!(net
+            .recv(&msg(9, 0).tag, 0, Duration::from_millis(5))
+            .is_none());
+    }
+
+    #[test]
+    fn local_net_blocks_across_threads() {
+        let net = std::sync::Arc::new(LocalNet::new());
+        let n2 = net.clone();
+        let h = std::thread::spawn(move || n2.recv(&msg(3, 0).tag, 1, Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(20));
+        net.send(msg(3, 0), None);
+        assert!(h.join().unwrap().is_some());
+    }
+}

@@ -310,6 +310,23 @@ pub fn accesses(stmt: &Stmt, out: &mut Vec<Access>) {
             }
         }
         Stmt::Barrier => {}
+        Stmt::Redistribute { var, .. } => {
+            // A collective rewrite of the variable's entire placement:
+            // reads and rewrites everything, moves ownership both ways.
+            let whole = SectionRef::scalar(*var);
+            for kind in [
+                AccessKind::Read,
+                AccessKind::Write,
+                AccessKind::OwnOut,
+                AccessKind::OwnIn,
+            ] {
+                out.push(Access {
+                    var: *var,
+                    r: whole.clone(),
+                    kind,
+                });
+            }
+        }
     }
 }
 

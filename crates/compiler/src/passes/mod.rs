@@ -11,6 +11,7 @@
 //! | [`FuseLoops`] | §4 Loop2+Loop3a fusion | fuses adjacent conformable loops after the ownership-interference legality check |
 //! | [`SinkAwait`] | §4 final step | moves a section-level `await` into the loop at per-iteration granularity |
 //! | [`MigrateOwnership`] | §2.2 second fragment | rewrites owner-computes into the dynamic ownership-migration strategy |
+//! | [`LowerRedistribute`] | §2.2 + planner | collapses whole-array ownership-migration nests into one planned `redistribute` |
 //! | [`ElideAccessibleChecks`] | §3.2 use-def elimination | downgrades `await`/`accessible` to `iown` when no receive can make the section transitional |
 
 mod bind;
@@ -18,6 +19,7 @@ mod elide_checks;
 mod elide_comm;
 mod fuse;
 mod localize;
+mod lower_redistribute;
 mod migrate;
 pub mod pattern;
 mod sink_await;
@@ -28,6 +30,7 @@ pub use elide_checks::ElideAccessibleChecks;
 pub use elide_comm::ElideSameOwnerComm;
 pub use fuse::FuseLoops;
 pub use localize::LocalizeBounds;
+pub use lower_redistribute::LowerRedistribute;
 pub use migrate::MigrateOwnership;
 pub use sink_await::SinkAwait;
 pub use vectorize::VectorizeMessages;
@@ -271,5 +274,10 @@ pub(crate) fn subst_stmt(s: &xdp_ir::Stmt, name: &str, rep: &xdp_ir::IntExpr) ->
             }
         }
         Barrier => Barrier,
+        // No integer expressions inside: nothing to substitute.
+        Redistribute { var, dist } => Redistribute {
+            var: *var,
+            dist: dist.clone(),
+        },
     }
 }

@@ -26,7 +26,8 @@ use crate::kernels::KernelRegistry;
 use std::collections::HashMap;
 use std::sync::Arc as Rc;
 use std::sync::Arc;
-use xdp_ir::{Decl, DestSet, Program, Section, Stmt, TransferKind, VarId};
+use xdp_ir::{Decl, DestSet, Distribution, Program, Section, Stmt, TransferKind, VarId};
+use xdp_machine::{CostModel, Topology};
 use xdp_runtime::{Buffer, Msg, Tag};
 
 /// What the executor must do after a step.
@@ -96,6 +97,14 @@ pub struct Interp {
     pending: HashMap<u64, (Tag, PendingRecv)>,
     next_req: u64,
     barrier_passed: bool,
+    /// Current distribution of each redistributed variable (falls back to
+    /// the declared distribution). SPMD-identical across processors.
+    cur_dist: HashMap<VarId, Distribution>,
+    /// Cost model and topology the redistribution planner prices
+    /// candidate schedules with (the machine defaults when unset).
+    plan_cfg: Option<(CostModel, Topology)>,
+    /// Count of `redistribute` statements executed, for tag salting.
+    redist_epoch: u64,
 }
 
 impl Interp {
@@ -121,7 +130,18 @@ impl Interp {
             pending: HashMap::new(),
             next_req: (pid as u64) << 32,
             barrier_passed: false,
+            cur_dist: HashMap::new(),
+            plan_cfg: None,
+            redist_epoch: 0,
         }
+    }
+
+    /// Tell the redistribution planner what machine it is pricing
+    /// schedules for. Must be identical on every processor (the plan is
+    /// computed from static information, so identical inputs give
+    /// identical schedules and tags machine-wide).
+    pub fn set_plan_cfg(&mut self, cost: CostModel, topo: Topology) {
+        self.plan_cfg = Some((cost, topo));
     }
 
     /// The loaded program.
@@ -535,6 +555,45 @@ impl Interp {
                 } else {
                     Ok(Action::Barrier)
                 }
+            }
+            Stmt::Redistribute { var, dist } => {
+                let decl = self.program.decl(var);
+                let src = self
+                    .cur_dist
+                    .get(&var)
+                    .or(decl.dist.as_ref())
+                    .cloned()
+                    .ok_or_else(|| RtError::BadTransfer {
+                        pid: self.env.pid,
+                        detail: format!("redistribute of undistributed `{}`", decl.name),
+                    })?;
+                let (cost, topo) = self
+                    .plan_cfg
+                    .clone()
+                    .unwrap_or((CostModel::default_1993(), Topology::Uniform));
+                let plan = xdp_collectives::plan(
+                    var,
+                    &decl.bounds,
+                    decl.elem.size_bytes(),
+                    &src,
+                    &dist,
+                    &cost,
+                    &topo,
+                    true, // lowering emits one section per transfer statement
+                );
+                // Planning consults the section algebra once per message.
+                self.env.ops.symtab_ops += plan.schedule.message_count() as u64;
+                // Epoch-salted tags keep successive redistributions of one
+                // variable from cross-matching.
+                self.redist_epoch += 1;
+                let salt_base = self.redist_epoch as i64 * 1_000_000;
+                let stmts =
+                    xdp_collectives::lower_redistribute_for_pid(&plan, self.env.pid, salt_base);
+                self.cur_dist.insert(var, dist);
+                self.advance();
+                let b: Rc<[Stmt]> = stmts.into();
+                self.stack.push(Frame::Block { stmts: b, idx: 0 });
+                Ok(Action::Continue)
             }
         }
     }

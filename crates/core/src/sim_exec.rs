@@ -109,8 +109,15 @@ impl SimExec {
     /// Load `program` onto every processor of the configured machine.
     pub fn new(program: Arc<Program>, kernels: KernelRegistry, cfg: SimConfig) -> SimExec {
         let n = cfg.nprocs;
+        // Refine segment shapes so planned redistributions move whole
+        // segments (no-op for programs without `redistribute`).
+        let program = xdp_collectives::prepare_arc(program);
         let interps = (0..n)
-            .map(|pid| Interp::new(program.clone(), kernels.clone(), pid, n, cfg.checked))
+            .map(|pid| {
+                let mut i = Interp::new(program.clone(), kernels.clone(), pid, n, cfg.checked);
+                i.set_plan_cfg(cfg.cost, cfg.topo.clone());
+                i
+            })
             .collect();
         let net = SimNet::new(n, cfg.cost, cfg.topo.clone());
         SimExec {

@@ -60,6 +60,9 @@ impl ThreadExec {
     /// Load `program` onto every processor.
     pub fn new(program: Arc<Program>, kernels: KernelRegistry, cfg: ThreadConfig) -> ThreadExec {
         let n = cfg.nprocs;
+        // Segment shapes must accommodate any planned redistributions, and
+        // every thread must plan with identical inputs so tags agree.
+        let program = xdp_collectives::prepare_arc(program);
         let interps = (0..n)
             .map(|pid| Interp::new(program.clone(), kernels.clone(), pid, n, cfg.checked))
             .collect();

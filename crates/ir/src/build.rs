@@ -246,6 +246,12 @@ pub fn recv_own_val(target: SectionRef) -> Stmt {
     }
 }
 
+/// `redistribute V (DIMS) onto GRID` — collective redistribution of an
+/// exclusive array to a new distribution.
+pub fn redistribute(var: VarId, dist: Distribution) -> Stmt {
+    Stmt::Redistribute { var, dist }
+}
+
 /// Declaration helper: exclusive array with a distribution.
 pub fn array(
     name: &str,

@@ -156,6 +156,9 @@ pub fn stmt(p: &Program, s: &Stmt, indent: usize) -> String {
             out
         }
         Stmt::Barrier => format!("{ind}barrier\n"),
+        Stmt::Redistribute { var, dist } => {
+            format!("{ind}redistribute {} {dist}\n", p.decl(*var).name)
+        }
     }
 }
 

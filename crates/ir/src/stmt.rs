@@ -115,6 +115,13 @@ pub enum Stmt {
     /// compiler; the barrier is one of the primitives a compiler may bind
     /// (it is never inserted by the optimization passes themselves).
     Barrier,
+    /// Collective redistribution: move exclusive variable `var` from its
+    /// current distribution to `dist`. Semantically equal to the explicit
+    /// ownership-migration loop nest (`-=>` / `<=-` per element, as in §4's
+    /// FFT), but represented as one node so the `xdp-collectives` planner
+    /// can choose the message schedule. Every processor must execute the
+    /// statement (it is a collective).
+    Redistribute { var: VarId, dist: Distribution },
 }
 
 impl Stmt {
@@ -261,6 +268,7 @@ impl Program {
             Stmt::Guarded { .. } => c.guards += 1,
             Stmt::DoLoop { .. } => c.loops += 1,
             Stmt::Barrier => c.barriers += 1,
+            Stmt::Redistribute { .. } => c.redistributes += 1,
         });
         c
     }
@@ -282,6 +290,7 @@ pub struct StmtCensus {
     pub guards: usize,
     pub loops: usize,
     pub barriers: usize,
+    pub redistributes: usize,
 }
 
 #[cfg(test)]

@@ -232,6 +232,30 @@ impl<'a> Validator<'a> {
                 }
             }
             Stmt::Barrier => {}
+            Stmt::Redistribute { var, dist } => {
+                let d = self.p.decl(*var);
+                if !d.is_exclusive() {
+                    self.out
+                        .push(format!("redistribute of universal variable `{}`", d.name));
+                }
+                if dist.rank() != d.rank() {
+                    self.out.push(format!(
+                        "redistribute of `{}` (rank {}) with a rank-{} distribution",
+                        d.name,
+                        d.rank(),
+                        dist.rank()
+                    ));
+                }
+                if let Some(np) = self.nprocs {
+                    if dist.nprocs() != np {
+                        self.out.push(format!(
+                            "redistribute of `{}` onto {} processors on a {np}-processor machine",
+                            d.name,
+                            dist.nprocs()
+                        ));
+                    }
+                }
+            }
         }
     }
 }

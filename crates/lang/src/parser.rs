@@ -196,24 +196,7 @@ impl Parser {
         if self.eat_ident("universal") {
             ownership = Ownership::Universal;
         } else if self.eat_ident("distribute") {
-            if self.peek_ident("align") {
-                dist = Some(self.aligned_dist()?);
-            } else {
-                self.expect(&TokenKind::LParen)?;
-                let mut dims = Vec::new();
-                loop {
-                    dims.push(self.dim_dist()?);
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
-                }
-                self.expect(&TokenKind::RParen)?;
-                if !self.eat_ident("onto") {
-                    return self.err("expected `onto` after distribute dims");
-                }
-                let grid = self.grid()?;
-                dist = Some(Distribution::new(dims, grid));
-            }
+            dist = Some(self.distribution()?);
         } else {
             return self.err("declaration needs `distribute (...) onto ...` or `universal`");
         }
@@ -238,6 +221,27 @@ impl Parser {
             dist,
             segment_shape,
         })
+    }
+
+    /// `(BLOCK,CYCLIC) onto 2x2` or an `align ...` clause.
+    fn distribution(&mut self) -> PResult<Distribution> {
+        if self.peek_ident("align") {
+            return self.aligned_dist();
+        }
+        self.expect(&TokenKind::LParen)?;
+        let mut dims = Vec::new();
+        loop {
+            dims.push(self.dim_dist()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        if !self.eat_ident("onto") {
+            return self.err("expected `onto` after distribution dims");
+        }
+        let grid = self.grid()?;
+        Ok(Distribution::new(dims, grid))
     }
 
     /// `align (BLOCK) onto 4 bounds [1:16] map (d0+1,*)` — ownership
@@ -367,6 +371,15 @@ impl Parser {
         if self.eat_ident("barrier") {
             self.end_of_stmt()?;
             return Ok(Stmt::Barrier);
+        }
+        if self.eat_ident("redistribute") {
+            let name = self.ident()?;
+            let Some(var) = self.program.lookup(&name) else {
+                return self.err(format!("redistribute of undeclared array `{name}`"));
+            };
+            let dist = self.distribution()?;
+            self.end_of_stmt()?;
+            return Ok(Stmt::Redistribute { var, dist });
         }
         // Guarded statement: `<rule> : { ... }` — try with backtracking.
         let save = self.pos;
@@ -878,6 +891,28 @@ do i = 1, 16 {
         assert_eq!(c.sends, 1);
         assert_eq!(c.recvs, 1);
         roundtrip(src);
+    }
+
+    #[test]
+    fn parses_redistribute() {
+        let src = r#"
+real A[1:16,1:16] distribute (BLOCK,*) onto 4
+
+redistribute A (*,CYCLIC) onto 4
+redistribute A (BLOCK,BLOCK) onto 2x2
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmt_census().redistributes, 2);
+        let Stmt::Redistribute { var, dist } = &p.body[0] else {
+            panic!("expected redistribute, got {:?}", p.body[0]);
+        };
+        assert_eq!(p.decl(*var).name, "A");
+        assert_eq!(dist.to_string(), "(*,CYCLIC) onto 4");
+        assert!(xdp_ir::validate(&p).is_empty());
+        roundtrip(src);
+
+        let bad = parse_program("redistribute Z (BLOCK) onto 4\n");
+        assert!(bad.unwrap_err().to_string().contains("undeclared"));
     }
 
     #[test]

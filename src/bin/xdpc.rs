@@ -7,6 +7,9 @@
 //! xdpc run   <file.xdp> [options]        execute on the simulated machine
 //! xdpc tune  <file.xdp> --array NAME --segments 1,2,4[,8x1,...]
 //!                                        pick the fastest segment shape by simulation
+//! xdpc plan  <file.xdp> [--alpha X] [--beta X] [--topo uniform|linear|RxC]
+//!                                        show the planned schedule and predicted cost
+//!                                        of every `redistribute` statement
 //!
 //! run options:
 //!   --procs N        machine size (default: from the declarations)
@@ -52,7 +55,7 @@ use xdp_ir::pretty;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xdpc <check|lower|opt|run|tune> <file.xdp> [options]\n(see `src/bin/xdpc.rs` header for options)"
+        "usage: xdpc <check|lower|opt|run|tune|plan> <file.xdp> [options]\n(see `src/bin/xdpc.rs` header for options)"
     );
     ExitCode::from(2)
 }
@@ -105,6 +108,7 @@ fn main() -> ExitCode {
         "opt" => cmd_opt(&program, rest),
         "run" => cmd_run(&program, rest),
         "tune" => cmd_tune(&program, rest),
+        "plan" => cmd_plan(&program, rest),
         _ => usage(),
     }
 }
@@ -249,6 +253,104 @@ fn cmd_tune(program: &Program, rest: &[String]) -> ExitCode {
     }
 }
 
+/// Show the planner's decision for every `redistribute` in the program:
+/// the transfer pieces, both candidate strategies with predicted costs,
+/// and the chosen communication schedule. Statements are examined in
+/// program order (each one changes the source distribution of the next).
+fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
+    let diags = xdp_ir::validate(program);
+    if !diags.is_empty() {
+        for d in diags {
+            eprintln!("xdpc: error: {d}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let mut cost = CostModel::default_1993();
+    if let Some(a) = opt_val(rest, "--alpha").and_then(|v| v.parse().ok()) {
+        cost.alpha = a;
+    }
+    if let Some(b) = opt_val(rest, "--beta").and_then(|v| v.parse().ok()) {
+        cost.beta = b;
+    }
+    let topo = match opt_val(rest, "--topo") {
+        None | Some("uniform") => Topology::Uniform,
+        Some("linear") => Topology::Linear,
+        Some(spec) => {
+            let dims: Vec<usize> = spec.split('x').filter_map(|x| x.parse().ok()).collect();
+            let [rows, cols] = dims[..] else {
+                eprintln!("xdpc: bad --topo `{spec}` (use uniform, linear, or RxC)");
+                return ExitCode::from(2);
+            };
+            Topology::Mesh2D { rows, cols }
+        }
+    };
+    let mut cur: std::collections::HashMap<VarId, Distribution> = std::collections::HashMap::new();
+    let mut found = 0usize;
+    let mut failed = false;
+    program.visit(&mut |s| {
+        let Stmt::Redistribute { var, dist } = s else {
+            return;
+        };
+        found += 1;
+        let decl = program.decl(*var);
+        let Some(src) = cur.get(var).or(decl.dist.as_ref()).cloned() else {
+            eprintln!("xdpc: `{}` is not distributed", decl.name);
+            failed = true;
+            return;
+        };
+        // Unrestricted plan for the strategy comparison; the executed
+        // statement (`xdpc run`) restricts messages to single strided
+        // sections, so print that schedule and flag any divergence.
+        let free = xdp::collectives::plan(
+            *var,
+            &decl.bounds,
+            decl.elem.size_bytes(),
+            &src,
+            dist,
+            &cost,
+            &topo,
+            false,
+        );
+        let pl = xdp::collectives::plan(
+            *var,
+            &decl.bounds,
+            decl.elem.size_bytes(),
+            &src,
+            dist,
+            &cost,
+            &topo,
+            true,
+        );
+        cur.insert(*var, dist.clone());
+        out!("redistribute {} {src} -> {dist}", decl.name);
+        out!(
+            "  {} elements move; chosen {} (predicted {:.1})",
+            free.moved_elems,
+            free.strategy,
+            free.predicted
+        );
+        for (st, c) in &free.alternatives {
+            out!("    candidate {st}: predicted {c:.1}");
+        }
+        if free.strategy != pl.strategy {
+            out!(
+                "  note: execution uses single-section messages, runs {} (predicted {:.1})",
+                pl.strategy,
+                pl.predicted
+            );
+        }
+        outp!("{}", pl.schedule);
+    });
+    if found == 0 {
+        out!("no redistribute statements");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
 }
@@ -261,8 +363,11 @@ fn opt_val<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
 }
 
 fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
-    for d in xdp_ir::validate(program) {
-        eprintln!("xdpc: error: {d}");
+    let diags = xdp_ir::validate(program);
+    if !diags.is_empty() {
+        for d in diags {
+            eprintln!("xdpc: error: {d}");
+        }
         return ExitCode::FAILURE;
     }
     let mut program = program.clone();

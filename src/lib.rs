@@ -14,6 +14,7 @@
 //! | [`ir`] | IL+XDP: sections, HPF distributions, statements, intrinsics |
 //! | [`runtime`] | the §3.1 run-time symbol table and segment descriptors |
 //! | [`machine`] | a simulated multicomputer (cost model, topology, matcher) and a real threaded backend |
+//! | [`collectives`] | collective algorithms as explicit message schedules; the redistribution planner |
 //! | [`core`] | the operational semantics: SPMD interpreter + executors |
 //! | [`compiler`] | owner-computes frontend and the paper's optimization passes |
 //! | [`lang`] | parser for the paper's concrete notation |
@@ -68,6 +69,7 @@
 pub mod tuning;
 
 pub use xdp_apps as apps;
+pub use xdp_collectives as collectives;
 pub use xdp_compiler as compiler;
 pub use xdp_core as core;
 pub use xdp_ir as ir;
@@ -77,6 +79,10 @@ pub use xdp_runtime as runtime;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    // `Strategy` stays out of the prelude: the name collides with
+    // proptest's trait under double glob imports. Use
+    // `collectives::Strategy` where the plan kind is matched on.
+    pub use xdp_collectives::{CommSchedule, RedistPlan};
     pub use xdp_compiler::{
         lower_owner_computes, FrontendOptions, Pass, PassManager, PassResult, SeqProgram, SeqStmt,
     };

@@ -1,0 +1,218 @@
+//! Vendored minimal Criterion-compatible benchmark harness.
+//!
+//! The build environment has no crates.io access; this stand-in implements
+//! the API subset the workspace's benches use (`bench_function`,
+//! `benchmark_group`, `bench_with_input`, `iter`, `iter_batched`) with a
+//! simple calibrated timing loop and mean/min reporting. No statistics,
+//! plots, or baselines — just honest wall-clock numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration batching mode (accepted for API compatibility; batches are
+/// always sized one, which matches `PerIteration` semantics).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if start.elapsed() >= self.budget || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if start.elapsed() >= self.budget || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        println!(
+            "{name:<48} mean {:>12.3?}  min {:>12.3?}  ({} iters)",
+            mean,
+            min,
+            self.samples.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, |b| f(b, input));
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep full `cargo bench` runs quick; override with XDP_BENCH_MS.
+        let ms = std::env::var("XDP_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        b.report(name);
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn configure_from_args(&mut self) -> &mut Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Declare a group of benchmark functions, as upstream Criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` / `--bench` flags are accepted and
+            // ignored by this stand-in harness.
+            $(
+                $group();
+            )+
+        }
+    };
+}

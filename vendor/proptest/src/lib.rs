@@ -1,0 +1,126 @@
+//! Vendored minimal property-testing harness exposing the `proptest` API
+//! subset this workspace uses: `proptest!`, `prop_oneof!`, `Strategy` with
+//! `prop_map`/`boxed`, `Just`, `any`, integer/float ranges, tuples,
+//! `prop::collection::vec`, `prop::option::of`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (failures report the panicking
+//! assertion only), and case generation is seeded deterministically from
+//! the test name (override with `PROPTEST_SEED`). The build environment has
+//! no crates.io access, hence this stand-in.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property assertion: like `assert!` (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Discard the current case when its inputs are out of scope.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+/// Define property tests: each function runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    if attempts > config.cases.saturating_mul(20) + 1000 {
+                        panic!(
+                            "test `{}`: too many cases rejected by prop_assume! \
+                             ({} accepted of {} wanted)",
+                            stringify!($name), accepted, config.cases
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::gen(&$strat, &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::Reject> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::Reject) => {}
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
