@@ -863,6 +863,34 @@ mod tests {
         }
     }
 
+    // The critical-path analyzer must attribute 100% of the end-to-end
+    // virtual time of the fully derived FFT (the ISSUE acceptance bar),
+    // and the planned transpose must be the top-ranked movement cost.
+    #[test]
+    fn v5_planned_critical_path_attributes_all_time() {
+        use xdp_core::TraceConfig;
+        let cfg = Fft3dConfig::new(8, 4);
+        let (program, vars) = build(cfg, Stage::V5Planned);
+        let labels: std::collections::HashMap<u32, String> =
+            xdp_ir::pretty::stmt_table(&program).into_iter().collect();
+        let sim = SimConfig::new(4).with_trace(TraceConfig::full());
+        let r = run_program(cfg, program, vars, sim, 42).expect("run");
+        let cp = r.trace.critical_path(&labels);
+        assert!(r.virtual_time > 0.0);
+        assert!(
+            (cp.attributed() - r.virtual_time).abs() <= 1e-6 * r.virtual_time,
+            "attributed {:.3} of {:.3}",
+            cp.attributed(),
+            r.virtual_time
+        );
+        // Some wire time must land on the path (the transpose is remote),
+        // and the ranking must name the redistribute statement.
+        assert!(cp.wire > 0.0);
+        let top = &cp.by_stmt[0];
+        assert!(top.key.contains("redistribute"), "{}", top.key);
+        assert!(cp.by_var.iter().any(|v| v.key == "A"));
+    }
+
     #[test]
     fn multi_plane_per_processor() {
         let cfg = Fft3dConfig::new(8, 2);

@@ -268,5 +268,52 @@ fn main() {
         false,
     );
     assert_eq!(pl.strategy, Strategy::DirectPairwise, "uniform at alpha=1");
+
+    // ---- trace level: where the end-to-end time actually goes ------------
+    // The message counts above say the planned form moves less; the
+    // critical path says what that buys: the naive nest's serialized
+    // per-element rendezvous shows up as wait/compute on the path, the
+    // planned schedule as a single wire hop.
+    let mut t3 = Table::new(
+        &format!("E8c: critical-path decomposition, alpha=100, n={N}, P={P}"),
+        &["form", "total", "compute", "wire", "wait", "hops"],
+    );
+    for (name, prog, var) in [("naive p2p", &naive, na), ("redistribute", &planned, pa)] {
+        let cp = critical_path_of(prog, var);
+        t3.row(&[
+            j::s(name),
+            j::f(cp.total),
+            j::f(cp.compute),
+            j::f(cp.wire),
+            j::f(cp.wait),
+            j::u(cp.hops as u64),
+        ]);
+    }
+    t3.print();
+
     println!("\nall E8 assertions passed");
+}
+
+/// Run with full tracing and return the critical-path report; the
+/// analyzer must attribute the entire virtual time.
+fn critical_path_of(p: &Program, a: VarId) -> xdp_core::CriticalPathReport {
+    let labels: std::collections::HashMap<u32, String> =
+        xdp_ir::pretty::stmt_table(p).into_iter().collect();
+    let mut exec = SimExec::new(
+        Arc::new(p.clone()),
+        KernelRegistry::standard(),
+        SimConfig::new(P)
+            .with_cost(CostModel::default_1993())
+            .with_trace(xdp_core::TraceConfig::full()),
+    );
+    exec.init_exclusive(a, |idx| Value::F64((3 * idx[0]) as f64));
+    let r = exec.run().expect("run");
+    let cp = r.trace.critical_path(&labels);
+    assert!(
+        (cp.attributed() - r.virtual_time).abs() <= 1e-6 * r.virtual_time,
+        "analyzer attributed {:.3} of {:.3}",
+        cp.attributed(),
+        r.virtual_time
+    );
+    cp
 }

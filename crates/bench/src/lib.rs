@@ -2,10 +2,12 @@
 //!
 //! One binary per figure/experiment in DESIGN.md's index (`cargo run -p
 //! xdp-bench --bin <id>`); Criterion micro-benchmarks under `benches/`.
-//! Binaries print human-readable tables; with `XDP_JSON=1` they also emit
-//! one JSON object per row on stdout for machine consumption.
+//! Binaries print human-readable tables; when `XDP_JSON` is set (see
+//! [`table::json_enabled`] for the exact rule) they also emit one JSON
+//! object per row on stdout for machine consumption, each stamped with
+//! `xdp_json_version`.
 
 pub mod conformance;
 pub mod table;
 
-pub use table::Table;
+pub use table::{json_enabled, Table, JSON_SCHEMA_VERSION};

@@ -2,8 +2,21 @@
 
 use serde_json::{Map, Value as Json};
 
+/// Version stamped into every JSON row as `xdp_json_version`, so
+/// downstream collectors can detect schema changes.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+/// Is JSON-lines emission enabled? **This is the single definition of the
+/// `XDP_JSON` contract**: any non-empty value other than `0` enables it
+/// (`XDP_JSON=1`, `XDP_JSON=yes`, ...); unset, empty, or `0` disables it.
+/// README, TUTORIAL, and EXPERIMENTS all defer to this rule.
+pub fn json_enabled() -> bool {
+    std::env::var("XDP_JSON").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// A simple result table: add rows of (column, value) pairs; printing
-/// aligns columns and, when `XDP_JSON=1`, emits each row as a JSON object.
+/// aligns columns and, when [`json_enabled`], emits each row as a JSON
+/// object.
 pub struct Table {
     title: String,
     columns: Vec<String>,
@@ -49,7 +62,7 @@ impl Table {
         self.json_rows.push(obj);
     }
 
-    /// Print the aligned table (and JSON lines when `XDP_JSON=1`).
+    /// Print the aligned table (and JSON lines when [`json_enabled`]).
     pub fn print(&self) {
         println!("== {} ==", self.title);
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
@@ -73,11 +86,12 @@ impl Table {
                 .collect();
             println!("{}", line.join("  "));
         }
-        if std::env::var("XDP_JSON").is_ok_and(|v| v == "1") {
+        if json_enabled() {
             for (i, obj) in self.json_rows.iter().enumerate() {
                 let mut o = obj.clone();
                 o.insert("experiment".into(), Json::String(self.title.clone()));
                 o.insert("row".into(), Json::from(i));
+                o.insert("xdp_json_version".into(), Json::from(JSON_SCHEMA_VERSION));
                 println!("{}", Json::Object(o));
             }
         }
@@ -119,5 +133,18 @@ mod tests {
     fn wrong_arity_panics() {
         let mut t = Table::new("t", &["a", "b"]);
         t.row(&[j::i(1)]);
+    }
+
+    // All env cases in one test: the process environment is shared, so
+    // splitting these across tests would race under the parallel runner.
+    #[test]
+    fn json_enabled_accepts_any_nonempty_value_except_zero() {
+        std::env::remove_var("XDP_JSON");
+        assert!(!json_enabled());
+        for (val, want) in [("", false), ("0", false), ("1", true), ("yes", true)] {
+            std::env::set_var("XDP_JSON", val);
+            assert_eq!(json_enabled(), want, "XDP_JSON={val:?}");
+        }
+        std::env::remove_var("XDP_JSON");
     }
 }

@@ -30,3 +30,4 @@ pub mod seq;
 pub use frontend::{lower_owner_computes, FrontendOptions};
 pub use passes::{Pass, PassManager, PassResult};
 pub use seq::{from_program, SeqProgram, SeqStmt};
+pub use xdp_trace::{CompileTrace, PassTrace};

@@ -36,6 +36,7 @@ pub use sink_await::SinkAwait;
 pub use vectorize::VectorizeMessages;
 
 use xdp_ir::Program;
+use xdp_trace::{CompileTrace, PassTrace};
 
 /// Iteration-space enumeration cap shared by the passes: loops longer than
 /// this are left untouched rather than analyzed.
@@ -118,6 +119,13 @@ impl PassManager {
         self
     }
 
+    /// Append an already-boxed pass (name-driven construction, e.g. the
+    /// `xdpc opt --passes` list).
+    pub fn add_boxed(mut self, p: Box<dyn Pass>) -> PassManager {
+        self.passes.push(p);
+        self
+    }
+
     /// The standard value-communication pipeline of §2.2: elide same-owner
     /// transfers, vectorize what remains, localize loop bounds (compute
     /// rule elimination), bind communication, and drop dead accessibility
@@ -153,6 +161,75 @@ impl PassManager {
         }
         (cur, log)
     }
+
+    /// Run all passes in order, instrumenting each one: wall time,
+    /// statement-count delta, and a provenance log of which statements the
+    /// pass consumed and produced (`xdpc lower --explain`).
+    ///
+    /// Provenance is a counted-multiset diff of one-line statement
+    /// summaries: a statement whose summary survives the pass (even at a
+    /// different position) is not reported, so the log shows genuine
+    /// rewrites rather than renumbering noise.
+    pub fn run_traced(&self, p: &Program) -> (Program, CompileTrace) {
+        let mut cur = p.clone();
+        let mut trace = CompileTrace::default();
+        for pass in &self.passes {
+            let before = xdp_ir::pretty::stmt_table(&cur);
+            let t = std::time::Instant::now();
+            let r = pass.run(&cur);
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            let after = xdp_ir::pretty::stmt_table(&r.program);
+            let (removed, added) = provenance_diff(&before, &after);
+            trace.passes.push(PassTrace {
+                name: pass.name().to_string(),
+                wall_ms,
+                changed: r.changed,
+                nodes_before: before.len(),
+                nodes_after: after.len(),
+                removed,
+                added,
+                notes: r.notes,
+            });
+            cur = r.program;
+        }
+        (cur, trace)
+    }
+}
+
+/// A statement table: (preorder id, one-line summary) per statement.
+type StmtTable = Vec<(u32, String)>;
+
+/// Counted-multiset diff of `(id, summary)` statement tables: summaries
+/// present more times before than after are *removed* (reported with their
+/// input-program ids), the converse are *added* (output-program ids).
+fn provenance_diff(before: &StmtTable, after: &StmtTable) -> (StmtTable, StmtTable) {
+    use std::collections::HashMap;
+    let mut surplus: HashMap<&str, i64> = HashMap::new();
+    for (_, s) in before {
+        *surplus.entry(s).or_default() += 1;
+    }
+    for (_, s) in after {
+        *surplus.entry(s).or_default() -= 1;
+    }
+    let mut budget = surplus.clone();
+    let mut removed = Vec::new();
+    for (id, s) in before {
+        let e = budget.get_mut(s.as_str()).expect("counted above");
+        if *e > 0 {
+            removed.push((*id, s.clone()));
+            *e -= 1;
+        }
+    }
+    let mut budget: HashMap<&str, i64> = surplus.iter().map(|(k, v)| (*k, -v)).collect();
+    let mut added = Vec::new();
+    for (id, s) in after {
+        let e = budget.get_mut(s.as_str()).expect("counted above");
+        if *e > 0 {
+            added.push((*id, s.clone()));
+            *e -= 1;
+        }
+    }
+    (removed, added)
 }
 
 impl Default for PassManager {

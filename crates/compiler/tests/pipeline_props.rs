@@ -50,6 +50,37 @@ fn paper_pipeline_is_idempotent() {
 }
 
 #[test]
+fn run_traced_matches_run_and_records_provenance() {
+    let naive = lower_owner_computes(&source(16, 4, DimDist::Cyclic), &FrontendOptions::default());
+    let (plain, log) = PassManager::paper_pipeline().run(&naive);
+    let (traced, ct) = PassManager::paper_pipeline().run_traced(&naive);
+    // Instrumentation is observation only: same output program.
+    assert_eq!(pretty::program(&plain), pretty::program(&traced));
+    assert_eq!(ct.passes.len(), log.len());
+    for (pt, (name, r)) in ct.passes.iter().zip(&log) {
+        assert_eq!(&pt.name, name);
+        assert_eq!(pt.changed, r.changed);
+        assert!(pt.wall_ms >= 0.0);
+        // A pass that changed the program must show statement-level edits
+        // or at least a node-count delta it can explain.
+        if pt.changed {
+            assert!(
+                !pt.removed.is_empty() || !pt.added.is_empty() || !pt.notes.is_empty(),
+                "pass {name} changed the program but recorded no provenance"
+            );
+        } else {
+            assert!(pt.removed.is_empty() && pt.added.is_empty());
+            assert_eq!(pt.node_delta(), 0);
+        }
+    }
+    // The render names every pass and the edits.
+    let text = ct.render();
+    for (name, _) in &log {
+        assert!(text.contains(name), "{text}");
+    }
+}
+
+#[test]
 fn pass_notes_are_informative() {
     let naive = lower_owner_computes(&source(16, 4, DimDist::Cyclic), &FrontendOptions::default());
     let (_, log) = PassManager::paper_pipeline().run(&naive);

@@ -55,6 +55,28 @@ pub enum Action {
 pub struct StepOut {
     pub action: Action,
     pub ops: OpCounts,
+    /// Preorder id (see `xdp_ir::block_stmt_ids`) of the program statement
+    /// the step executed, for trace attribution. `None` for steps with no
+    /// statement (e.g. the final `Done`). Statements a `redistribute`
+    /// expands into inherit the redistribute's own id.
+    pub sid: Option<u32>,
+    /// Extra structure for trace instants.
+    pub note: Option<StepNote>,
+}
+
+/// Noteworthy work inside a step, reported for trace instants.
+#[derive(Clone, Debug)]
+pub enum StepNote {
+    /// A local kernel ran.
+    Kernel { name: String, flops: u64 },
+    /// A `redistribute` was planned and expanded; `pieces` is the number
+    /// of scheduled messages, `bytes` the payload volume this processor
+    /// will send.
+    Collective {
+        var: String,
+        strategy: String,
+        pieces: usize,
+    },
 }
 
 /// An initiated, uncompleted receive.
@@ -76,11 +98,17 @@ enum PendingRecv {
 enum Frame {
     Block {
         stmts: Rc<[Stmt]>,
+        /// Statement id of each `stmts[k]`, parallel to `stmts`.
+        ids: Rc<[u32]>,
         idx: usize,
     },
     Loop {
         var: String,
         body: Rc<[Stmt]>,
+        /// Statement id of each body statement (same every iteration).
+        ids: Rc<[u32]>,
+        /// The loop statement's own id (bookkeeping steps charge here).
+        sid: u32,
         current: i64,
         hi: i64,
         step: i64,
@@ -105,6 +133,10 @@ pub struct Interp {
     plan_cfg: Option<(CostModel, Topology)>,
     /// Count of `redistribute` statements executed, for tag salting.
     redist_epoch: u64,
+    /// Statement id of the statement the current step is executing.
+    cur_sid: Option<u32>,
+    /// Structured note the current step produced (kernel, collective).
+    cur_note: Option<StepNote>,
 }
 
 impl Interp {
@@ -119,12 +151,14 @@ impl Interp {
         let decls: Arc<[Decl]> = program.decls.clone().into();
         let env = ProcEnv::new(pid, nprocs, decls, checked);
         let body: Rc<[Stmt]> = program.body.clone().into();
+        let ids: Rc<[u32]> = xdp_ir::block_stmt_ids(0, &program.body).into();
         Interp {
             env,
             program,
             kernels,
             stack: vec![Frame::Block {
                 stmts: body,
+                ids,
                 idx: 0,
             }],
             pending: HashMap::new(),
@@ -133,6 +167,8 @@ impl Interp {
             cur_dist: HashMap::new(),
             plan_cfg: None,
             redist_epoch: 0,
+            cur_sid: None,
+            cur_note: None,
         }
     }
 
@@ -174,7 +210,7 @@ impl Interp {
                     // `current` has already advanced past the live value.
                     parts.push(format!("do {var}={} (to {hi} by {step})", current - step));
                 }
-                Frame::Block { idx, stmts } => {
+                Frame::Block { idx, stmts, .. } => {
                     parts.push(format!("stmt {}/{}", (*idx).min(stmts.len()), stmts.len()));
                 }
             }
@@ -269,10 +305,14 @@ impl Interp {
 
     /// Perform one atomic step.
     pub fn step(&mut self) -> Result<StepOut, RtError> {
+        self.cur_sid = None;
+        self.cur_note = None;
         let action = self.step_inner()?;
         Ok(StepOut {
             action,
             ops: self.env.drain_ops(),
+            sid: self.cur_sid,
+            note: self.cur_note.take(),
         })
     }
 
@@ -283,17 +323,21 @@ impl Interp {
                 Some(f) => f,
             };
             match frame {
-                Frame::Block { stmts, idx } => {
+                Frame::Block { stmts, ids, idx } => {
                     if *idx >= stmts.len() {
                         self.stack.pop();
                         continue;
                     }
                     let stmt = stmts[*idx].clone();
-                    return self.exec_stmt(stmt);
+                    let sid = ids[*idx];
+                    self.cur_sid = Some(sid);
+                    return self.exec_stmt(stmt, sid);
                 }
                 Frame::Loop {
                     var,
                     body,
+                    ids,
+                    sid,
                     current,
                     hi,
                     step,
@@ -311,9 +355,15 @@ impl Interp {
                     *current += *step;
                     let name = var.clone();
                     let b = body.clone();
+                    let bids = ids.clone();
+                    self.cur_sid = Some(*sid);
                     self.env.scalars.insert(name, v);
                     self.env.ops.flops += 1; // loop bookkeeping
-                    self.stack.push(Frame::Block { stmts: b, idx: 0 });
+                    self.stack.push(Frame::Block {
+                        stmts: b,
+                        ids: bids,
+                        idx: 0,
+                    });
                     return Ok(Action::Continue);
                 }
             }
@@ -332,7 +382,7 @@ impl Interp {
         self.next_req
     }
 
-    fn exec_stmt(&mut self, stmt: Stmt) -> Result<Action, RtError> {
+    fn exec_stmt(&mut self, stmt: Stmt, sid: u32) -> Result<Action, RtError> {
         match stmt {
             Stmt::Assign { target, rhs } => {
                 self.env.exec_assign(&target, &rhs)?;
@@ -369,6 +419,7 @@ impl Interp {
                 }
                 let flops = kernel.run(&mut bufs, &ints);
                 self.env.ops.flops += flops;
+                self.cur_note = Some(StepNote::Kernel { name, flops });
                 for ((v, s), buf) in secs.iter().zip(&bufs) {
                     self.env.write_section(*v, s, buf)?;
                 }
@@ -517,8 +568,13 @@ impl Interp {
                 }
                 RuleVal::True => {
                     self.advance();
+                    let ids: Rc<[u32]> = xdp_ir::block_stmt_ids(sid + 1, &body).into();
                     let b: Rc<[Stmt]> = body.into();
-                    self.stack.push(Frame::Block { stmts: b, idx: 0 });
+                    self.stack.push(Frame::Block {
+                        stmts: b,
+                        ids,
+                        idx: 0,
+                    });
                     Ok(Action::Continue)
                 }
                 RuleVal::Block(var, sec) => Ok(Action::BlockOn { var, sec }),
@@ -537,10 +593,13 @@ impl Interp {
                     return Err(RtError::ZeroStep);
                 }
                 self.advance();
+                let ids: Rc<[u32]> = xdp_ir::block_stmt_ids(sid + 1, &body).into();
                 let b: Rc<[Stmt]> = body.into();
                 self.stack.push(Frame::Loop {
                     var,
                     body: b,
+                    ids,
+                    sid,
                     current: lo,
                     hi,
                     step,
@@ -589,10 +648,22 @@ impl Interp {
                 let salt_base = self.redist_epoch as i64 * 1_000_000;
                 let stmts =
                     xdp_collectives::lower_redistribute_for_pid(&plan, self.env.pid, salt_base);
+                self.cur_note = Some(StepNote::Collective {
+                    var: decl.name.clone(),
+                    strategy: plan.strategy.to_string(),
+                    pieces: plan.schedule.message_count(),
+                });
                 self.cur_dist.insert(var, dist);
                 self.advance();
+                // Every statement the redistribute expands into inherits
+                // its id, so trace attribution stays on the source line.
+                let ids: Rc<[u32]> = vec![sid; stmts.len()].into();
                 let b: Rc<[Stmt]> = stmts.into();
-                self.stack.push(Frame::Block { stmts: b, idx: 0 });
+                self.stack.push(Frame::Block {
+                    stmts: b,
+                    ids,
+                    idx: 0,
+                });
                 Ok(Action::Continue)
             }
         }

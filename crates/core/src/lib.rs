@@ -9,8 +9,8 @@
 //!   of Figure 1 (intrinsics, the four send forms, the three receive
 //!   forms, the three section states, compute-rule semantics).
 //! * [`SimExec`] — a deterministic virtual-time executor with per-processor
-//!   clocks, analytic message completion times, timeline recording, and
-//!   deadlock diagnosis.
+//!   clocks, analytic message completion times, structured trace recording
+//!   (see `xdp-trace`), and deadlock diagnosis.
 //! * [`ThreadExec`] — a real-parallel executor (one thread per processor)
 //!   for wall-clock measurement and cross-validation.
 //! * [`kernels`] — the local-computation kernel registry (`fft1D` et al.
@@ -48,8 +48,10 @@ pub mod sim_exec;
 pub mod thread_exec;
 
 pub use env::{OpCounts, ProcEnv, RtError, RuleVal};
-pub use interp::{Action, Interp, StepOut};
+pub use interp::{Action, Interp, StepNote, StepOut};
 pub use kernels::{Kernel, KernelRegistry};
-pub use report::{EventKind, ExecReport, Gathered, ProcReport, TimelineEvent};
+pub use report::{ExecReport, Gathered, ProcReport};
 pub use sim_exec::{SimConfig, SimExec};
 pub use thread_exec::{ThreadConfig, ThreadExec, ThreadReport};
+pub use xdp_trace as trace;
+pub use xdp_trace::{CriticalPathReport, Trace, TraceConfig, TraceEvent, TraceKind, WaitCause};

@@ -1,33 +1,18 @@
 //! Execution reports: virtual/wall time, per-processor breakdowns,
-//! network traffic, and optional timelines.
+//! network traffic, and the recorded trace.
+//!
+//! The per-interval timeline that used to live here (`TimelineEvent`) is
+//! now the structured event model of the `xdp-trace` crate: both backends
+//! record [`xdp_trace::TraceEvent`]s, and this report carries the whole
+//! [`Trace`] — exporters, Gantt rendering, and critical-path analysis all
+//! operate on it.
 
 use std::collections::BTreeMap;
 use xdp_ir::{Section, VarId};
 use xdp_machine::NetStats;
 use xdp_runtime::symtab::SymtabStats;
 use xdp_runtime::Value;
-
-/// What a processor was doing during a timeline interval.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum EventKind {
-    /// Local computation (assignments, kernels, rule evaluation).
-    Compute,
-    /// Waiting for a receive to complete or at a barrier.
-    Wait,
-    /// Send initiation overhead.
-    SendInit,
-    /// Receive initiation overhead.
-    RecvInit,
-}
-
-/// One interval of one processor's virtual timeline.
-#[derive(Clone, Debug)]
-pub struct TimelineEvent {
-    pub pid: usize,
-    pub t0: f64,
-    pub t1: f64,
-    pub kind: EventKind,
-}
+use xdp_trace::Trace;
 
 /// Per-processor execution summary.
 #[derive(Clone, Debug, Default)]
@@ -57,8 +42,8 @@ pub struct ExecReport {
     pub procs: Vec<ProcReport>,
     /// Network counters.
     pub net: NetStats,
-    /// Per-interval timeline (empty unless recording was enabled).
-    pub timeline: Vec<TimelineEvent>,
+    /// Recorded trace (empty unless a `TraceConfig` enabled recording).
+    pub trace: Trace,
 }
 
 impl ExecReport {
@@ -80,38 +65,13 @@ impl ExecReport {
         self.total_busy() / (self.nprocs as f64 * self.virtual_time)
     }
 
-    /// Render a compact textual Gantt chart of the timeline (one row per
-    /// processor, `#` compute, `.` wait, `s`/`r` comm overhead).
+    /// Render a compact textual Gantt chart of the recorded trace (one
+    /// row per processor, `#` compute, `.` wait, `s`/`r` comm overhead).
     pub fn gantt(&self, width: usize) -> String {
-        if self.timeline.is_empty() || self.virtual_time <= 0.0 {
-            return String::from("(no timeline recorded)\n");
+        if self.trace.is_empty() || self.virtual_time <= 0.0 {
+            return String::from("(no trace recorded)\n");
         }
-        let scale = width as f64 / self.virtual_time;
-        let mut rows = vec![vec![' '; width]; self.nprocs];
-        for ev in &self.timeline {
-            let a = (ev.t0 * scale) as usize;
-            let b = ((ev.t1 * scale) as usize).min(width.saturating_sub(1));
-            let ch = match ev.kind {
-                EventKind::Compute => '#',
-                EventKind::Wait => '.',
-                EventKind::SendInit => 's',
-                EventKind::RecvInit => 'r',
-            };
-            for c in rows[ev.pid].iter_mut().take(b + 1).skip(a) {
-                // Compute wins over wait when intervals round to one cell.
-                if *c == ' ' || (*c == '.' && ch != ' ') {
-                    *c = ch;
-                }
-            }
-        }
-        let mut out = String::new();
-        for (pid, row) in rows.iter().enumerate() {
-            out.push_str(&format!("p{pid:<2} |"));
-            out.extend(row.iter());
-            out.push_str("|\n");
-        }
-        out.push_str("    (# compute   . wait   s send   r receive)\n");
-        out
+        self.trace.gantt(width)
     }
 }
 
@@ -186,6 +146,7 @@ pub fn gather_var(var: VarId, tables: &[&xdp_runtime::RtSymbolTable], full: &Sec
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xdp_trace::{TraceEvent, TraceKind};
 
     #[test]
     fn efficiency_and_totals() {
@@ -205,7 +166,7 @@ mod tests {
                 },
             ],
             net: NetStats::new(2),
-            timeline: vec![],
+            trace: Trace::new(2),
         };
         assert_eq!(r.total_busy(), 140.0);
         assert_eq!(r.total_wait(), 60.0);
@@ -214,25 +175,16 @@ mod tests {
 
     #[test]
     fn gantt_renders() {
+        let mut trace = Trace::new(1);
+        trace.end = 10.0;
+        trace.push(TraceEvent::span(TraceKind::Compute, 0, 0.0, 5.0));
+        trace.push(TraceEvent::span(TraceKind::Wait, 0, 5.0, 10.0));
         let r = ExecReport {
             nprocs: 1,
             virtual_time: 10.0,
             procs: vec![ProcReport::default()],
             net: NetStats::new(1),
-            timeline: vec![
-                TimelineEvent {
-                    pid: 0,
-                    t0: 0.0,
-                    t1: 5.0,
-                    kind: EventKind::Compute,
-                },
-                TimelineEvent {
-                    pid: 0,
-                    t0: 5.0,
-                    t1: 10.0,
-                    kind: EventKind::Wait,
-                },
-            ],
+            trace,
         };
         let g = r.gantt(20);
         assert!(g.contains('#'));

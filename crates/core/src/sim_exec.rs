@@ -7,13 +7,15 @@
 //! on every run.
 
 use crate::env::RtError;
-use crate::interp::{Action, Interp};
+use crate::interp::{Action, Interp, StepNote};
 use crate::kernels::KernelRegistry;
-use crate::report::{EventKind, ExecReport, Gathered, ProcReport, TimelineEvent};
+use crate::report::{ExecReport, Gathered, ProcReport};
+use std::collections::HashMap;
 use std::sync::Arc;
 use xdp_ir::{Program, Section, VarId};
 use xdp_machine::{Completion, CostModel, SimNet, Topology};
-use xdp_runtime::{Buffer, Value};
+use xdp_runtime::{Buffer, Tag, Value};
+use xdp_trace::{Trace, TraceConfig, TraceEvent, TraceKind, WaitCause};
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
@@ -26,8 +28,9 @@ pub struct SimConfig {
     pub topo: Topology,
     /// Enable the checked runtime (flags transitional reads etc.).
     pub checked: bool,
-    /// Record a per-interval timeline (costs memory; off by default).
-    pub record_timeline: bool,
+    /// What to record in the execution trace (costs memory; off by
+    /// default — tracing never perturbs the simulated timeline).
+    pub trace: TraceConfig,
     /// Abort after this many interpreter steps (safety net).
     pub max_steps: u64,
 }
@@ -40,7 +43,7 @@ impl SimConfig {
             cost: CostModel::default_1993(),
             topo: Topology::Uniform,
             checked: true,
-            record_timeline: false,
+            trace: TraceConfig::off(),
             max_steps: 500_000_000,
         }
     }
@@ -57,9 +60,17 @@ impl SimConfig {
         self
     }
 
-    /// Enable timeline recording.
+    /// Enable span recording (compat name: what the old timeline flag
+    /// captured — compute/comm-overhead/wait spans, no message edges).
     pub fn with_timeline(mut self) -> SimConfig {
-        self.record_timeline = true;
+        self.trace = TraceConfig::spans_only();
+        self
+    }
+
+    /// Set the trace configuration (use [`TraceConfig::full`] for
+    /// critical-path analysis and Chrome export).
+    pub fn with_trace(mut self, trace: TraceConfig) -> SimConfig {
+        self.trace = trace;
         self
     }
 
@@ -99,7 +110,10 @@ pub struct SimExec {
     wait: Vec<f64>,
     sends: Vec<u64>,
     recvs: Vec<u64>,
-    timeline: Vec<TimelineEvent>,
+    trace: Trace,
+    /// Statement id that posted each outstanding receive, for attributing
+    /// the eventual wire-transit / recv-complete events.
+    recv_sid: HashMap<u64, u32>,
     /// Accumulated interpreter op counts per processor (diagnostics).
     pub ops_flops: Vec<u64>,
     pub ops_symtab: Vec<u64>,
@@ -131,7 +145,8 @@ impl SimExec {
             wait: vec![0.0; n],
             sends: vec![0; n],
             recvs: vec![0; n],
-            timeline: Vec::new(),
+            trace: Trace::new(n),
+            recv_sid: HashMap::new(),
             ops_flops: vec![0; n],
             ops_symtab: vec![0; n],
         }
@@ -169,10 +184,24 @@ impl SimExec {
         &mut self.interps[pid]
     }
 
-    fn record(&mut self, pid: usize, t0: f64, t1: f64, kind: EventKind) {
-        if self.cfg.record_timeline && t1 > t0 {
-            self.timeline.push(TimelineEvent { pid, t0, t1, kind });
+    /// Record a span event if span recording is on and it has extent.
+    fn span(&mut self, ev: TraceEvent) {
+        if self.cfg.trace.spans && ev.t1 > ev.t0 {
+            self.trace.push(ev);
         }
+    }
+
+    /// Record an instant event if instant recording is on.
+    fn instant(&mut self, ev: TraceEvent) {
+        if self.cfg.trace.instants {
+            self.trace.push(ev);
+        }
+    }
+
+    /// Rendered (variable, section) of a message tag, for trace events.
+    fn tag_meta(&self, tag: &Tag) -> (Option<String>, Option<String>) {
+        let name = self.interps[0].env.decls[tag.var.index()].name.clone();
+        (Some(name), Some(tag.sec.to_string()))
     }
 
     /// Apply all inbox completions whose message has arrived by `pid`'s
@@ -195,10 +224,38 @@ impl SimExec {
                 Some(i) => {
                     let (req, c) = self.inbox[pid].remove(i);
                     self.recvs[pid] += 1;
+                    let sid = self.recv_sid.remove(&req);
+                    let (var, sec) = self.tag_meta(&c.msg.tag);
+                    let bytes = c.msg.payload_bytes();
+                    if self.cfg.trace.messages {
+                        self.trace.push(TraceEvent {
+                            sid,
+                            var: var.clone(),
+                            sec: sec.clone(),
+                            bytes,
+                            src: Some(c.msg.src as u32),
+                            msg_id: Some(req),
+                            ..TraceEvent::span(TraceKind::WireTransit, pid, c.sent_at, c.arrive_at)
+                        });
+                    }
                     let t0 = self.clocks[pid];
                     self.clocks[pid] += c.handling;
                     self.busy[pid] += c.handling;
-                    self.record(pid, t0, self.clocks[pid], EventKind::RecvInit);
+                    self.span(TraceEvent {
+                        sid,
+                        var: var.clone(),
+                        sec: sec.clone(),
+                        bytes,
+                        msg_id: Some(req),
+                        ..TraceEvent::span(TraceKind::RecvComplete, pid, t0, self.clocks[pid])
+                    });
+                    self.instant(TraceEvent {
+                        sid,
+                        var,
+                        sec,
+                        detail: Some("accessible".into()),
+                        ..TraceEvent::instant(TraceKind::SectionState, pid, self.clocks[pid])
+                    });
                     self.interps[pid].complete_recv(req, c.msg)?;
                 }
             }
@@ -234,6 +291,7 @@ impl SimExec {
                 self.drain_due(p)?;
                 let t0 = self.clocks[p];
                 let out = self.interps[p].step()?;
+                let sid = out.sid;
                 self.ops_flops[p] += out.ops.flops;
                 self.ops_symtab[p] += out.ops.symtab_ops;
                 if trace() {
@@ -244,14 +302,54 @@ impl SimExec {
                     + out.ops.flops as f64 * self.cfg.cost.flop_time;
                 self.clocks[p] += cost;
                 self.busy[p] += cost;
-                self.record(p, t0, self.clocks[p], EventKind::Compute);
+                self.span(TraceEvent {
+                    sid,
+                    ..TraceEvent::span(TraceKind::Compute, p, t0, self.clocks[p])
+                });
+                if out.ops.symtab_ops > 0 {
+                    self.instant(TraceEvent {
+                        sid,
+                        bytes: out.ops.symtab_ops,
+                        ..TraceEvent::instant(TraceKind::SymtabQuery, p, self.clocks[p])
+                    });
+                }
+                match out.note {
+                    None => {}
+                    Some(StepNote::Kernel { name, flops }) => {
+                        self.instant(TraceEvent {
+                            sid,
+                            bytes: flops,
+                            detail: Some(name),
+                            ..TraceEvent::instant(TraceKind::KernelInvoke, p, self.clocks[p])
+                        });
+                    }
+                    Some(StepNote::Collective {
+                        var,
+                        strategy,
+                        pieces,
+                    }) => {
+                        self.instant(TraceEvent {
+                            sid,
+                            var: Some(var),
+                            detail: Some(format!("{strategy} x{pieces}")),
+                            ..TraceEvent::instant(TraceKind::CollectiveRound, p, self.clocks[p])
+                        });
+                    }
+                }
                 match out.action {
                     Action::Continue => {}
                     Action::Send { msg, dest } => {
                         let t1 = self.clocks[p];
                         self.clocks[p] += o;
                         self.busy[p] += o;
-                        self.record(p, t1, self.clocks[p], EventKind::SendInit);
+                        let (var, sec) = self.tag_meta(&msg.tag);
+                        self.span(TraceEvent {
+                            sid,
+                            var,
+                            sec,
+                            bytes: msg.payload_bytes(),
+                            ..TraceEvent::span(TraceKind::SendInit, p, t1, self.clocks[p])
+                        });
                         self.sends[p] += 1;
                         let time = self.clocks[p];
                         match dest {
@@ -276,7 +374,24 @@ impl SimExec {
                         let t1 = self.clocks[p];
                         self.clocks[p] += o;
                         self.busy[p] += o;
-                        self.record(p, t1, self.clocks[p], EventKind::RecvInit);
+                        let (var, sec) = self.tag_meta(&tag);
+                        self.span(TraceEvent {
+                            sid,
+                            var: var.clone(),
+                            sec: sec.clone(),
+                            msg_id: Some(req_id),
+                            ..TraceEvent::span(TraceKind::RecvPost, p, t1, self.clocks[p])
+                        });
+                        self.instant(TraceEvent {
+                            sid,
+                            var,
+                            sec,
+                            detail: Some("transitional".into()),
+                            ..TraceEvent::instant(TraceKind::SectionState, p, self.clocks[p])
+                        });
+                        if let Some(s) = sid {
+                            self.recv_sid.insert(req_id, s);
+                        }
                         if let Some(c) = self.net.post_recv(tag, p, self.clocks[p], req_id) {
                             self.deliver(c);
                         }
@@ -301,12 +416,12 @@ impl SimExec {
                 .filter_map(|p| {
                     self.inbox[p]
                         .iter()
-                        .map(|(_, c)| c.arrive_at)
+                        .map(|(req, c)| (c.arrive_at, *req))
                         .min_by(|a, b| a.partial_cmp(b).unwrap())
-                        .map(|t| (t, p))
+                        .map(|(t, req)| (t, p, req))
                 })
-                .min_by(|a, b| a.partial_cmp(b).unwrap());
-            if let Some((t, p)) = wake {
+                .min_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+            if let Some((t, p, req)) = wake {
                 if trace() {
                     eprintln!("[wake] p{p} at t={t:.1} (was {:.1})", self.clocks[p]);
                 }
@@ -314,7 +429,11 @@ impl SimExec {
                 if t > t0 {
                     self.wait[p] += t - t0;
                     self.clocks[p] = t;
-                    self.record(p, t0, t, EventKind::Wait);
+                    self.span(TraceEvent {
+                        cause: WaitCause::Message(req),
+                        msg_id: Some(req),
+                        ..TraceEvent::span(TraceKind::Wait, p, t0, t)
+                    });
                 }
                 self.drain_due(p)?;
                 self.status[p] = PStatus::Ready;
@@ -339,7 +458,10 @@ impl SimExec {
                     let t0 = self.clocks[p];
                     if t > t0 {
                         self.wait[p] += t - t0;
-                        self.record(p, t0, t, EventKind::Wait);
+                        self.span(TraceEvent {
+                            cause: WaitCause::Barrier,
+                            ..TraceEvent::span(TraceKind::Wait, p, t0, t)
+                        });
                     }
                     self.clocks[p] = t;
                     self.status[p] = PStatus::Ready;
@@ -354,16 +476,20 @@ impl SimExec {
                 // awaited). Apply them so the final state reflects every
                 // completed transfer, charging handling as usual.
                 for pid in 0..self.cfg.nprocs {
-                    while let Some(t) = self.inbox[pid]
+                    while let Some((t, req)) = self.inbox[pid]
                         .iter()
-                        .map(|(_, c)| c.arrive_at)
+                        .map(|(req, c)| (c.arrive_at, *req))
                         .min_by(|a, b| a.partial_cmp(b).unwrap())
                     {
                         let t0 = self.clocks[pid];
                         if t > t0 {
                             self.wait[pid] += t - t0;
                             self.clocks[pid] = t;
-                            self.record(pid, t0, t, EventKind::Wait);
+                            self.span(TraceEvent {
+                                cause: WaitCause::Message(req),
+                                msg_id: Some(req),
+                                ..TraceEvent::span(TraceKind::Wait, pid, t0, t)
+                            });
                         }
                         self.drain_due(pid)?;
                     }
@@ -386,6 +512,7 @@ impl SimExec {
         }
 
         let virtual_time = self.clocks.iter().copied().fold(0.0f64, f64::max);
+        self.trace.end = virtual_time;
         let procs = (0..self.cfg.nprocs)
             .map(|p| ProcReport {
                 finish_time: self.clocks[p],
@@ -401,7 +528,7 @@ impl SimExec {
             virtual_time,
             procs,
             net: self.net.stats.clone(),
-            timeline: std::mem::take(&mut self.timeline),
+            trace: std::mem::take(&mut self.trace),
         })
     }
 
@@ -597,10 +724,47 @@ mod tests {
         exec.init_exclusive(a, |_| Value::F64(0.0));
         exec.init_exclusive(bb, |_| Value::F64(1.0));
         let r = exec.run().unwrap();
-        assert!(!r.timeline.is_empty());
+        assert!(!r.trace.is_empty());
         let gantt = r.gantt(60);
         assert!(gantt.contains("p0"));
         assert!(gantt.contains('#'));
+    }
+
+    #[test]
+    fn full_trace_links_movement_events() {
+        let (prog, a, bb) = paper_simple(8, 2);
+        let mut exec = SimExec::new(
+            prog,
+            KernelRegistry::standard(),
+            SimConfig::new(2).with_trace(TraceConfig::full()),
+        );
+        exec.init_exclusive(a, |_| Value::F64(0.0));
+        exec.init_exclusive(bb, |_| Value::F64(1.0));
+        let r = exec.run().unwrap();
+        assert!((r.trace.end - r.virtual_time).abs() < 1e-9);
+        let wires: Vec<_> = r.trace.of_kind(TraceKind::WireTransit).collect();
+        assert_eq!(wires.len() as u64, r.net.messages);
+        // Every wire edge is attributed: receiver statement, sender pid,
+        // tag name, and a matching recv-complete with the same msg_id.
+        for w in &wires {
+            assert!(w.sid.is_some(), "{w:?}");
+            assert!(w.src.is_some(), "{w:?}");
+            assert_eq!(w.var.as_deref(), Some("B"));
+            assert!(w.t1 >= w.t0);
+            let id = w.msg_id.unwrap();
+            assert!(r
+                .trace
+                .of_kind(TraceKind::RecvComplete)
+                .any(|rc| rc.msg_id == Some(id) && rc.pid == w.pid));
+        }
+        // Section-state instants were recorded for each transfer.
+        assert!(r
+            .trace
+            .of_kind(TraceKind::SectionState)
+            .any(|e| e.detail.as_deref() == Some("accessible")));
+        // The critical path attributes all of the end-to-end time.
+        let report = r.trace.critical_path(&std::collections::HashMap::new());
+        assert!((report.attributed() - r.virtual_time).abs() < 1e-6 * r.virtual_time);
     }
 
     #[test]

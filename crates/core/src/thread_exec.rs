@@ -4,17 +4,23 @@
 //! Used for wall-clock (Criterion) measurements and to validate that the
 //! virtual-time simulator and a genuinely concurrent execution compute the
 //! same final state. Virtual-time accounting does not apply here; the
-//! report carries wall time and traffic counters only.
+//! report carries wall time and traffic counters, plus (when enabled) a
+//! trace whose timestamps are wall-clock microseconds since run start.
+//! The *movement multiset* of that trace — see
+//! [`xdp_trace::Trace::movement_multiset`] — is backend-independent, so a
+//! threaded trace must contain exactly the same send/recv/wire events as a
+//! simulated trace of the same program.
 
 use crate::env::RtError;
-use crate::interp::{Action, Interp};
+use crate::interp::{Action, Interp, StepNote};
 use crate::kernels::KernelRegistry;
 use crate::report::Gathered;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 use xdp_ir::{Program, VarId};
 use xdp_machine::{NetStats, ThreadNet};
-use xdp_runtime::Value;
+use xdp_runtime::{Msg, Value};
+use xdp_trace::{Trace, TraceConfig, TraceEvent, TraceKind, WaitCause};
 
 /// Result of a threaded run.
 #[derive(Debug)]
@@ -25,6 +31,8 @@ pub struct ThreadReport {
     pub net: NetStats,
     /// Final per-processor symbol-table statistics.
     pub symtab: Vec<xdp_runtime::symtab::SymtabStats>,
+    /// Recorded trace (wall-clock microseconds; empty unless enabled).
+    pub trace: Trace,
 }
 
 /// Configuration for the threaded executor.
@@ -37,16 +45,25 @@ pub struct ThreadConfig {
     /// How long a blocked receive may wait before the run is declared
     /// deadlocked.
     pub recv_timeout: Duration,
+    /// What to record in the execution trace.
+    pub trace: TraceConfig,
 }
 
 impl ThreadConfig {
-    /// Defaults: checked, 5-second deadlock timeout.
+    /// Defaults: checked, 5-second deadlock timeout, no tracing.
     pub fn new(nprocs: usize) -> ThreadConfig {
         ThreadConfig {
             nprocs,
             checked: true,
             recv_timeout: Duration::from_secs(5),
+            trace: TraceConfig::off(),
         }
+    }
+
+    /// Set the trace configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> ThreadConfig {
+        self.trace = trace;
+        self
     }
 }
 
@@ -85,27 +102,34 @@ impl ThreadExec {
         let net = ThreadNet::new(n);
         let barrier = Arc::new(Barrier::new(n));
         let timeout = self.cfg.recv_timeout;
+        let tcfg = self.cfg.trace;
         let start = Instant::now();
-        let results: Vec<Result<(), RtError>> = std::thread::scope(|scope| {
+        let results: Vec<Result<Vec<TraceEvent>, RtError>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for interp in self.interps.iter_mut() {
                 let net = net.clone();
                 let barrier = barrier.clone();
-                handles.push(scope.spawn(move || run_proc(interp, &net, &barrier, timeout)));
+                handles.push(
+                    scope.spawn(move || run_proc(interp, &net, &barrier, timeout, tcfg, start)),
+                );
             }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("proc panicked"))
                 .collect()
         });
+        let wall = start.elapsed();
+        let mut trace = Trace::new(n);
+        trace.end = wall.as_secs_f64() * 1e6;
         for r in results {
-            r?;
+            trace.events.extend(r?);
         }
         let symtab = self.interps.iter().map(|i| i.env.symtab.stats).collect();
         Ok(ThreadReport {
-            wall: start.elapsed(),
+            wall,
             net: net.stats(),
             symtab,
+            trace,
         })
     }
 
@@ -124,31 +148,121 @@ fn run_proc(
     net: &ThreadNet,
     barrier: &Barrier,
     timeout: Duration,
-) -> Result<(), RtError> {
+    tcfg: TraceConfig,
+    start: Instant,
+) -> Result<Vec<TraceEvent>, RtError> {
     let pid = interp.env.pid;
+    // Decl names are cloned up front so the recorder never borrows the
+    // interpreter across `interp.step()`.
+    let mut rec = RecorderData {
+        cfg: tcfg,
+        start,
+        events: Vec::new(),
+        names: interp.env.decls.iter().map(|d| d.name.clone()).collect(),
+        recv_sid: std::collections::HashMap::new(),
+    };
     loop {
         // Opportunistically complete any receive whose message has already
         // arrived, so `accessible()` polls stay live.
         for (req, tag) in interp.outstanding() {
+            let t0 = rec.now();
             if let Some(msg) = net.recv(&tag, pid, Duration::ZERO) {
+                rec.completed(pid, req, &msg, t0);
                 interp.complete_recv(req, msg)?;
             }
         }
+        let t0 = rec.now();
         let out = interp.step()?;
+        let sid = out.sid;
+        if tcfg.spans {
+            let t1 = rec.now();
+            if t1 > t0 {
+                rec.events.push(TraceEvent {
+                    sid,
+                    ..TraceEvent::span(TraceKind::Compute, pid, t0, t1)
+                });
+            }
+        }
+        if tcfg.instants && out.ops.symtab_ops > 0 {
+            rec.events.push(TraceEvent {
+                sid,
+                bytes: out.ops.symtab_ops,
+                ..TraceEvent::instant(TraceKind::SymtabQuery, pid, rec.now())
+            });
+        }
+        if tcfg.instants {
+            match &out.note {
+                None => {}
+                Some(StepNote::Kernel { name, flops }) => {
+                    rec.events.push(TraceEvent {
+                        sid,
+                        bytes: *flops,
+                        detail: Some(name.clone()),
+                        ..TraceEvent::instant(TraceKind::KernelInvoke, pid, rec.now())
+                    });
+                }
+                Some(StepNote::Collective {
+                    var,
+                    strategy,
+                    pieces,
+                }) => {
+                    rec.events.push(TraceEvent {
+                        sid,
+                        var: Some(var.clone()),
+                        detail: Some(format!("{strategy} x{pieces}")),
+                        ..TraceEvent::instant(TraceKind::CollectiveRound, pid, rec.now())
+                    });
+                }
+            }
+        }
         match out.action {
             Action::Continue => {}
             Action::Done => break,
-            Action::Send { msg, dest } => match dest {
-                None => net.send(msg, None),
-                Some(pids) => {
-                    for q in pids {
-                        net.send(msg.clone(), Some(vec![q]));
+            Action::Send { msg, dest } => {
+                if tcfg.spans {
+                    let t = rec.now();
+                    rec.events.push(TraceEvent {
+                        sid,
+                        var: rec.var_name(msg.tag.var),
+                        sec: Some(msg.tag.sec.to_string()),
+                        bytes: msg.payload_bytes(),
+                        ..TraceEvent::span(TraceKind::SendInit, pid, t, t)
+                    });
+                }
+                match dest {
+                    None => net.send(msg, None),
+                    Some(pids) => {
+                        for q in pids {
+                            net.send(msg.clone(), Some(vec![q]));
+                        }
                     }
                 }
-            },
-            Action::PostRecv { .. } => {
-                // Nothing to do eagerly; the message is claimed at the next
-                // opportunistic poll or blocking wait.
+            }
+            Action::PostRecv { tag, req_id } => {
+                let t = rec.now();
+                if tcfg.spans {
+                    rec.events.push(TraceEvent {
+                        sid,
+                        var: rec.var_name(tag.var),
+                        sec: Some(tag.sec.to_string()),
+                        msg_id: Some(req_id),
+                        ..TraceEvent::span(TraceKind::RecvPost, pid, t, t)
+                    });
+                }
+                if tcfg.instants {
+                    rec.events.push(TraceEvent {
+                        sid,
+                        var: rec.var_name(tag.var),
+                        sec: Some(tag.sec.to_string()),
+                        detail: Some("transitional".into()),
+                        ..TraceEvent::instant(TraceKind::SectionState, pid, t)
+                    });
+                }
+                if let Some(s) = sid {
+                    rec.recv_sid.insert(req_id, s);
+                }
+                // Nothing else to do eagerly; the message is claimed at the
+                // next opportunistic poll or blocking wait.
             }
             Action::BlockOn { var, sec } => {
                 // Service the outstanding receives that gate this section.
@@ -159,8 +273,22 @@ fn run_proc(
                     )));
                 }
                 let (req, tag) = gating[0].clone();
+                let t0 = rec.now();
                 match net.recv(&tag, pid, timeout) {
-                    Some(msg) => interp.complete_recv(req, msg)?,
+                    Some(msg) => {
+                        if tcfg.spans {
+                            let t1 = rec.now();
+                            if t1 > t0 {
+                                rec.events.push(TraceEvent {
+                                    cause: WaitCause::Message(req),
+                                    msg_id: Some(req),
+                                    ..TraceEvent::span(TraceKind::Wait, pid, t0, t1)
+                                });
+                            }
+                        }
+                        rec.completed(pid, req, &msg, t0);
+                        interp.complete_recv(req, msg)?;
+                    }
                     None => {
                         return Err(RtError::Deadlock(format!(
                             "p{pid}: receive of {tag} timed out after {timeout:?}"
@@ -169,15 +297,39 @@ fn run_proc(
                 }
             }
             Action::Barrier => {
+                let t0 = rec.now();
                 barrier.wait();
+                if tcfg.spans {
+                    let t1 = rec.now();
+                    if t1 > t0 {
+                        rec.events.push(TraceEvent {
+                            cause: WaitCause::Barrier,
+                            ..TraceEvent::span(TraceKind::Wait, pid, t0, t1)
+                        });
+                    }
+                }
                 interp.pass_barrier();
             }
         }
     }
     // Drain leftover outstanding receives so the final state is coherent.
     for (req, tag) in interp.outstanding() {
+        let t0 = rec.now();
         match net.recv(&tag, pid, timeout) {
-            Some(msg) => interp.complete_recv(req, msg)?,
+            Some(msg) => {
+                if tcfg.spans {
+                    let t1 = rec.now();
+                    if t1 > t0 {
+                        rec.events.push(TraceEvent {
+                            cause: WaitCause::Quiesce,
+                            msg_id: Some(req),
+                            ..TraceEvent::span(TraceKind::Wait, pid, t0, t1)
+                        });
+                    }
+                }
+                rec.completed(pid, req, &msg, t0);
+                interp.complete_recv(req, msg)?;
+            }
             None => {
                 return Err(RtError::Deadlock(format!(
                     "p{pid}: unfinished receive of {tag} at program end"
@@ -185,7 +337,70 @@ fn run_proc(
             }
         }
     }
-    Ok(())
+    Ok(rec.events)
+}
+
+/// Self-contained per-thread recorder state (no borrow of the
+/// interpreter: declaration names are cloned at thread start).
+struct RecorderData {
+    cfg: TraceConfig,
+    start: Instant,
+    events: Vec<TraceEvent>,
+    names: Vec<String>,
+    recv_sid: std::collections::HashMap<u64, u32>,
+}
+
+impl RecorderData {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn var_name(&self, var: VarId) -> Option<String> {
+        self.names.get(var.index()).cloned()
+    }
+
+    /// Record the wire-transit edge + recv-complete pair for a delivered
+    /// message, mirroring the simulator's `drain_due`.
+    fn completed(&mut self, pid: usize, req: u64, msg: &Msg, t0: f64) {
+        if !self.cfg.enabled() {
+            return;
+        }
+        let sid = self.recv_sid.remove(&req);
+        let var = self.var_name(msg.tag.var);
+        let sec = Some(msg.tag.sec.to_string());
+        let bytes = msg.payload_bytes();
+        let now = self.now();
+        if self.cfg.messages {
+            self.events.push(TraceEvent {
+                sid,
+                var: var.clone(),
+                sec: sec.clone(),
+                bytes,
+                src: Some(msg.src as u32),
+                msg_id: Some(req),
+                ..TraceEvent::span(TraceKind::WireTransit, pid, t0, now)
+            });
+        }
+        if self.cfg.spans {
+            self.events.push(TraceEvent {
+                sid,
+                var: var.clone(),
+                sec: sec.clone(),
+                bytes,
+                msg_id: Some(req),
+                ..TraceEvent::span(TraceKind::RecvComplete, pid, t0, now)
+            });
+        }
+        if self.cfg.instants {
+            self.events.push(TraceEvent {
+                sid,
+                var,
+                sec,
+                detail: Some("accessible".into()),
+                ..TraceEvent::instant(TraceKind::SectionState, pid, now)
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +470,7 @@ mod tests {
         exec.init_exclusive(bb, |idx| Value::F64(100.0 * idx[0] as f64));
         let report = exec.run().unwrap();
         assert_eq!(report.net.messages, n as u64);
+        assert!(report.trace.is_empty()); // tracing off by default
         let g = exec.gather(a);
         for i in 1..=n {
             assert_eq!(g.get(&[i]).unwrap().as_f64(), 101.0 * i as f64);
@@ -287,6 +503,27 @@ mod tests {
     }
 
     #[test]
+    fn threaded_trace_records_movement() {
+        let n = 8;
+        let (prog, a, bb) = simple(n, 2);
+        let mut exec = ThreadExec::new(
+            prog,
+            KernelRegistry::standard(),
+            ThreadConfig::new(2).with_trace(TraceConfig::full()),
+        );
+        exec.init_exclusive(a, |_| Value::F64(0.0));
+        exec.init_exclusive(bb, |_| Value::F64(1.0));
+        let r = exec.run().unwrap();
+        let wires: Vec<_> = r.trace.of_kind(TraceKind::WireTransit).collect();
+        assert_eq!(wires.len() as u64, r.net.messages);
+        for w in &wires {
+            assert!(w.sid.is_some(), "{w:?}");
+            assert_eq!(w.var.as_deref(), Some("B"));
+        }
+        assert!(r.trace.end > 0.0);
+    }
+
+    #[test]
     fn threaded_deadlock_times_out() {
         let mut p = Program::new();
         let a = p.declare(b::array(
@@ -309,6 +546,7 @@ mod tests {
                 nprocs: 2,
                 checked: true,
                 recv_timeout: Duration::from_millis(50),
+                trace: TraceConfig::off(),
             },
         );
         match exec.run() {

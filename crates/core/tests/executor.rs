@@ -2,7 +2,7 @@
 //! runtime diagnostics, and interpreter edge cases.
 
 use std::sync::Arc;
-use xdp_core::{EventKind, KernelRegistry, RtError, SimConfig, SimExec};
+use xdp_core::{KernelRegistry, RtError, SimConfig, SimExec, TraceKind};
 use xdp_ir::build as b;
 use xdp_ir::{CmpOp, DimDist, ElemType, ProcGrid, Program, Stmt, TransferKind, VarId};
 use xdp_runtime::Value;
@@ -155,7 +155,7 @@ fn timeline_invariants() {
     );
     let r = exec.run().unwrap();
     assert!(r.virtual_time > 0.0);
-    for ev in &r.timeline {
+    for ev in &r.trace.events {
         assert!(ev.t0 >= 0.0 && ev.t1 <= r.virtual_time + 1e-9, "{ev:?}");
         assert!(ev.t0 <= ev.t1, "{ev:?}");
         assert!(ev.pid < 3);
@@ -170,7 +170,7 @@ fn timeline_invariants() {
         );
     }
     // The barrier produced at least one Wait interval on some processor.
-    assert!(r.timeline.iter().any(|e| e.kind == EventKind::Wait));
+    assert!(r.trace.events.iter().any(|e| e.kind == TraceKind::Wait));
 }
 
 #[test]

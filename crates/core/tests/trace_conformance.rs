@@ -1,0 +1,168 @@
+//! Backend conformance: the simulator and the threaded executor must emit
+//! the same *movement multiset* — identical send-init / recv-post /
+//! wire-transit / recv-complete events up to timing and message ids — for
+//! the same program (see `xdp_trace::Trace::movement_multiset`).
+
+use std::sync::Arc;
+use xdp_core::{KernelRegistry, SimConfig, SimExec, ThreadConfig, ThreadExec, TraceConfig};
+use xdp_ir::build as b;
+use xdp_ir::{DimDist, Distribution, ElemType, ProcGrid, Program, VarId};
+use xdp_runtime::Value;
+
+/// Block-distributed A and cyclic B: every A[i] += B[i] via messages.
+fn message_program(n: i64, nprocs: usize) -> (Arc<Program>, VarId, VarId) {
+    let mut p = Program::new();
+    let grid = ProcGrid::linear(nprocs);
+    let a = p.declare(b::array(
+        "A",
+        ElemType::F64,
+        vec![(1, n)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    let bb = p.declare(b::array(
+        "B",
+        ElemType::F64,
+        vec![(1, n)],
+        vec![DimDist::Cyclic],
+        grid.clone(),
+    ));
+    let t = p.declare(b::array(
+        "T",
+        ElemType::F64,
+        vec![(0, nprocs as i64 - 1)],
+        vec![DimDist::Block],
+        grid,
+    ));
+    let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+    let bi = b::sref(bb, vec![b::at(b::iv("i"))]);
+    let tm = b::sref(t, vec![b::at(b::mypid())]);
+    p.body = vec![b::do_loop(
+        "i",
+        b::c(1),
+        b::c(n),
+        vec![
+            b::guarded(b::iown(bi.clone()), vec![b::send(bi.clone())]),
+            b::guarded(
+                b::iown(ai.clone()),
+                vec![
+                    b::recv_val(tm.clone(), bi.clone()),
+                    b::guarded(
+                        b::await_(tm.clone()),
+                        vec![b::assign(
+                            ai.clone(),
+                            b::val(ai.clone()).add(b::val(tm.clone())),
+                        )],
+                    ),
+                ],
+            ),
+        ],
+    )];
+    (Arc::new(p), a, bb)
+}
+
+/// A 2-D array redistributed from row-block to column-block layout — the
+/// collective planner expands this into generated sends/receives whose
+/// trace events all inherit the `redistribute` statement's id.
+fn redistribute_program(n: i64, nprocs: usize) -> (Arc<Program>, VarId) {
+    let mut p = Program::new();
+    let grid = ProcGrid::linear(nprocs);
+    let a = p.declare(b::array(
+        "A",
+        ElemType::F64,
+        vec![(1, n), (1, n)],
+        vec![DimDist::Block, DimDist::Star],
+        grid.clone(),
+    ));
+    p.body = vec![b::redistribute(
+        a,
+        Distribution::new(vec![DimDist::Star, DimDist::Block], grid),
+    )];
+    (Arc::new(p), a)
+}
+
+fn sim_multiset(prog: &Arc<Program>, nprocs: usize, init: &[(VarId, f64)]) -> Vec<String> {
+    let mut exec = SimExec::new(
+        prog.clone(),
+        KernelRegistry::standard(),
+        SimConfig::new(nprocs).with_trace(TraceConfig::full()),
+    );
+    for &(v, x) in init {
+        exec.init_exclusive(v, move |idx| Value::F64(x * idx[0] as f64));
+    }
+    exec.run().unwrap().trace.movement_multiset()
+}
+
+fn thread_multiset(prog: &Arc<Program>, nprocs: usize, init: &[(VarId, f64)]) -> Vec<String> {
+    let mut exec = ThreadExec::new(
+        prog.clone(),
+        KernelRegistry::standard(),
+        ThreadConfig::new(nprocs).with_trace(TraceConfig::full()),
+    );
+    for &(v, x) in init {
+        exec.init_exclusive(v, move |idx| Value::F64(x * idx[0] as f64));
+    }
+    exec.run().unwrap().trace.movement_multiset()
+}
+
+#[test]
+fn backends_agree_on_message_program() {
+    let nprocs = 3;
+    let (prog, a, bb) = message_program(12, nprocs);
+    let init = vec![(a, 1.0), (bb, 2.0)];
+    let sim = sim_multiset(&prog, nprocs, &init);
+    let thr = thread_multiset(&prog, nprocs, &init);
+    assert!(!sim.is_empty());
+    assert_eq!(sim, thr);
+}
+
+#[test]
+fn backends_agree_on_redistribute_program() {
+    let nprocs = 2;
+    let (prog, a) = redistribute_program(4, nprocs);
+    let init = vec![(a, 1.0)];
+    let sim = sim_multiset(&prog, nprocs, &init);
+    let thr = thread_multiset(&prog, nprocs, &init);
+    assert!(!sim.is_empty());
+    assert_eq!(sim, thr);
+}
+
+#[test]
+fn chrome_export_of_real_run_is_valid_json() {
+    let nprocs = 3;
+    let (prog, a, bb) = message_program(12, nprocs);
+    let mut exec = SimExec::new(
+        prog,
+        KernelRegistry::standard(),
+        SimConfig::new(nprocs).with_trace(TraceConfig::full()),
+    );
+    exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+    exec.init_exclusive(bb, |idx| Value::F64(2.0 * idx[0] as f64));
+    let r = exec.run().unwrap();
+
+    let chrome = r.trace.to_chrome_json();
+    let v = serde_json::from_str(&chrome).expect("chrome export parses");
+    let evs = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    // Every event has the required trace-event fields.
+    for e in evs {
+        assert!(e.get("name").and_then(|n| n.as_str()).is_some(), "{e:?}");
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
+        assert!(e.get("pid").is_some(), "{e:?}");
+        // Non-metadata events additionally need a thread and timestamp.
+        if ph != "M" {
+            assert!(e.get("tid").is_some() && e.get("ts").is_some(), "{e:?}");
+        }
+    }
+    // Spans and wire transits made it through.
+    assert!(evs
+        .iter()
+        .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")));
+
+    let jsonl = r.trace.to_jsonl();
+    for line in jsonl.lines() {
+        serde_json::from_str(line).expect("jsonl line parses");
+    }
+}

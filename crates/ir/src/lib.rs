@@ -41,7 +41,7 @@ pub use expr::{
 };
 pub use grid::ProcGrid;
 pub use section::Section;
-pub use stmt::{Block, Decl, DestSet, Ownership, Program, Stmt, TransferKind};
+pub use stmt::{block_stmt_ids, Block, Decl, DestSet, Ownership, Program, Stmt, TransferKind};
 pub use triplet::Triplet;
 pub use types::{ElemType, VarId};
 pub use validate::validate;

@@ -162,6 +162,29 @@ pub fn stmt(p: &Program, s: &Stmt, indent: usize) -> String {
     }
 }
 
+/// One-line summary of a statement: the first line of its pretty form
+/// (compound statements show their header, e.g. `do i = 1, 16 {`).
+pub fn stmt_summary(p: &Program, s: &Stmt) -> String {
+    stmt(p, s, 0).lines().next().unwrap_or_default().to_string()
+}
+
+/// `(preorder id, one-line summary)` for every statement of the program,
+/// in id order. The ids match `crate::stmt::block_stmt_ids` and are what
+/// executors stamp on trace events, so this table labels trace reports.
+pub fn stmt_table(p: &Program) -> Vec<(u32, String)> {
+    fn walk(p: &Program, block: &Block, base: u32, out: &mut Vec<(u32, String)>) {
+        for (s, sid) in block.iter().zip(crate::stmt::block_stmt_ids(base, block)) {
+            out.push((sid, stmt_summary(p, s)));
+            for child in s.child_blocks() {
+                walk(p, child, sid + 1, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(p, &p.body, 0, &mut out);
+    out
+}
+
 /// Pretty-print a section reference, e.g. `A[i,*,1:4:2]`.
 pub fn section_ref(p: &Program, r: &SectionRef) -> String {
     let name = &p.decl(r.var).name;
@@ -310,6 +333,40 @@ mod tests {
         assert!(s.contains("A[*,1:n:2] -> {0,mypid}"), "{s}");
         assert!(s.contains("A[*,1:n:2] <- A[*,1:n:2]"), "{s}");
         assert!(s.contains("barrier"), "{s}");
+    }
+
+    #[test]
+    fn stmt_table_numbers_preorder() {
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(4);
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 16)],
+            vec![DimDist::Block],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        p.body = vec![
+            b::do_loop(
+                "i",
+                b::c(1),
+                b::c(16),
+                vec![
+                    b::guarded(b::iown(ai.clone()), vec![b::send_own_val(ai.clone())]),
+                    b::recv_own_val(ai.clone()),
+                ],
+            ),
+            Stmt::Barrier,
+        ];
+        let t = stmt_table(&p);
+        let ids: Vec<u32> = t.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t[0].1, "do i = 1, 16 {");
+        assert_eq!(t[1].1, "iown(A[i]) : {");
+        assert_eq!(t[2].1, "A[i] -=>");
+        assert_eq!(t[3].1, "A[i] <=-");
+        assert_eq!(t[4].1, "barrier");
     }
 
     #[test]

@@ -151,6 +151,33 @@ impl Stmt {
             _ => {}
         }
     }
+
+    /// Number of statements in this subtree (self included) — the width
+    /// of the preorder-id range the statement occupies.
+    pub fn subtree_size(&self) -> usize {
+        let mut n = 0usize;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+/// Preorder statement ids for the statements of a block whose first
+/// statement has id `base`.
+///
+/// Statement ids number every statement of a program in preorder:
+/// `Program.body[0]` is 0 and a compound statement with id `g` gives its
+/// first child id `g + 1`. The ids of `block[k]` is therefore `base` plus
+/// the subtree sizes of the preceding siblings. Executors use this to tag
+/// every trace event with the statement that caused it without storing
+/// ids in the IR itself.
+pub fn block_stmt_ids(base: u32, block: &[Stmt]) -> Vec<u32> {
+    let mut ids = Vec::with_capacity(block.len());
+    let mut next = base;
+    for s in block {
+        ids.push(next);
+        next += s.subtree_size() as u32;
+    }
+    ids
 }
 
 /// Visit every statement in a block, preorder.
@@ -380,6 +407,37 @@ mod tests {
         assert_eq!(c.sends, 1);
         assert_eq!(c.assigns, 1);
         assert_eq!(c.recvs, 0);
+    }
+
+    #[test]
+    fn preorder_ids_skip_subtrees() {
+        let mut p = Program::new();
+        let a = p.declare(decl_1d("A", 16, 4));
+        let aref = SectionRef::new(a, vec![Subscript::Point(IntExpr::Var("i".into()))]);
+        let send = Stmt::Send {
+            sec: aref.clone(),
+            kind: TransferKind::Value,
+            dest: DestSet::Unspecified,
+            salt: None,
+        };
+        // s0: do loop; s1: guard; s2: send; s3: barrier (top level).
+        let guard = Stmt::Guarded {
+            rule: BoolExpr::Iown(aref.clone()),
+            body: vec![send.clone()],
+        };
+        let lp = Stmt::DoLoop {
+            var: "i".into(),
+            lo: IntExpr::Const(1),
+            hi: IntExpr::Const(16),
+            step: IntExpr::Const(1),
+            body: vec![guard.clone()],
+        };
+        assert_eq!(send.subtree_size(), 1);
+        assert_eq!(guard.subtree_size(), 2);
+        assert_eq!(lp.subtree_size(), 3);
+        let body = vec![lp, Stmt::Barrier];
+        assert_eq!(block_stmt_ids(0, &body), vec![0, 3]);
+        assert_eq!(block_stmt_ids(1, &[guard.clone(), send]), vec![1, 3]);
     }
 
     #[test]

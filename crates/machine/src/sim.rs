@@ -58,6 +58,10 @@ pub struct Completion {
     pub dst: usize,
     /// The delivered message.
     pub msg: Msg,
+    /// Virtual time at which the sender posted the message — the start of
+    /// the wire-transit interval (trace exports and critical-path
+    /// analysis follow this happens-before edge).
+    pub sent_at: f64,
     /// Virtual time at which the message is available on `dst`.
     pub arrive_at: f64,
     /// Receiver-CPU time to complete the receive.
@@ -208,6 +212,7 @@ impl SimNet {
         Completion {
             req_id: recv.req_id,
             dst: recv.dst,
+            sent_at: send.time,
             msg: send.msg,
             arrive_at,
             handling,

@@ -49,6 +49,7 @@ impl NetStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn record_accumulates() {
@@ -62,5 +63,36 @@ mod tests {
         assert_eq!(s.bound_messages, 1);
         assert_eq!(s.sent_by, vec![1, 1]);
         assert_eq!(s.received_by, vec![1, 1]);
+    }
+
+    const P: usize = 4;
+
+    /// (src, dst, payload, header, bound) — wire is payload plus the name
+    /// header when the message travels unbound, as both network backends
+    /// compute it.
+    fn record_strategy() -> impl Strategy<Value = (usize, usize, u64, u64, bool)> {
+        (0usize..P, 0usize..P, 0u64..4096, 1u64..64, 0u8..2)
+            .prop_map(|(src, dst, payload, header, b)| (src, dst, payload, header, b == 1))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The counter invariants every report relies on: messages split
+        /// exactly into bound + unbound, per-processor send/receive counts
+        /// both sum to the message total, and wire bytes dominate payload
+        /// bytes (headers only ever add).
+        #[test]
+        fn invariants_hold(records in prop::collection::vec(record_strategy(), 0..64)) {
+            let mut s = NetStats::new(P);
+            for (src, dst, payload, header, bound) in records {
+                let wire = payload + if bound { 0 } else { header };
+                s.record(src, dst, payload, wire, bound);
+            }
+            prop_assert_eq!(s.messages, s.bound_messages + s.unbound_messages);
+            prop_assert_eq!(s.sent_by.iter().sum::<u64>(), s.messages);
+            prop_assert_eq!(s.received_by.iter().sum::<u64>(), s.messages);
+            prop_assert!(s.wire_bytes >= s.payload_bytes);
+        }
     }
 }

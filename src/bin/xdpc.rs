@@ -1,24 +1,23 @@
 //! `xdpc` — the XDP command-line driver.
 //!
-//! ```text
-//! xdpc check <file.xdp>                  parse and pretty-print
-//! xdpc lower <file.xdp>                  sequential source -> naive owner-computes IL+XDP
-//! xdpc opt   <file.xdp> [--passes LIST]  optimize and print (default: paper pipeline)
-//! xdpc run   <file.xdp> [options]        execute on the simulated machine
-//! xdpc tune  <file.xdp> --array NAME --segments 1,2,4[,8x1,...]
-//!                                        pick the fastest segment shape by simulation
-//! xdpc plan  <file.xdp> [--alpha X] [--beta X] [--topo uniform|linear|RxC]
-//!                                        show the planned schedule and predicted cost
-//!                                        of every `redistribute` statement
+//! Run `xdpc` with no arguments for usage: the help text is generated from
+//! the same command table that drives dispatch (see [`COMMANDS`]), so it
+//! cannot drift from the implemented subcommands.
 //!
-//! run options:
+//! ```text
+//! run/trace options:
 //!   --procs N        machine size (default: from the declarations)
 //!   --alpha X        per-message latency            (default 100)
 //!   --beta X         per-byte time                  (default 0.1)
-//!   --timeline       print a Gantt chart of the execution
-//!   --gather NAME    print the named array's final contents and owners
+//!   --timeline       print a Gantt chart of the execution (run)
+//!   --gather NAME    print the named array's final contents and owners (run)
 //!   --optimize       run the paper pipeline before executing
-//!   --unchecked      disable the checked runtime
+//!   --unchecked      disable the checked runtime (run)
+//!   --out PATH       Chrome trace-event JSON output (trace; default trace.json)
+//!   --jsonl PATH     also write the compact JSONL trace (trace)
+//!   --top N          rows in the critical-path tables (trace; default 10)
+//!   --explain        print per-pass wall time, node deltas and statement
+//!                    provenance (lower, opt, and trace/run with --optimize)
 //!
 //! pass names: elide-same-owner-comm, vectorize-messages, localize-bounds,
 //! bind-communication, elide-accessible-checks, fuse-loops, sink-await,
@@ -53,10 +52,66 @@ use xdp_compiler::passes::{
 };
 use xdp_ir::pretty;
 
+/// One subcommand: name, one-line summary (for usage), and handler. The
+/// dispatch loop and the usage text both read this table, so adding a
+/// subcommand here is the *only* step — help cannot drift.
+struct Command {
+    name: &'static str,
+    summary: &'static str,
+    run: fn(&Program, &[String]) -> ExitCode,
+}
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "check",
+        summary: "parse, validate, and pretty-print",
+        run: cmd_check,
+    },
+    Command {
+        name: "lower",
+        summary: "sequential source -> naive owner-computes IL+XDP [--explain]",
+        run: cmd_lower,
+    },
+    Command {
+        name: "opt",
+        summary: "optimize and print [--passes LIST] [--explain]",
+        run: cmd_opt,
+    },
+    Command {
+        name: "run",
+        summary: "execute on the simulated machine [--procs N] [--timeline] ...",
+        run: cmd_run,
+    },
+    Command {
+        name: "trace",
+        summary: "execute with full tracing: Chrome JSON + critical path [--out PATH]",
+        run: cmd_trace,
+    },
+    Command {
+        name: "tune",
+        summary: "pick the fastest segment shape --array NAME --segments 1,2,4x1,...",
+        run: cmd_tune,
+    },
+    Command {
+        name: "plan",
+        summary: "show schedule + predicted cost of every `redistribute`",
+        run: cmd_plan,
+    },
+];
+
+/// Usage text generated from [`COMMANDS`].
+fn usage_text() -> String {
+    let names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+    let mut s = format!("usage: xdpc <{}> <file.xdp> [options]\n", names.join("|"));
+    for c in COMMANDS {
+        s.push_str(&format!("  {:<7} {}\n", c.name, c.summary));
+    }
+    s.push_str("(see `src/bin/xdpc.rs` header for per-command options)");
+    s
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: xdpc <check|lower|opt|run|tune|plan> <file.xdp> [options]\n(see `src/bin/xdpc.rs` header for options)"
-    );
+    eprintln!("{}", usage_text());
     ExitCode::from(2)
 }
 
@@ -65,6 +120,9 @@ fn main() -> ExitCode {
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
         _ => return usage(),
+    };
+    let Some(command) = COMMANDS.iter().find(|c| c.name == cmd) else {
+        return usage();
     };
     let src = match std::fs::read_to_string(file) {
         Ok(s) => s,
@@ -80,36 +138,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let rest = &args[2..];
-    match cmd {
-        "check" => {
-            let diags = xdp_ir::validate(&program);
-            outp!("{}", pretty::program(&program));
-            for d in &diags {
-                eprintln!("xdpc: warning: {d}");
+    (command.run)(&program, &args[2..])
+}
+
+fn cmd_check(program: &Program, _rest: &[String]) -> ExitCode {
+    let diags = xdp_ir::validate(program);
+    outp!("{}", pretty::program(program));
+    for d in &diags {
+        eprintln!("xdpc: warning: {d}");
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_lower(program: &Program, rest: &[String]) -> ExitCode {
+    match xdp_compiler::from_program(program) {
+        Ok(seq) => {
+            let naive = lower_owner_computes(&seq, &FrontendOptions::default());
+            outp!("{}", pretty::program(&naive));
+            if flag(rest, "--explain") {
+                // Show what the standard pipeline would do to this program:
+                // per-pass wall time, node deltas, statement provenance.
+                let (_, ct) = PassManager::paper_pipeline().run_traced(&naive);
+                eprintln!("\n[paper pipeline on the lowered program]");
+                eprint!("{}", ct.render());
             }
-            if diags.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
+            ExitCode::SUCCESS
         }
-        "lower" => match xdp_compiler::from_program(&program) {
-            Ok(seq) => {
-                let naive = lower_owner_computes(&seq, &FrontendOptions::default());
-                outp!("{}", pretty::program(&naive));
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("xdpc: {file}: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "opt" => cmd_opt(&program, rest),
-        "run" => cmd_run(&program, rest),
-        "tune" => cmd_tune(&program, rest),
-        "plan" => cmd_plan(&program, rest),
-        _ => usage(),
+        Err(e) => {
+            eprintln!("xdpc: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -128,7 +190,6 @@ fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
 }
 
 fn cmd_opt(program: &Program, rest: &[String]) -> ExitCode {
-    let mut cur = program.clone();
     let passes: Vec<String> = match rest.iter().position(|a| a == "--passes") {
         Some(i) => match rest.get(i + 1) {
             Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
@@ -145,20 +206,28 @@ fn cmd_opt(program: &Program, rest: &[String]) -> ExitCode {
             "elide-accessible-checks".into(),
         ],
     };
-    for name in passes {
-        let Some(pass) = pass_by_name(&name) else {
+    let mut mgr = PassManager::new();
+    for name in &passes {
+        let Some(pass) = pass_by_name(name) else {
             eprintln!("xdpc: unknown pass `{name}`");
             return ExitCode::from(2);
         };
-        let r = pass.run(&cur);
-        eprintln!(
-            "pass {name}: {}",
-            if r.changed { "changed" } else { "no change" }
-        );
-        for note in &r.notes {
-            eprintln!("  - {note}");
+        mgr = mgr.add_boxed(pass);
+    }
+    let (cur, ct) = mgr.run_traced(program);
+    if flag(rest, "--explain") {
+        eprint!("{}", ct.render());
+    } else {
+        for p in &ct.passes {
+            eprintln!(
+                "pass {}: {}",
+                p.name,
+                if p.changed { "changed" } else { "no change" }
+            );
+            for note in &p.notes {
+                eprintln!("  - {note}");
+            }
         }
-        cur = r.program;
     }
     outp!("{}", pretty::program(&cur));
     ExitCode::SUCCESS
@@ -362,25 +431,26 @@ fn opt_val<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
-    let diags = xdp_ir::validate(program);
-    if !diags.is_empty() {
-        for d in diags {
-            eprintln!("xdpc: error: {d}");
-        }
-        return ExitCode::FAILURE;
+/// Apply `--optimize` (paper pipeline) if requested; `--explain` prints
+/// the full pass instrumentation instead of the one-line change log.
+fn maybe_optimize(program: &Program, rest: &[String]) -> Program {
+    if !flag(rest, "--optimize") {
+        return program.clone();
     }
-    let mut program = program.clone();
-    if flag(rest, "--optimize") {
-        let (opt, log) = PassManager::paper_pipeline().run(&program);
-        for (name, r) in &log {
-            if r.changed {
-                eprintln!("pass {name}: changed");
-            }
+    let (opt, ct) = PassManager::paper_pipeline().run_traced(program);
+    if flag(rest, "--explain") {
+        eprint!("{}", ct.render());
+    } else {
+        for p in ct.passes.iter().filter(|p| p.changed) {
+            eprintln!("pass {}: changed", p.name);
         }
-        program = opt;
     }
-    // Machine size: --procs or the largest grid in the declarations.
+    opt
+}
+
+/// Machine size (`--procs` or the largest declared grid) and cost model
+/// (`--alpha`/`--beta`) shared by `run` and `trace`.
+fn machine_cfg(program: &Program, rest: &[String]) -> (usize, CostModel) {
     let nprocs = opt_val(rest, "--procs")
         .and_then(|v| v.parse().ok())
         .or_else(|| {
@@ -398,6 +468,31 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
     if let Some(b) = opt_val(rest, "--beta").and_then(|v| v.parse().ok()) {
         cost.beta = b;
     }
+    (nprocs, cost)
+}
+
+/// Deterministic default initialization: flattened 1-based element ordinal.
+fn init_default(exec: &mut SimExec, decls: &[Decl]) {
+    for (i, d) in decls.iter().enumerate() {
+        if d.is_exclusive() {
+            let full = Section::new(d.bounds.clone());
+            exec.init_exclusive(VarId(i as u32), move |idx| {
+                Value::F64((full.ordinal_of(idx).unwrap_or(0) + 1) as f64)
+            });
+        }
+    }
+}
+
+fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
+    let diags = xdp_ir::validate(program);
+    if !diags.is_empty() {
+        for d in diags {
+            eprintln!("xdpc: error: {d}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let program = maybe_optimize(program, rest);
+    let (nprocs, cost) = machine_cfg(&program, rest);
     let mut cfg = SimConfig::new(nprocs).with_cost(cost);
     if flag(rest, "--timeline") {
         cfg = cfg.with_timeline();
@@ -408,15 +503,7 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
 
     let decls = program.decls.clone();
     let mut exec = SimExec::new(Arc::new(program), xdp_apps::app_kernels(), cfg);
-    // Deterministic default initialization: flattened element ordinal.
-    for (i, d) in decls.iter().enumerate() {
-        if d.is_exclusive() {
-            let full = Section::new(d.bounds.clone());
-            exec.init_exclusive(VarId(i as u32), move |idx| {
-                Value::F64((full.ordinal_of(idx).unwrap_or(0) + 1) as f64)
-            });
-        }
-    }
+    init_default(&mut exec, &decls);
     let report = match exec.run() {
         Ok(r) => r,
         Err(e) => {
@@ -452,4 +539,113 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `xdpc trace`: execute with full trace recording, export Chrome
+/// trace-event JSON (`--out`, default `trace.json`) and optionally JSONL
+/// (`--jsonl`), then print the critical-path report. Fails (nonzero exit)
+/// if the run errors, an export cannot be written, or the analyzer cannot
+/// attribute the end-to-end time.
+fn cmd_trace(program: &Program, rest: &[String]) -> ExitCode {
+    let diags = xdp_ir::validate(program);
+    if !diags.is_empty() {
+        for d in diags {
+            eprintln!("xdpc: error: {d}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let program = maybe_optimize(program, rest);
+    let (nprocs, cost) = machine_cfg(&program, rest);
+    let cfg = SimConfig::new(nprocs)
+        .with_cost(cost)
+        .with_trace(TraceConfig::full());
+
+    // Statement labels for the per-statement cost ranking.
+    let labels: std::collections::HashMap<u32, String> =
+        pretty::stmt_table(&program).into_iter().collect();
+    let decls = program.decls.clone();
+    let mut exec = SimExec::new(Arc::new(program), xdp_apps::app_kernels(), cfg);
+    init_default(&mut exec, &decls);
+    let report = match exec.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xdpc: runtime error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let out_path = opt_val(rest, "--out").unwrap_or("trace.json");
+    if let Err(e) = std::fs::write(out_path, report.trace.to_chrome_json()) {
+        eprintln!("xdpc: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(jsonl) = opt_val(rest, "--jsonl") {
+        if let Err(e) = std::fs::write(jsonl, report.trace.to_jsonl()) {
+            eprintln!("xdpc: cannot write {jsonl}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let cp = report.trace.critical_path(&labels);
+    if report.virtual_time > 0.0
+        && (cp.attributed() - report.virtual_time).abs() > 1e-6 * report.virtual_time
+    {
+        eprintln!(
+            "xdpc: critical-path analysis incomplete: attributed {:.1} of {:.1}",
+            cp.attributed(),
+            report.virtual_time
+        );
+        return ExitCode::FAILURE;
+    }
+    let top = opt_val(rest, "--top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10usize);
+    out!(
+        "procs {nprocs}  virtual time {:.1}  messages {}  events {}",
+        report.virtual_time,
+        report.net.messages,
+        report.trace.events.len()
+    );
+    outp!("{}", cp.render(top));
+    out!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_lists_every_command_exactly_once() {
+        let text = usage_text();
+        for c in COMMANDS {
+            assert!(
+                text.contains(&format!("  {:<7} ", c.name)),
+                "usage missing `{}`:\n{text}",
+                c.name
+            );
+        }
+        // Names are unique (the dispatch finds the first match).
+        let mut names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COMMANDS.len());
+    }
+
+    #[test]
+    fn every_documented_pass_resolves() {
+        for name in [
+            "elide-same-owner-comm",
+            "vectorize-messages",
+            "localize-bounds",
+            "bind-communication",
+            "elide-accessible-checks",
+            "fuse-loops",
+            "sink-await",
+            "migrate-ownership",
+        ] {
+            assert!(pass_by_name(name).is_some(), "{name}");
+        }
+        assert!(pass_by_name("bogus").is_none());
+    }
 }

@@ -76,6 +76,7 @@ pub use xdp_ir as ir;
 pub use xdp_lang as lang;
 pub use xdp_machine as machine;
 pub use xdp_runtime as runtime;
+pub use xdp_trace as trace;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -97,4 +98,8 @@ pub mod prelude {
     };
     pub use xdp_machine::{CostModel, NetStats, SimNet, ThreadNet, Topology};
     pub use xdp_runtime::{Buffer, Complex, RtSymbolTable, SegStatus, Value};
+    pub use xdp_trace::{
+        CompileTrace, CriticalPathReport, PassTrace, Trace, TraceConfig, TraceEvent, TraceKind,
+        WaitCause,
+    };
 }

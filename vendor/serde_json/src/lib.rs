@@ -1,6 +1,7 @@
 //! Vendored minimal `serde_json` subset: the `Value`/`Number`/`Map` data
-//! model and a JSON serializer via `Display`. No parsing, no serde traits —
-//! the workspace only constructs values and prints JSON lines.
+//! model, a JSON serializer via `Display`, and a strict [`from_str`]
+//! parser. No serde traits — the workspace constructs values, prints JSON
+//! lines, and round-trips its own exports in tests.
 
 use std::fmt;
 
@@ -101,6 +102,70 @@ pub enum Value {
     Object(Map<String, Value>),
 }
 
+impl Value {
+    /// Member lookup on objects; `None` for every other variant.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 macro_rules! from_int {
     ($($t:ty),*) => {$(
         impl From<$t> for Value {
@@ -198,6 +263,242 @@ impl fmt::Display for Value {
     }
 }
 
+/// Error from [`from_str`], carrying a byte offset and a short message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    pub offset: usize,
+    pub msg: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &'static str) -> Result<T, Error> {
+        Err(Error {
+            offset: self.pos,
+            msg,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, msg: &'static str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(msg)
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected string")?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(cp) = hex else {
+                                return self.err("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our own
+                            // exports; reject rather than mis-decode.
+                            match char::from_u32(cp) {
+                                Some(c) => s.push(c),
+                                None => return self.err("surrogate \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the lead byte.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >= 0xF0 => 4,
+                        _ if b >= 0xE0 => 3,
+                        _ if b >= 0xC0 => 2,
+                        _ => return self.err("bad UTF-8"),
+                    };
+                    let Some(chunk) = self.bytes.get(start..start + len) else {
+                        return self.err("bad UTF-8");
+                    };
+                    let Ok(txt) = std::str::from_utf8(chunk) else {
+                        return self.err("bad UTF-8");
+                    };
+                    s.push_str(txt);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Number(Number::F64(f))),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > 128 {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return self.err("expected , or ]"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected :")?;
+                    let val = self.value(depth + 1)?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return self.err("expected , or }"),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => self.err("expected value"),
+        }
+    }
+}
+
+/// Parse one JSON document; trailing whitespace is allowed, trailing
+/// content is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content");
+    }
+    Ok(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +530,46 @@ mod tests {
         assert!(Number::I64(3).as_f64() == Some(3.0));
         assert!(!Number::I64(3).is_f64());
         assert!(Number::F64(3.0).is_f64());
+    }
+
+    #[test]
+    fn parse_round_trips_own_output() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::from(1u64));
+        m.insert("b".into(), Value::from(-2.5));
+        m.insert("s".into(), Value::from("x\"y\n\\ π"));
+        m.insert(
+            "arr".into(),
+            Value::Array(vec![Value::Null, Value::Bool(true), Value::from("z")]),
+        );
+        let v = Value::Object(m);
+        let back = from_str(&v.to_string()).expect("round trip");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_basics() {
+        assert_eq!(from_str("  null ").unwrap(), Value::Null);
+        assert_eq!(from_str("[1,2,3]").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(from_str("\"\\u0041\"").unwrap().as_str(), Some("A"));
+        assert_eq!(from_str("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(from_str("1e3").unwrap().as_f64(), Some(1000.0));
+        let obj = from_str(r#"{"k": {"n": 42}}"#).unwrap();
+        assert_eq!(
+            obj.get("k")
+                .and_then(|k| k.get("n"))
+                .and_then(|n| n.as_u64()),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("{\"a\" 1}").is_err());
+        assert!(from_str("\"unterminated").is_err());
     }
 }
