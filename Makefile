@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: all test bench experiments examples lint doc clean
+.PHONY: all test bench experiments examples lint doc clean e10
 
 all: test
 
@@ -21,10 +21,15 @@ bench:
 experiments:
 	@for b in fig1_conformance fig2_symtab fig3_segments fig4_fft3d \
 	          e1_simple e2_segsize e3_rulecost e4_loadbal e5_binding \
-	          e6_crossover e7_topology e8_collectives; do \
+	          e6_crossover e7_topology e8_collectives e9_critical_path \
+	          e10_autoplace; do \
 	    echo "==== $$b ===="; \
 	    cargo run -q --release -p xdp-bench --bin $$b; \
 	done
+
+# The automatic-placement experiment on its own (EXPERIMENTS.md E10).
+e10:
+	cargo run -q --release -p xdp-bench --bin e10_autoplace
 
 examples:
 	@for e in quickstart fft3d paper_listings load_balance redistribute \

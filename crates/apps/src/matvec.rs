@@ -119,6 +119,92 @@ pub fn build_matvec(n: i64, nprocs: usize) -> (Program, MatVecVars) {
     (p, vars)
 }
 
+/// The matrix-vector product under an *arbitrary* row placement: `M` is
+/// declared with `dist` (any rank-2 distribution that keeps dimension 2
+/// collapsed — `BLOCK`, `CYCLIC`, or fully collapsed rows), `y` is
+/// *aligned* to `M`'s row dimension via [`Distribution::aligned_map`] so
+/// its ownership provably tracks the matrix rows, and the compute is one
+/// `iown`-guarded loop over rows — the same program text works unchanged
+/// for every placement, which is exactly what lets the `xdp-place`
+/// search choose one. The broadcast of `x` is placement-independent.
+pub fn build_matvec_placed(
+    n: i64,
+    nprocs: usize,
+    dist: xdp_ir::Distribution,
+) -> (Program, MatVecVars) {
+    use xdp_ir::{Distribution, Ownership, Triplet};
+    assert_eq!(dist.rank(), 2);
+    assert!(!dist.dims()[1].is_distributed(), "rows must stay whole");
+    let np = nprocs as i64;
+    let grid = ProcGrid::linear(nprocs);
+    let mut p = Program::new();
+    let mbounds: Vec<Triplet> = vec![Triplet::range(1, n), Triplet::range(1, n)];
+    let m = p.declare(xdp_ir::Decl {
+        name: "M".into(),
+        elem: ElemType::F64,
+        bounds: mbounds.clone(),
+        ownership: Ownership::Exclusive,
+        dist: Some(dist.clone()),
+        segment_shape: None,
+    });
+    let x = p.declare(xdp_ir::Decl {
+        name: "x".into(),
+        elem: ElemType::F64,
+        bounds: vec![Triplet::range(1, n)],
+        ownership: Ownership::Exclusive,
+        dist: Some(Distribution::collapsed(1, nprocs)),
+        segment_shape: None,
+    });
+    let xl = p.declare(b::array(
+        "XL",
+        ElemType::F64,
+        vec![(0, np - 1), (1, n)],
+        vec![DimDist::Block, DimDist::Star],
+        grid,
+    ));
+    // y[r] lives wherever M[r, *] does, for every candidate placement.
+    let y = p.declare(xdp_ir::Decl {
+        name: "y".into(),
+        elem: ElemType::F64,
+        bounds: vec![Triplet::range(1, n)],
+        ownership: Ownership::Exclusive,
+        dist: Some(Distribution::aligned_map(dist, mbounds, vec![Some((0, 0))])),
+        segment_shape: None,
+    });
+    let vars = MatVecVars { m, x, xl, y };
+
+    let x_all = b::sref(x, vec![b::all()]);
+    let my_xl = b::sref(xl, vec![b::at(b::mypid()), b::all()]);
+    let row_r = b::sref(m, vec![b::at(b::iv("r")), b::all()]);
+    let y_r = b::sref(y, vec![b::span(b::iv("r"), b::iv("r"))]);
+    let dests: Vec<xdp_ir::IntExpr> = (0..np).map(b::c).collect();
+    p.body = vec![
+        b::guarded(
+            b::cmp(CmpOp::Eq, b::mypid(), b::c(0)),
+            vec![b::send_to(x_all.clone(), dests)],
+        ),
+        b::recv_val(my_xl.clone(), x_all),
+        // One row at a time, wherever that row lives.
+        b::guarded(
+            b::await_(my_xl.clone()),
+            vec![b::do_loop(
+                "r",
+                b::c(1),
+                b::c(n),
+                vec![b::guarded(
+                    b::iown(row_r.clone()),
+                    vec![b::kernel_with(
+                        "matvec",
+                        vec![y_r, row_r, my_xl],
+                        vec![b::c(1), b::c(n)],
+                    )],
+                )],
+            )],
+        ),
+    ];
+    (p, vars)
+}
+
 /// Sequential reference.
 pub fn matvec_reference(m: &[f64], x: &[f64], n: usize) -> Vec<f64> {
     (0..n)
@@ -157,6 +243,38 @@ mod tests {
                 "y[{i}]: {got} vs {}",
                 want[(i - 1) as usize]
             );
+        }
+    }
+
+    #[test]
+    fn placed_matvec_matches_reference_for_every_placement() {
+        use xdp_ir::Distribution;
+        let (n, np) = (16i64, 4usize);
+        for dist in [
+            Distribution::new(vec![DimDist::Block, DimDist::Star], ProcGrid::linear(np)),
+            Distribution::new(vec![DimDist::Cyclic, DimDist::Star], ProcGrid::linear(np)),
+            Distribution::collapsed(2, np),
+        ] {
+            let (p, vars) = build_matvec_placed(n, np, dist.clone());
+            assert!(xdp_ir::validate(&p).is_empty(), "{dist}");
+            let mdata = workloads::uniform_f64((n * n) as usize, 3, -1.0, 1.0);
+            let xdata = workloads::uniform_f64(n as usize, 4, -1.0, 1.0);
+            let mut exec = SimExec::new(Arc::new(p), matvec_kernels(), SimConfig::new(np));
+            exec.init_exclusive(vars.m, |idx| {
+                Value::F64(mdata[((idx[0] - 1) * n + idx[1] - 1) as usize])
+            });
+            exec.init_exclusive(vars.x, |idx| Value::F64(xdata[(idx[0] - 1) as usize]));
+            let r = exec.run().unwrap_or_else(|e| panic!("{dist}: {e}"));
+            assert_eq!(r.net.messages, np as u64, "{dist}: broadcast only");
+            let want = matvec_reference(&mdata, &xdata, n as usize);
+            let g = exec.gather(vars.y);
+            for i in 1..=n {
+                let got = g.get(&[i]).unwrap().as_f64();
+                assert!(
+                    (got - want[(i - 1) as usize]).abs() < 1e-9,
+                    "{dist}: y[{i}]"
+                );
+            }
         }
     }
 

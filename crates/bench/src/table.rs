@@ -62,9 +62,14 @@ impl Table {
         self.json_rows.push(obj);
     }
 
-    /// Print the aligned table (and JSON lines when [`json_enabled`]).
-    pub fn print(&self) {
-        println!("== {} ==", self.title);
+    /// The aligned table as a string (title, header, rows, trailing blank
+    /// line) — the one formatter shared by the experiment binaries and the
+    /// `xdpc plan`/`xdpc place` reports, which route it through their own
+    /// broken-pipe-safe writers.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).unwrap();
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -77,25 +82,43 @@ impl Table {
             .zip(&widths)
             .map(|(c, w)| format!("{c:>w$}"))
             .collect();
-        println!("{}", header.join("  "));
+        writeln!(out, "{}", header.join("  ")).unwrap();
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
                 .zip(&widths)
                 .map(|(c, w)| format!("{c:>w$}"))
                 .collect();
-            println!("{}", line.join("  "));
+            writeln!(out, "{}", line.join("  ")).unwrap();
         }
-        if json_enabled() {
-            for (i, obj) in self.json_rows.iter().enumerate() {
+        out.push('\n');
+        out
+    }
+
+    /// The JSON-lines form of the rows (one string per row), regardless of
+    /// whether [`json_enabled`] — callers gate emission themselves.
+    pub fn json_lines(&self) -> Vec<String> {
+        self.json_rows
+            .iter()
+            .enumerate()
+            .map(|(i, obj)| {
                 let mut o = obj.clone();
                 o.insert("experiment".into(), Json::String(self.title.clone()));
                 o.insert("row".into(), Json::from(i));
                 o.insert("xdp_json_version".into(), Json::from(JSON_SCHEMA_VERSION));
-                println!("{}", Json::Object(o));
+                Json::Object(o).to_string()
+            })
+            .collect()
+    }
+
+    /// Print the aligned table (and JSON lines when [`json_enabled`]).
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if json_enabled() {
+            for line in self.json_lines() {
+                println!("{line}");
             }
         }
-        println!();
     }
 }
 

@@ -22,7 +22,11 @@
 //! ownership questions are decided exactly, by enumeration over the
 //! iteration space ([`analysis`]), rather than approximately.
 
-pub mod analysis;
+/// Re-export of the IR-level static analysis (now [`xdp_ir::analysis`]),
+/// kept here so existing `xdp_compiler::analysis::*` paths remain stable.
+pub mod analysis {
+    pub use xdp_ir::analysis::*;
+}
 pub mod frontend;
 pub mod passes;
 pub mod seq;

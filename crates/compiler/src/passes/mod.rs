@@ -13,7 +13,9 @@
 //! | [`MigrateOwnership`] | §2.2 second fragment | rewrites owner-computes into the dynamic ownership-migration strategy |
 //! | [`LowerRedistribute`] | §2.2 + planner | collapses whole-array ownership-migration nests into one planned `redistribute` |
 //! | [`ElideAccessibleChecks`] | §3.2 use-def elimination | downgrades `await`/`accessible` to `iown` when no receive can make the section transitional |
+//! | [`AutoPlace`] | §1 "the compiler can optimize the placement" | searches per-phase distributions with the cost model and rewrites decls + inserts `redistribute` |
 
+mod autoplace;
 mod bind;
 mod elide_checks;
 mod elide_comm;
@@ -25,6 +27,7 @@ pub mod pattern;
 mod sink_await;
 mod vectorize;
 
+pub use autoplace::AutoPlace;
 pub use bind::BindCommunication;
 pub use elide_checks::ElideAccessibleChecks;
 pub use elide_comm::ElideSameOwnerComm;

@@ -7,11 +7,11 @@
 //! all i in 1..n" is decided by enumerating the iteration space and
 //! consulting the distributions, not by a conservative approximation.
 
-use std::collections::HashMap;
-use xdp_ir::{
+use crate::{
     Block, ElemExpr, IntExpr, Ownership, Program, Section, SectionRef, Stmt, Subscript, Triplet,
     VarId,
 };
+use std::collections::HashMap;
 
 /// A compile-time binding environment for loop variables.
 pub type Bindings = HashMap<String, i64>;
@@ -27,7 +27,7 @@ pub fn eval_static(e: &IntExpr, env: &Bindings) -> Option<i64> {
         IntExpr::Neg(a) => Some(eval_static(a, env)?.saturating_neg()),
         IntExpr::Bin(op, a, b) => {
             let (a, b) = (eval_static(a, env)?, eval_static(b, env)?);
-            use xdp_ir::IntBinOp::*;
+            use crate::IntBinOp::*;
             Some(match op {
                 Add => a.saturating_add(b),
                 Sub => a.saturating_sub(b),
@@ -189,8 +189,8 @@ fn collect_elem(e: &ElemExpr, out: &mut Vec<Access>) {
     }
 }
 
-fn collect_bool(e: &xdp_ir::BoolExpr, out: &mut Vec<Access>) {
-    use xdp_ir::BoolExpr::*;
+fn collect_bool(e: &crate::BoolExpr, out: &mut Vec<Access>) {
+    use crate::BoolExpr::*;
     match e {
         Iown(r) | Accessible(r) | Await(r) => out.push(Access {
             var: r.var,
@@ -261,7 +261,7 @@ pub fn accesses(stmt: &Stmt, out: &mut Vec<Access>) {
                     kind: AccessKind::OwnOut,
                 });
             }
-            if let xdp_ir::DestSet::Pids(es) = dest {
+            if let crate::DestSet::Pids(es) = dest {
                 for e in es {
                     collect_int(e, out);
                 }
@@ -357,8 +357,8 @@ pub fn program_has_recv_on(p: &Program, var: VarId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xdp_ir::build as b;
-    use xdp_ir::{DimDist, ElemType, ProcGrid};
+    use crate::build as b;
+    use crate::{DimDist, ElemType, ProcGrid};
 
     fn prog() -> (Program, VarId, VarId) {
         let mut p = Program::new();

@@ -24,6 +24,7 @@
 //! * [`build`] — ergonomic builders used by the compiler and tests.
 //! * [`pretty`] — pretty-printer emitting the paper's concrete notation.
 
+pub mod analysis;
 pub mod build;
 pub mod dist;
 pub mod expr;

@@ -336,6 +336,42 @@ mod tests {
     }
 
     #[test]
+    fn prints_redistribute_including_aligned_form() {
+        use crate::dist::Distribution;
+        use crate::triplet::Triplet;
+        let mut p = Program::new();
+        let grid = ProcGrid::linear(4);
+        let a = p.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 16)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let t = p.declare(b::array(
+            "T",
+            ElemType::F64,
+            vec![(1, 16)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let cyc = Distribution::new(vec![DimDist::Cyclic], grid);
+        p.body = vec![
+            b::redistribute(a, cyc.clone()),
+            b::redistribute(
+                t,
+                Distribution::aligned(cyc, vec![Triplet::range(1, 16)], vec![2]),
+            ),
+        ];
+        let s = program(&p);
+        assert!(s.contains("redistribute A (CYCLIC) onto 4"), "{s}");
+        assert!(
+            s.contains("redistribute T align (CYCLIC) onto 4 bounds [1:16] map (d0+2)"),
+            "{s}"
+        );
+    }
+
+    #[test]
     fn stmt_table_numbers_preorder() {
         let mut p = Program::new();
         let grid = ProcGrid::linear(4);

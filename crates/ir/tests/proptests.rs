@@ -131,6 +131,88 @@ proptest! {
         prop_assert_eq!(seen.len() as i64, n0 * n1);
     }
 
+    /// Collapsed distributions put the whole iteration space on pid 0 and
+    /// nothing anywhere else — the `nprocs`-preserving serial placement
+    /// the placement search starts from.
+    #[test]
+    fn collapsed_owned_by_pid0_only(
+        p in 1usize..6,
+        n0 in 1i64..10,
+        n1 in 1i64..10,
+    ) {
+        let dist = Distribution::collapsed(2, p);
+        prop_assert!(dist.is_collapsed());
+        prop_assert_eq!(dist.nprocs(), p);
+        let bounds = vec![Triplet::range(1, n0), Triplet::range(1, n1)];
+        for pid in 0..p {
+            let vol: i64 = dist
+                .owned_rects(&bounds, pid)
+                .iter()
+                .map(|s| s.volume())
+                .sum();
+            prop_assert_eq!(vol, if pid == 0 { n0 * n1 } else { 0 });
+        }
+        prop_assert_eq!(dist.owner_of(&bounds, &[1, 1]), 0);
+    }
+
+    /// Aligned arrays partition their own (offset) index space, and every
+    /// element is owned by the owner of the mapped base element.
+    #[test]
+    fn aligned_partitions_and_tracks_base(
+        d0 in dimdist_strategy(),
+        p in 1usize..5,
+        n in 2i64..10,
+        off0 in -2i64..3,
+        off1 in -2i64..3,
+    ) {
+        let base = Distribution::new(vec![d0, DimDist::Star], ProcGrid::linear(p));
+        let bb = vec![Triplet::range(1, n), Triplet::range(1, n)];
+        let dist = Distribution::aligned(base.clone(), bb.clone(), vec![off0, off1]);
+        let bounds = vec![
+            Triplet::range(1 + off0, n + off0),
+            Triplet::range(1 + off1, n + off1),
+        ];
+        let mut seen = std::collections::HashMap::new();
+        for pid in 0..p {
+            for r in dist.owned_rects(&bounds, pid) {
+                for idx in r.iter() {
+                    prop_assert_eq!(dist.owner_of(&bounds, &idx), pid);
+                    prop_assert_eq!(base.owner_of(&bb, &[idx[0] - off0, idx[1] - off1]), pid);
+                    let prev = seen.insert(idx.clone(), pid);
+                    prop_assert!(prev.is_none(), "element owned twice");
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as i64, n * n);
+    }
+
+    /// `aligned_map` collapsing a base dimension: a rank-1 array aligned
+    /// to the rows of a rank-2 base (the `y[r] ~ M[r,*]` shape used by
+    /// the placed matrix-vector product).
+    #[test]
+    fn aligned_map_row_vector_partitions(
+        d0 in dimdist_strategy(),
+        p in 1usize..5,
+        n in 1i64..12,
+    ) {
+        let base = Distribution::new(vec![d0, DimDist::Star], ProcGrid::linear(p));
+        let bb = vec![Triplet::range(1, n), Triplet::range(1, n)];
+        let dist = Distribution::aligned_map(base.clone(), bb.clone(), vec![Some((0, 0))]);
+        let bounds = vec![Triplet::range(1, n)];
+        let mut seen = std::collections::HashMap::new();
+        for pid in 0..p {
+            for r in dist.owned_rects(&bounds, pid) {
+                for idx in r.iter() {
+                    prop_assert_eq!(dist.owner_of(&bounds, &idx), pid);
+                    prop_assert_eq!(base.owner_of(&bb, &[idx[0], 1]), pid);
+                    let prev = seen.insert(idx.clone(), pid);
+                    prop_assert!(prev.is_none(), "element owned twice");
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as i64, n);
+    }
+
     /// owns_section is exactly "every element's owner is pid".
     #[test]
     fn owns_section_matches_elementwise(

@@ -200,6 +200,15 @@ impl Parser {
         } else {
             return self.err("declaration needs `distribute (...) onto ...` or `universal`");
         }
+        if let Some(d) = &dist {
+            if d.rank() != bounds.len() {
+                return self.err(format!(
+                    "distribution rank mismatch for `{name}`: {} bounds but {} dimensions",
+                    bounds.len(),
+                    d.rank()
+                ));
+            }
+        }
         let mut segment_shape = None;
         if self.eat_ident("segment") {
             self.expect(&TokenKind::LParen)?;
@@ -913,6 +922,15 @@ redistribute A (BLOCK,BLOCK) onto 2x2
 
         let bad = parse_program("redistribute Z (BLOCK) onto 4\n");
         assert!(bad.unwrap_err().to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn rank_mismatched_declaration_is_a_parse_error() {
+        // Must surface as a named error, not a downstream declare panic.
+        let bad = parse_program("real A[1:8,1:8] distribute (BLOCK) onto 4\n");
+        let msg = bad.unwrap_err().to_string();
+        assert!(msg.contains("rank mismatch"), "{msg}");
+        assert!(msg.contains("2 bounds but 1 dimensions"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! The composable placement cost model.
+//!
+//! Three ingredients, all in the machine model's virtual microseconds:
+//!
+//! * **compute** — a phase's element-touches concentrate on the most
+//!   loaded processor: `work x max_share x flop_time`, where `max_share`
+//!   is the largest ownership fraction any processor holds under the
+//!   candidate distribution ([`Distribution::owned_volume`]). Collapsed
+//!   placements serialize (`max_share = 1`).
+//! * **shifts** — nearest-neighbour reads across a cut dimension charge
+//!   an exact separable nearest-neighbour exchange per repeat (see
+//!   [`shift_cost`]).
+//! * **transitions** — changing the distribution between phases charges
+//!   the `xdp-collectives` planner's predicted cost for the chosen
+//!   schedule ([`xdp_collectives::planner::plan`]), summed over the
+//!   co-placed group.
+//!
+//! A [`Calibration`] — typically derived from an `xdp-trace`
+//! critical-path report of a previous run — scales the compute and
+//! movement terms independently, so the search can be tuned to an
+//! observed machine without changing its structure.
+
+use crate::phase::{Phase, PhaseGraph};
+use xdp_collectives::planner::plan;
+use xdp_ir::{DimDist, Distribution, Triplet};
+use xdp_machine::{CostModel, Topology};
+
+/// Multiplicative correction factors for the two cost components.
+///
+/// Derived by comparing predicted against *measured* totals (e.g. an
+/// `xdp-trace` critical path report's `compute` vs. `wire + wait`
+/// attribution): `scale = measured / predicted`, clamped to keep one
+/// wild measurement from zeroing a term.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Calibration {
+    pub compute_scale: f64,
+    pub move_scale: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            compute_scale: 1.0,
+            move_scale: 1.0,
+        }
+    }
+}
+
+impl Calibration {
+    /// Build from predicted-vs-measured component totals. Ratios are
+    /// clamped to `[0.1, 10]`; a non-positive prediction leaves the
+    /// corresponding scale at 1.
+    pub fn from_measured(
+        predicted_compute: f64,
+        measured_compute: f64,
+        predicted_move: f64,
+        measured_move: f64,
+    ) -> Calibration {
+        let ratio = |pred: f64, meas: f64| {
+            if pred > 0.0 && meas > 0.0 {
+                (meas / pred).clamp(0.1, 10.0)
+            } else {
+                1.0
+            }
+        };
+        Calibration {
+            compute_scale: ratio(predicted_compute, measured_compute),
+            move_scale: ratio(predicted_move, measured_move),
+        }
+    }
+}
+
+/// The assembled cost parameters used by the search.
+#[derive(Clone, Debug)]
+pub struct Costs {
+    pub model: CostModel,
+    pub topo: Topology,
+    /// Crude floating-point operations charged per element-touch — real
+    /// kernels do more than one flop per element visited (an FFT sweep
+    /// does `~5 log n`). The default of 8 keeps the compute term in the
+    /// same decade as the simulator for the repo's kernels; calibration
+    /// refines it from measurements.
+    pub flops_per_touch: f64,
+    pub calibration: Calibration,
+}
+
+impl Costs {
+    pub fn new(model: CostModel, topo: Topology) -> Costs {
+        Costs {
+            model,
+            topo,
+            flops_per_touch: 8.0,
+            calibration: Calibration::default(),
+        }
+    }
+}
+
+/// Largest fraction of the array any single processor owns.
+pub fn max_share(dist: &Distribution, bounds: &[Triplet]) -> f64 {
+    let total: i64 = bounds.iter().map(|t| t.count()).product();
+    if total == 0 {
+        return 0.0;
+    }
+    let max_owned = (0..dist.nprocs())
+        .map(|p| dist.owned_volume(bounds, p))
+        .max()
+        .unwrap_or(total);
+    max_owned as f64 / total as f64
+}
+
+/// Compute cost of a phase under a candidate distribution.
+pub fn compute_cost(phase: &Phase, dist: &Distribution, bounds: &[Triplet], c: &Costs) -> f64 {
+    phase.work
+        * c.flops_per_touch
+        * max_share(dist, bounds)
+        * c.model.flop_time
+        * c.calibration.compute_scale
+}
+
+/// Elements a processor must fetch per direction of a shifted read in
+/// dimension `d` (per unit of the other-dimension plane).
+fn cross_1d(dd: DimDist, bound: Triplet, np: usize, offset: i64) -> f64 {
+    let n = bound.count() as f64;
+    let o = offset.unsigned_abs() as f64;
+    match dd {
+        DimDist::Star => 0.0,
+        DimDist::Block => {
+            let chunk = (n / np as f64).ceil();
+            if chunk >= n {
+                0.0
+            } else {
+                o.min(chunk)
+            }
+        }
+        // Cyclic: every element's neighbour lives on another processor,
+        // so a processor fetches its entire local extent per direction.
+        DimDist::Cyclic => {
+            if np <= 1 {
+                0.0
+            } else {
+                (n / np as f64).ceil()
+            }
+        }
+        DimDist::BlockCyclic(b) => {
+            if np <= 1 {
+                0.0
+            } else {
+                (o.min(b as f64)) * (n / (b as f64 * np as f64)).ceil()
+            }
+        }
+    }
+}
+
+/// Predicted per-sweep x repeats nearest-neighbour exchange cost of the
+/// phase's shifts under `dist`: for each shift, both directions pay one
+/// message (`alpha` + sender/receiver overhead) carrying the crossing
+/// elements of this processor's slice of the plane.
+pub fn shift_cost(
+    phase: &Phase,
+    dist: &Distribution,
+    bounds: &[Triplet],
+    elem_bytes: u64,
+    c: &Costs,
+) -> f64 {
+    let mut total = 0.0;
+    for sh in &phase.shifts {
+        let d = sh.dim;
+        if d >= dist.rank() || !dist.dims()[d].is_distributed() {
+            continue;
+        }
+        let axis = dist.grid_axis(d).unwrap();
+        let np = dist.grid().extent(axis);
+        if np <= 1 {
+            continue;
+        }
+        // The plane is partitioned among the processors of the *other*
+        // grid axes.
+        let spread: usize = (0..dist.grid().rank())
+            .filter(|a| *a != axis)
+            .map(|a| dist.grid().extent(a))
+            .product();
+        let per_dir_elems =
+            cross_1d(dist.dims()[d], bounds[d], np, sh.offset) * sh.plane / spread as f64;
+        let bytes = (per_dir_elems * elem_bytes as f64).ceil() as u64;
+        let per_dir = 2.0 * c.model.cpu_overhead + c.model.wire_time(bytes, 1);
+        total += 2.0 * per_dir * sh.repeat;
+    }
+    total * c.calibration.move_scale
+}
+
+/// Full predicted cost of running one phase under `dist`.
+pub fn phase_cost(
+    phase: &Phase,
+    dist: &Distribution,
+    bounds: &[Triplet],
+    elem_bytes: u64,
+    c: &Costs,
+) -> f64 {
+    compute_cost(phase, dist, bounds, c) + shift_cost(phase, dist, bounds, elem_bytes, c)
+}
+
+/// Predicted cost of redistributing the whole co-placed group from
+/// `from` to `to` (0 when equal: nothing moves).
+pub fn transition_cost(
+    graph: &PhaseGraph,
+    program: &xdp_ir::Program,
+    from: &Distribution,
+    to: &Distribution,
+    c: &Costs,
+) -> f64 {
+    if from == to {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for &v in &graph.group {
+        let bytes = program.decl(v).elem.size_bytes();
+        let p = plan(v, &graph.bounds, bytes, from, to, &c.model, &c.topo, false);
+        total += p.predicted;
+    }
+    total * c.calibration.move_scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{DimNeed, Shift};
+    use xdp_ir::ProcGrid;
+
+    fn b(lb: i64, ub: i64) -> Triplet {
+        Triplet::range(lb, ub)
+    }
+
+    fn costs() -> Costs {
+        Costs::new(CostModel::default_1993(), Topology::Uniform)
+    }
+
+    fn stencil_phase() -> Phase {
+        Phase {
+            index: 0,
+            stmts: (0, 1),
+            label: "stencil".into(),
+            work: 64.0 * 10.0,
+            needs: vec![DimNeed::Free, DimNeed::Free],
+            shifts: vec![
+                Shift {
+                    dim: 0,
+                    offset: -1,
+                    plane: 8.0,
+                    repeat: 10.0,
+                },
+                Shift {
+                    dim: 0,
+                    offset: 1,
+                    plane: 8.0,
+                    repeat: 10.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn max_share_balances() {
+        let bounds = vec![b(1, 8), b(1, 8)];
+        let blk = Distribution::new(vec![DimDist::Block, DimDist::Star], ProcGrid::linear(4));
+        assert_eq!(max_share(&blk, &bounds), 0.25);
+        let col = Distribution::collapsed(2, 4);
+        assert_eq!(max_share(&col, &bounds), 1.0);
+    }
+
+    #[test]
+    fn collapsed_compute_beats_distributed_only_when_serial_is_free() {
+        let bounds = vec![b(1, 8), b(1, 8)];
+        let c = costs();
+        let ph = stencil_phase();
+        let blk = Distribution::new(vec![DimDist::Block, DimDist::Star], ProcGrid::linear(4));
+        let col = Distribution::collapsed(2, 4);
+        assert!(compute_cost(&ph, &blk, &bounds, &c) < compute_cost(&ph, &col, &bounds, &c));
+    }
+
+    #[test]
+    fn shift_cost_zero_on_uncut_dim_and_high_for_cyclic() {
+        let bounds = vec![b(1, 8), b(1, 8)];
+        let c = costs();
+        let ph = stencil_phase();
+        let row = Distribution::new(vec![DimDist::Block, DimDist::Star], ProcGrid::linear(4));
+        let col = Distribution::new(vec![DimDist::Star, DimDist::Block], ProcGrid::linear(4));
+        let cyc = Distribution::new(vec![DimDist::Cyclic, DimDist::Star], ProcGrid::linear(4));
+        // Shifts are in dim 0: a column distribution never cuts them.
+        assert_eq!(shift_cost(&ph, &col, &bounds, 8, &c), 0.0);
+        let rowc = shift_cost(&ph, &row, &bounds, 8, &c);
+        let cycc = shift_cost(&ph, &cyc, &bounds, 8, &c);
+        assert!(rowc > 0.0);
+        assert!(
+            cycc > rowc,
+            "cyclic exchanges whole slabs: {cycc} vs {rowc}"
+        );
+    }
+
+    #[test]
+    fn calibration_scales_and_clamps() {
+        let cal = Calibration::from_measured(100.0, 200.0, 100.0, 1.0);
+        assert_eq!(cal.compute_scale, 2.0);
+        assert_eq!(cal.move_scale, 0.1, "clamped");
+        let id = Calibration::from_measured(0.0, 5.0, -1.0, 5.0);
+        assert_eq!(id, Calibration::default());
+    }
+
+    #[test]
+    fn transition_cost_zero_when_unchanged() {
+        use xdp_ir::build as bb;
+        use xdp_ir::ElemType;
+        let mut p = xdp_ir::Program::new();
+        let a = p.declare(bb::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8), (1, 8)],
+            vec![DimDist::Block, DimDist::Star],
+            ProcGrid::linear(4),
+        ));
+        let graph = PhaseGraph {
+            anchor: a,
+            group: vec![a],
+            bounds: vec![b(1, 8), b(1, 8)],
+            elem_bytes: 8,
+            nprocs: 4,
+            phases: vec![stencil_phase()],
+            dropped_redistributes: vec![],
+            hand_migration: false,
+        };
+        let c = costs();
+        let row = Distribution::new(vec![DimDist::Block, DimDist::Star], ProcGrid::linear(4));
+        let col = Distribution::new(vec![DimDist::Star, DimDist::Block], ProcGrid::linear(4));
+        assert_eq!(transition_cost(&graph, &p, &row, &row, &c), 0.0);
+        assert!(transition_cost(&graph, &p, &row, &col, &c) > 0.0);
+    }
+}

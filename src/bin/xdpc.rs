@@ -19,9 +19,14 @@
 //!   --explain        print per-pass wall time, node deltas and statement
 //!                    provenance (lower, opt, and trace/run with --optimize)
 //!
+//! place options (plus --alpha/--beta/--topo as above):
+//!   --no-cyclic      drop CYCLIC candidates from the search
+//!   --max-dims N     most array dimensions distributed at once (default 2)
+//!   --emit           print the rewritten program (valid xdpc input)
+//!
 //! pass names: elide-same-owner-comm, vectorize-messages, localize-bounds,
 //! bind-communication, elide-accessible-checks, fuse-loops, sink-await,
-//! migrate-ownership
+//! migrate-ownership, auto-place
 //! ```
 //!
 //! Exclusive arrays are initialized to their flattened 1-based element
@@ -46,9 +51,10 @@ macro_rules! outp {
     }};
 }
 use xdp::prelude::*;
+use xdp_bench::Table;
 use xdp_compiler::passes::{
-    BindCommunication, ElideAccessibleChecks, ElideSameOwnerComm, FuseLoops, LocalizeBounds,
-    MigrateOwnership, SinkAwait, VectorizeMessages,
+    AutoPlace, BindCommunication, ElideAccessibleChecks, ElideSameOwnerComm, FuseLoops,
+    LocalizeBounds, MigrateOwnership, SinkAwait, VectorizeMessages,
 };
 use xdp_ir::pretty;
 
@@ -96,6 +102,11 @@ const COMMANDS: &[Command] = &[
         name: "plan",
         summary: "show schedule + predicted cost of every `redistribute`",
         run: cmd_plan,
+    },
+    Command {
+        name: "place",
+        summary: "search per-phase distributions with the cost model [--emit]",
+        run: cmd_place,
     },
 ];
 
@@ -185,6 +196,7 @@ fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
         "fuse-loops" => Box::new(FuseLoops),
         "sink-await" => Box::new(SinkAwait),
         "migrate-ownership" => Box::new(MigrateOwnership::default()),
+        "auto-place" => Box::new(AutoPlace::new()),
         _ => return None,
     })
 }
@@ -322,18 +334,8 @@ fn cmd_tune(program: &Program, rest: &[String]) -> ExitCode {
     }
 }
 
-/// Show the planner's decision for every `redistribute` in the program:
-/// the transfer pieces, both candidate strategies with predicted costs,
-/// and the chosen communication schedule. Statements are examined in
-/// program order (each one changes the source distribution of the next).
-fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
-    let diags = xdp_ir::validate(program);
-    if !diags.is_empty() {
-        for d in diags {
-            eprintln!("xdpc: error: {d}");
-        }
-        return ExitCode::FAILURE;
-    }
+/// Cost-model overrides shared by `plan`, `place`, `run`, and `trace`.
+fn cost_flags(rest: &[String]) -> CostModel {
     let mut cost = CostModel::default_1993();
     if let Some(a) = opt_val(rest, "--alpha").and_then(|v| v.parse().ok()) {
         cost.alpha = a;
@@ -341,19 +343,58 @@ fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
     if let Some(b) = opt_val(rest, "--beta").and_then(|v| v.parse().ok()) {
         cost.beta = b;
     }
-    let topo = match opt_val(rest, "--topo") {
+    cost
+}
+
+/// `--topo uniform|linear|RxC` shared by `plan` and `place`.
+fn parse_topo(rest: &[String]) -> Result<Topology, ExitCode> {
+    Ok(match opt_val(rest, "--topo") {
         None | Some("uniform") => Topology::Uniform,
         Some("linear") => Topology::Linear,
         Some(spec) => {
             let dims: Vec<usize> = spec.split('x').filter_map(|x| x.parse().ok()).collect();
             let [rows, cols] = dims[..] else {
                 eprintln!("xdpc: bad --topo `{spec}` (use uniform, linear, or RxC)");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             };
             Topology::Mesh2D { rows, cols }
         }
+    })
+}
+
+/// Show the planner's decision for every `redistribute` in the program:
+/// the candidate strategies with predicted costs (one shared-format table
+/// for all statements), and the chosen communication schedule. Statements
+/// are examined in program order (each one changes the source
+/// distribution of the next).
+fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
+    use xdp_bench::table::j;
+    let diags = xdp_ir::validate(program);
+    if !diags.is_empty() {
+        for d in diags {
+            eprintln!("xdpc: error: {d}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let cost = cost_flags(rest);
+    let topo = match parse_topo(rest) {
+        Ok(t) => t,
+        Err(code) => return code,
     };
     let mut cur: std::collections::HashMap<VarId, Distribution> = std::collections::HashMap::new();
+    let mut t = Table::new(
+        "redistribution plans",
+        &[
+            "array",
+            "from",
+            "to",
+            "elems",
+            "strategy",
+            "predicted",
+            "chosen",
+        ],
+    );
+    let mut schedules = String::new();
     let mut found = 0usize;
     let mut failed = false;
     program.visit(&mut |s| {
@@ -391,33 +432,157 @@ fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
             true,
         );
         cur.insert(*var, dist.clone());
-        out!("redistribute {} {src} -> {dist}", decl.name);
-        out!(
-            "  {} elements move; chosen {} (predicted {:.1})",
-            free.moved_elems,
-            free.strategy,
-            free.predicted
-        );
+        let mut add = |strategy: &str, predicted: f64, chosen: &str| {
+            t.row(&[
+                j::s(&decl.name),
+                j::s(&src.to_string()),
+                j::s(&dist.to_string()),
+                j::i(free.moved_elems),
+                j::s(strategy),
+                j::f(predicted),
+                j::s(chosen),
+            ]);
+        };
+        add(&free.strategy.to_string(), free.predicted, "<-");
         for (st, c) in &free.alternatives {
-            out!("    candidate {st}: predicted {c:.1}");
+            add(&st.to_string(), *c, "");
         }
         if free.strategy != pl.strategy {
-            out!(
-                "  note: execution uses single-section messages, runs {} (predicted {:.1})",
-                pl.strategy,
-                pl.predicted
-            );
+            schedules.push_str(&format!(
+                "note: redistribute {} executes single-section messages, runs {} (predicted {:.1})\n",
+                decl.name, pl.strategy, pl.predicted
+            ));
         }
-        outp!("{}", pl.schedule);
+        schedules.push_str(&format!("{}", pl.schedule));
     });
     if found == 0 {
         out!("no redistribute statements");
+        return ExitCode::SUCCESS;
     }
+    outp!("{}", t.render());
+    if xdp_bench::table::json_enabled() {
+        for line in t.json_lines() {
+            out!("{line}");
+        }
+    }
+    outp!("{schedules}");
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `xdpc place`: run the `xdp-place` search on the program and report the
+/// chosen per-phase distributions, predicted costs, and — by executing
+/// both the input and the rewritten program on the simulated machine —
+/// the realized virtual times. Exits nonzero when no placement is legal
+/// (no distributed exclusive array, or no compute). Programs that migrate
+/// ownership by hand are analyzed but not rewritten: the placement is
+/// advisory and only the input program is executed.
+fn cmd_place(program: &Program, rest: &[String]) -> ExitCode {
+    use xdp_bench::table::j;
+    let diags = xdp_ir::validate(program);
+    if !diags.is_empty() {
+        for d in diags {
+            eprintln!("xdpc: error: {d}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let topo = match parse_topo(rest) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let mut opts = PlaceOptions {
+        model: cost_flags(rest),
+        topo,
+        ..PlaceOptions::default()
+    };
+    if flag(rest, "--no-cyclic") {
+        opts.allow_cyclic = false;
+    }
+    if let Some(n) = opt_val(rest, "--max-dims").and_then(|v| v.parse().ok()) {
+        opts.max_dist_dims = n;
+    }
+    let placed = match xdp::place::optimize(program, &opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("xdpc: place: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pm = &placed.placement;
+    out!(
+        "anchor {} group [{}] on {} procs: {} candidates scored",
+        pm.anchor_name,
+        pm.group_names.join(","),
+        pm.nprocs,
+        pm.candidates_considered
+    );
+    let mut t = Table::new(
+        "placement choices",
+        &[
+            "phase", "label", "dist", "compute", "shift", "move", "total",
+        ],
+    );
+    for c in &pm.choices {
+        t.row(&[
+            j::u(c.phase as u64),
+            j::s(&c.label),
+            j::s(&c.dist.to_string()),
+            j::f(c.compute),
+            j::f(c.shift),
+            j::f(c.transition),
+            j::f(c.total()),
+        ]);
+    }
+    outp!("{}", t.render());
+    if xdp_bench::table::json_enabled() {
+        for line in t.json_lines() {
+            out!("{line}");
+        }
+    }
+
+    // Predicted vs. simulated: execute on the simulated machine with the
+    // same cost model the search scored against.
+    let simulate = |p: &Program| -> Result<f64, String> {
+        let (nprocs, _) = machine_cfg(p, rest);
+        let cfg = SimConfig::new(nprocs).with_cost(opts.model);
+        let decls = p.decls.clone();
+        let mut exec = SimExec::new(Arc::new(p.clone()), xdp_apps::app_kernels(), cfg);
+        init_default(&mut exec, &decls);
+        exec.run()
+            .map(|r| r.virtual_time)
+            .map_err(|e| e.to_string())
+    };
+    match simulate(program) {
+        Ok(vt) => out!("simulated input program: {vt:.1}"),
+        Err(e) => {
+            eprintln!("xdpc: input program failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if placed.rewritten {
+        match simulate(&placed.program) {
+            Ok(vt) => out!(
+                "simulated placed program: {vt:.1} (predicted {:.1})",
+                pm.total_predicted
+            ),
+            Err(e) => {
+                eprintln!("xdpc: placed program failed to run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        out!(
+            "program migrates ownership by hand; placement is advisory (predicted {:.1})",
+            pm.total_predicted
+        );
+    }
+    if flag(rest, "--emit") {
+        outp!("{}", pretty::program(&placed.program));
+    }
+    ExitCode::SUCCESS
 }
 
 fn flag(rest: &[String], name: &str) -> bool {
@@ -643,6 +808,7 @@ mod tests {
             "fuse-loops",
             "sink-await",
             "migrate-ownership",
+            "auto-place",
         ] {
             assert!(pass_by_name(name).is_some(), "{name}");
         }

@@ -19,6 +19,8 @@
 //! | [`compiler`] | owner-computes frontend and the paper's optimization passes |
 //! | [`lang`] | parser for the paper's concrete notation |
 //! | [`apps`] | 3-D FFT, stencils, task farms (the paper's workloads) |
+//! | [`trace`] | end-to-end tracing and critical-path analysis |
+//! | [`place`] | automatic data-placement search over the cost model |
 //!
 //! ## Quickstart
 //!
@@ -69,12 +71,14 @@
 pub mod tuning;
 
 pub use xdp_apps as apps;
+pub use xdp_bench as bench;
 pub use xdp_collectives as collectives;
 pub use xdp_compiler as compiler;
 pub use xdp_core as core;
 pub use xdp_ir as ir;
 pub use xdp_lang as lang;
 pub use xdp_machine as machine;
+pub use xdp_place as place;
 pub use xdp_runtime as runtime;
 pub use xdp_trace as trace;
 
@@ -97,6 +101,7 @@ pub mod prelude {
         ProcGrid, Program, Section, SectionRef, Stmt, TransferKind, Triplet, VarId,
     };
     pub use xdp_machine::{CostModel, NetStats, SimNet, ThreadNet, Topology};
+    pub use xdp_place::{PlaceOptions, Placed, Placement};
     pub use xdp_runtime::{Buffer, Complex, RtSymbolTable, SegStatus, Value};
     pub use xdp_trace::{
         CompileTrace, CriticalPathReport, PassTrace, Trace, TraceConfig, TraceEvent, TraceKind,

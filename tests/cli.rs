@@ -102,6 +102,55 @@ fn lower_rejects_xdp_constructs() {
 }
 
 #[test]
+fn plan_prints_strategy_table_and_schedule() {
+    let (stdout, stderr, ok) = xdpc(&["plan", "xdp-programs/remap.xdp"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("== redistribution plans =="), "{stdout}");
+    assert!(stdout.contains("staged-bruck"), "{stdout}");
+    assert!(stdout.contains("<-"), "{stdout}");
+    assert!(stdout.contains("schedule: 8 procs"), "{stdout}");
+}
+
+#[test]
+fn place_reports_advisory_for_hand_migrated_fft() {
+    // The paper's §4 listing migrates ownership by hand (`-=>`/`<=-`):
+    // the search reports a placement but must not rewrite the program.
+    let (stdout, stderr, ok) = xdpc(&["place", "xdp-programs/fft3d.xdp"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("anchor A group [A] on 4 procs"), "{stdout}");
+    assert!(stdout.contains("== placement choices =="), "{stdout}");
+    assert!(stdout.contains("placement is advisory"), "{stdout}");
+}
+
+#[test]
+fn place_rewrites_two_phase_sweep_and_emits_valid_input() {
+    let (stdout, stderr, ok) = xdpc(&["place", "xdp-programs/twophase.xdp", "--emit"]);
+    assert!(ok, "{stderr}");
+    // Both phases chosen and the transpose re-derived at the boundary.
+    assert!(stdout.contains("simulated placed program"), "{stdout}");
+    assert!(
+        stdout.contains("redistribute A (BLOCK,*) onto 4"),
+        "{stdout}"
+    );
+    // The emitted program (after the report) is itself valid xdpc input.
+    let emitted = &stdout[stdout.find("real A").expect("emitted program")..];
+    let dir = std::env::temp_dir().join("xdpc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("placed.xdp");
+    std::fs::write(&path, emitted).unwrap();
+    let (out2, err2, ok2) = xdpc(&["run", path.to_str().unwrap()]);
+    assert!(ok2, "{err2}");
+    assert!(out2.contains("procs 4"), "{out2}");
+}
+
+#[test]
+fn place_fails_when_no_placement_is_legal() {
+    let (_, stderr, ok) = xdpc(&["place", "xdp-programs/remap.xdp"]);
+    assert!(!ok);
+    assert!(stderr.contains("no compute"), "{stderr}");
+}
+
+#[test]
 fn tune_picks_a_middle_segment_shape() {
     let (stdout, stderr, ok) = xdpc(&[
         "tune",

@@ -93,6 +93,59 @@ fn migrated_output_roundtrips() {
 }
 
 #[test]
+fn redistribute_statements_roundtrip() {
+    // `redistribute` in both forms — a plain distribution and an aligned
+    // one (as emitted by the placement search for co-placed arrays) —
+    // must survive pretty -> parse and execute identically.
+    let grid = ProcGrid::linear(4);
+    let mut p = Program::new();
+    let a = p.declare(build::array(
+        "A",
+        ElemType::F64,
+        vec![(1, 16)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    let b = p.declare(build::array(
+        "B",
+        ElemType::F64,
+        vec![(1, 16)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    // Guard with iown so the sweep is legal under any distribution the
+    // redistributes below introduce (cyclic ownership is not contiguous).
+    let sweep = |a: VarId, b: VarId| {
+        let ai = build::sref(a, vec![build::at(build::iv("i"))]);
+        let bi = build::sref(b, vec![build::at(build::iv("i"))]);
+        build::do_loop(
+            "i",
+            build::c(1),
+            build::c(16),
+            vec![build::guarded(
+                build::iown(ai.clone()),
+                vec![build::assign(
+                    ai.clone(),
+                    build::val(ai).add(build::val(bi)),
+                )],
+            )],
+        )
+    };
+    let cyc = Distribution::new(vec![DimDist::Cyclic], grid);
+    p.body = vec![
+        sweep(a, b),
+        build::redistribute(a, cyc.clone()),
+        build::redistribute(
+            b,
+            Distribution::aligned(cyc, vec![Triplet::range(1, 16)], vec![0]),
+        ),
+        sweep(a, b),
+    ];
+    assert!(xdp_ir::validate(&p).is_empty());
+    assert_fixpoint_and_equivalent(&p, a, b, 4, 16);
+}
+
+#[test]
 fn fft_stage_programs_roundtrip() {
     use xdp_apps::fft3d::{build, Fft3dConfig, Stage};
     for stage in Stage::all() {
