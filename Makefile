@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: all test bench experiments examples lint doc clean e10
+.PHONY: all test bench experiments examples lint doc clean e10 e11
 
 all: test
 
@@ -22,7 +22,7 @@ experiments:
 	@for b in fig1_conformance fig2_symtab fig3_segments fig4_fft3d \
 	          e1_simple e2_segsize e3_rulecost e4_loadbal e5_binding \
 	          e6_crossover e7_topology e8_collectives e9_critical_path \
-	          e10_autoplace; do \
+	          e10_autoplace e11_chaos; do \
 	    echo "==== $$b ===="; \
 	    cargo run -q --release -p xdp-bench --bin $$b; \
 	done
@@ -30,6 +30,10 @@ experiments:
 # The automatic-placement experiment on its own (EXPERIMENTS.md E10).
 e10:
 	cargo run -q --release -p xdp-bench --bin e10_autoplace
+
+# The chaos-conformance experiment on its own (EXPERIMENTS.md E11).
+e11:
+	cargo run -q --release -p xdp-bench --bin e11_chaos
 
 examples:
 	@for e in quickstart fft3d paper_listings load_balance redistribute \

@@ -91,7 +91,7 @@ mod tests {
         let b0 = jacobi_input(n, 42);
         let want = jacobi1d_reference(&b0);
 
-        let naive = lower_owner_computes(&s, &FrontendOptions::default());
+        let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let (got0, m0) = run(&naive, a, bvar, n, nprocs, &b0);
         let (opt, _) = PassManager::paper_pipeline().run(&naive);
         let (got1, m1) = run(&opt, a, bvar, n, nprocs, &b0);

@@ -62,7 +62,7 @@ fn bench_lockstep_exec(c: &mut Criterion) {
         b.iter_batched(
             || init.clone(),
             |mut data| {
-                run_lockstep(&s, &bounds, &mut data);
+                run_lockstep(&s, &bounds, &mut data).unwrap();
                 data
             },
             criterion::BatchSize::SmallInput,

@@ -56,7 +56,7 @@ fn bench_sim_executor(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_executor_naive_loop");
     for &n in &[64i64, 256] {
         let (s, a, bb) = source(n, 4);
-        let naive = lower_owner_computes(&s, &FrontendOptions::default());
+        let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter(|| black_box(run_sim(&naive, a, bb, 4)))
         });
@@ -66,7 +66,7 @@ fn bench_sim_executor(c: &mut Criterion) {
 
 fn bench_optimized_vs_naive(c: &mut Criterion) {
     let (s, a, bb) = source(256, 4);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let (opt, _) = PassManager::paper_pipeline().run(&naive);
     c.bench_function("sim_executor_optimized_loop_256", |bch| {
         bch.iter(|| black_box(run_sim(&opt, a, bb, 4)))
@@ -75,7 +75,7 @@ fn bench_optimized_vs_naive(c: &mut Criterion) {
 
 fn bench_pass_pipeline(c: &mut Criterion) {
     let (s, _, _) = source(256, 4);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     c.bench_function("compiler_paper_pipeline_256", |bch| {
         bch.iter(|| black_box(PassManager::paper_pipeline().run(black_box(&naive))))
     });
@@ -83,7 +83,7 @@ fn bench_pass_pipeline(c: &mut Criterion) {
 
 fn bench_thread_executor(c: &mut Criterion) {
     let (s, a, bb) = source(64, 4);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     c.bench_function("thread_executor_naive_loop_64", |bch| {
         bch.iter(|| {
             let mut exec = ThreadExec::new(

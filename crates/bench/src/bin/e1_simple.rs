@@ -77,7 +77,7 @@ fn main() {
             ("CYCLIC (misaligned)", DimDist::Cyclic),
         ] {
             let (s, a, bb) = source(n, nprocs, bd);
-            let naive = lower_owner_computes(&s, &FrontendOptions::default());
+            let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
             let mut base = None;
             let mut add = |label: &str, p: &Program, t: &mut Table| {
                 let r = execute(p, a, bb, nprocs, n);

@@ -66,7 +66,7 @@ fn main() {
     );
     for &n in &[16i64, 64, 256] {
         let (s, a, bb) = sectioned(n, nprocs);
-        let naive = lower_owner_computes(&s, &FrontendOptions::default());
+        let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let bound = BindCommunication.run(&naive).program;
         let mut base = None;
         for (label, prog) in [("unbound (name on wire)", &naive), ("bound (§3.2)", &bound)] {
@@ -117,7 +117,7 @@ fn main() {
         n
     }
     let (s, _, _) = sectioned(16, nprocs);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let bound = BindCommunication.run(&naive).program;
     println!(
         "static send statements unbound: naive {}, bound {}",

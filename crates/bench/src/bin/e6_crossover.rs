@@ -73,7 +73,7 @@ fn run(p: Program, a: VarId, bb: VarId, nprocs: usize) -> (f64, u64) {
 fn main() {
     let (n, nprocs) = (32i64, 4usize);
     let (s, a, bb) = source(n, nprocs);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let migrated = MigrateOwnership::default().run(&naive).program;
 
     let mut t = Table::new(

@@ -226,7 +226,8 @@ fn main() {
                     v
                 })
                 .collect();
-            let (measured, stats) = run_sim(&pl.schedule, &bsec, &mut data, &cost, topo);
+            let (measured, stats) =
+                run_sim(&pl.schedule, &bsec, &mut data, &cost, topo).expect("schedule replays");
             assert_eq!(stats.messages, pl.schedule.message_count() as u64);
             t2.row(&[
                 j::f(alpha),

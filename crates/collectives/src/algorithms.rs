@@ -344,7 +344,7 @@ mod tests {
 
     fn run(s: &CommSchedule, data: &mut [Vec<f64>]) {
         let bounds = full(data[0].len() as i64);
-        run_lockstep(s, &bounds, data);
+        run_lockstep(s, &bounds, data).unwrap();
     }
 
     /// data[p][i] = p * 1000 + i, handy for provenance checks.

@@ -20,28 +20,112 @@ use xdp_ir::{Section, TransferKind};
 use xdp_machine::{CostModel, NetStats, SimNet, Topology};
 use xdp_runtime::{Buffer, Msg, Tag};
 
-fn ord(bounds: &Section, point: &[i64]) -> usize {
+/// A named failure while replaying a schedule: malformed input (the bugs
+/// this used to `panic!` on) or a delivery failure from the network.
+/// Library code reports these; `xdpc plan`/`place` print them and exit.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExecError {
+    /// A transfer section indexes outside the array bounds.
+    OutOfBounds { point: Vec<i64>, bounds: Section },
+    /// A payload's length does not equal the receive sections' volume.
+    PayloadMismatch { expected: usize, got: usize },
+    /// `data` does not hold one vector per schedule processor.
+    WrongProcCount { expected: usize, got: usize },
+    /// A local vector is shorter than the bounds volume.
+    ShortVector {
+        pid: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A receive timed out (message `salt` in `round`).
+    RecvTimeout { pid: usize, salt: i64, round: usize },
+    /// A message arrived without an f64 payload.
+    BadPayload { pid: usize, salt: i64 },
+    /// The schedule is internally inconsistent: a receive found no posted
+    /// send in its own round.
+    Desync { round: usize, salt: i64 },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::OutOfBounds { point, bounds } => {
+                write!(f, "index {point:?} outside array bounds {bounds}")
+            }
+            ExecError::PayloadMismatch { expected, got } => {
+                write!(
+                    f,
+                    "payload holds {got} values, receive sections need {expected}"
+                )
+            }
+            ExecError::WrongProcCount { expected, got } => {
+                write!(f, "{got} data vectors for a {expected}-processor schedule")
+            }
+            ExecError::ShortVector { pid, expected, got } => {
+                write!(
+                    f,
+                    "p{pid}: data vector holds {got} values, bounds need {expected}"
+                )
+            }
+            ExecError::RecvTimeout { pid, salt, round } => {
+                write!(f, "p{pid}: timed out waiting for #{salt} in round {round}")
+            }
+            ExecError::BadPayload { pid, salt } => {
+                write!(f, "p{pid}: #{salt}: non-f64 payload")
+            }
+            ExecError::Desync { round, salt } => {
+                write!(
+                    f,
+                    "schedule desync: no posted send for #{salt} in round {round}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn ord(bounds: &Section, point: &[i64]) -> Result<usize, ExecError> {
     bounds
         .ordinal_of(point)
-        .unwrap_or_else(|| panic!("index {point:?} outside array bounds {bounds}")) as usize
+        .map(|o| o as usize)
+        .ok_or_else(|| ExecError::OutOfBounds {
+            point: point.to_vec(),
+            bounds: bounds.clone(),
+        })
 }
 
 /// Read a transfer's payload (row-major concatenation of its sections).
-fn gather(bounds: &Section, local: &[f64], secs: &[Section]) -> Vec<f64> {
+fn gather(bounds: &Section, local: &[f64], secs: &[Section]) -> Result<Vec<f64>, ExecError> {
     let mut out = Vec::new();
     for sec in secs {
-        out.extend(sec.iter().map(|p| local[ord(bounds, &p)]));
+        for p in sec.iter() {
+            out.push(local[ord(bounds, &p)?]);
+        }
     }
-    out
+    Ok(out)
 }
 
 /// Scatter a payload into the receive sections, overwriting or combining.
-fn scatter(bounds: &Section, local: &mut [f64], secs: &[Section], vals: &[f64], combine: bool) {
+fn scatter(
+    bounds: &Section,
+    local: &mut [f64],
+    secs: &[Section],
+    vals: &[f64],
+    combine: bool,
+) -> Result<(), ExecError> {
+    let expected: usize = secs.iter().map(|s| s.volume() as usize).sum();
+    if vals.len() != expected {
+        return Err(ExecError::PayloadMismatch {
+            expected,
+            got: vals.len(),
+        });
+    }
     let mut it = vals.iter();
     for sec in secs {
         for p in sec.iter() {
-            let v = *it.next().expect("payload shorter than receive sections");
-            let slot = &mut local[ord(bounds, &p)];
+            let v = *it.next().expect("length checked above");
+            let slot = &mut local[ord(bounds, &p)?];
             if combine {
                 *slot += v;
             } else {
@@ -49,7 +133,7 @@ fn scatter(bounds: &Section, local: &mut [f64], secs: &[Section], vals: &[f64], 
             }
         }
     }
-    assert!(it.next().is_none(), "payload longer than receive sections");
+    Ok(())
 }
 
 fn tag_of(t: &Transfer) -> Tag {
@@ -65,20 +149,46 @@ fn msg_of(t: &Transfer, payload: Vec<f64>) -> Msg {
     }
 }
 
+/// Check the data vectors cover the bounds volume for every processor.
+fn check_data(s: &CommSchedule, bounds: &Section, data: &[Vec<f64>]) -> Result<(), ExecError> {
+    if data.len() != s.nprocs {
+        return Err(ExecError::WrongProcCount {
+            expected: s.nprocs,
+            got: data.len(),
+        });
+    }
+    let vol = bounds.volume() as usize;
+    for (pid, v) in data.iter().enumerate() {
+        if v.len() < vol {
+            return Err(ExecError::ShortVector {
+                pid,
+                expected: vol,
+                got: v.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Reference execution: apply the whole schedule in memory, round by round.
 /// `data[p]` is processor `p`'s vector, laid out by `bounds`.
-pub fn run_lockstep(s: &CommSchedule, bounds: &Section, data: &mut [Vec<f64>]) {
-    assert_eq!(data.len(), s.nprocs, "one data vector per processor");
+pub fn run_lockstep(
+    s: &CommSchedule,
+    bounds: &Section,
+    data: &mut [Vec<f64>],
+) -> Result<(), ExecError> {
+    check_data(s, bounds, data)?;
     for round in &s.rounds {
         let packed: Vec<Vec<f64>> = round
             .transfers
             .iter()
             .map(|t| gather(bounds, &data[t.src], &t.secs))
-            .collect();
+            .collect::<Result<_, _>>()?;
         for (t, payload) in round.transfers.iter().zip(packed) {
-            scatter(bounds, &mut data[t.dst], &t.recv_secs, &payload, t.combine);
+            scatter(bounds, &mut data[t.dst], &t.recv_secs, &payload, t.combine)?;
         }
     }
+    Ok(())
 }
 
 /// Execute processor `pid`'s side of the schedule over a [`Net`]. Within a
@@ -91,17 +201,25 @@ pub fn run_pid<N: Net>(
     local: &mut [f64],
     net: &N,
     timeout: Duration,
-) -> Result<(), String> {
+) -> Result<(), ExecError> {
+    let vol = bounds.volume() as usize;
+    if local.len() < vol {
+        return Err(ExecError::ShortVector {
+            pid,
+            expected: vol,
+            got: local.len(),
+        });
+    }
     for (ri, round) in s.rounds.iter().enumerate() {
         let outgoing: Vec<(&Transfer, Vec<f64>)> = round
             .transfers
             .iter()
             .filter(|t| t.src == pid)
-            .map(|t| (t, gather(bounds, local, &t.secs)))
-            .collect();
+            .map(|t| Ok((t, gather(bounds, local, &t.secs)?)))
+            .collect::<Result<_, ExecError>>()?;
         for (t, payload) in outgoing {
             if t.is_local() {
-                scatter(bounds, local, &t.recv_secs, &payload, t.combine);
+                scatter(bounds, local, &t.recv_secs, &payload, t.combine)?;
             } else {
                 net.send(msg_of(t, payload), Some(vec![t.dst]));
             }
@@ -111,15 +229,19 @@ pub fn run_pid<N: Net>(
             .iter()
             .filter(|t| t.dst == pid && !t.is_local())
         {
-            let msg = net.recv(&tag_of(t), pid, timeout).ok_or_else(|| {
-                format!("p{pid}: timed out waiting for #{} in round {ri}", t.salt)
-            })?;
+            let msg = net
+                .recv(&tag_of(t), pid, timeout)
+                .ok_or(ExecError::RecvTimeout {
+                    pid,
+                    salt: t.salt,
+                    round: ri,
+                })?;
             let payload = msg
                 .payload
                 .as_ref()
                 .and_then(Buffer::as_f64)
-                .ok_or_else(|| format!("p{pid}: #{}: non-f64 payload", t.salt))?;
-            scatter(bounds, local, &t.recv_secs, payload, t.combine);
+                .ok_or(ExecError::BadPayload { pid, salt: t.salt })?;
+            scatter(bounds, local, &t.recv_secs, payload, t.combine)?;
         }
     }
     Ok(())
@@ -134,17 +256,17 @@ pub fn run_sim(
     data: &mut [Vec<f64>],
     model: &CostModel,
     topo: &Topology,
-) -> (f64, NetStats) {
-    assert_eq!(data.len(), s.nprocs);
+) -> Result<(f64, NetStats), ExecError> {
+    check_data(s, bounds, data)?;
     let mut net = SimNet::new(s.nprocs, *model, topo.clone());
     let mut clock = vec![0.0f64; s.nprocs];
     let mut req = 0u64;
-    for round in &s.rounds {
+    for (ri, round) in s.rounds.iter().enumerate() {
         let packed: Vec<Vec<f64>> = round
             .transfers
             .iter()
             .map(|t| gather(bounds, &data[t.src], &t.secs))
-            .collect();
+            .collect::<Result<_, _>>()?;
         // Post every send at the sender's clock (plus per-message overhead).
         for (t, payload) in round.transfers.iter().zip(&packed) {
             if !t.is_local() {
@@ -158,19 +280,27 @@ pub fn run_sim(
         for (t, payload) in round.transfers.iter().zip(&packed) {
             if t.is_local() {
                 clock[t.src] += model.beta * t.bytes as f64;
-                scatter(bounds, &mut data[t.dst], &t.recv_secs, payload, t.combine);
+                scatter(bounds, &mut data[t.dst], &t.recv_secs, payload, t.combine)?;
             } else {
                 req += 1;
-                let c = net
-                    .post_recv(tag_of(t), t.dst, clock[t.dst], req)
-                    .expect("send was posted this round");
+                let c = net.post_recv(tag_of(t), t.dst, clock[t.dst], req).ok_or(
+                    ExecError::Desync {
+                        round: ri,
+                        salt: t.salt,
+                    },
+                )?;
                 clock[t.dst] = clock[t.dst].max(c.arrive_at) + c.handling;
-                let vals = c.msg.payload.as_ref().and_then(Buffer::as_f64).unwrap();
-                scatter(bounds, &mut data[t.dst], &t.recv_secs, vals, t.combine);
+                let vals = c.msg.payload.as_ref().and_then(Buffer::as_f64).ok_or(
+                    ExecError::BadPayload {
+                        pid: t.dst,
+                        salt: t.salt,
+                    },
+                )?;
+                scatter(bounds, &mut data[t.dst], &t.recv_secs, vals, t.combine)?;
             }
         }
     }
-    (clock.iter().copied().fold(0.0, f64::max), net.stats)
+    Ok((clock.iter().copied().fold(0.0, f64::max), net.stats))
 }
 
 #[cfg(test)]
@@ -200,7 +330,7 @@ mod tests {
         ] {
             let b = bounds(8);
             let mut want = tagged(4, 8);
-            run_lockstep(&s, &b, &mut want);
+            run_lockstep(&s, &b, &mut want).unwrap();
 
             let net = Arc::new(LocalNet::new());
             let data = tagged(4, 8);
@@ -223,7 +353,7 @@ mod tests {
         let s = alltoall_bruck(VarId(0), 8, 8, 4);
         let b = bounds(8);
         let mut want = tagged(4, 8);
-        run_lockstep(&s, &b, &mut want);
+        run_lockstep(&s, &b, &mut want).unwrap();
         let mut got = tagged(4, 8);
         let (t, stats) = run_sim(
             &s,
@@ -231,10 +361,102 @@ mod tests {
             &mut got,
             &CostModel::default_1993(),
             &Topology::Uniform,
-        );
+        )
+        .unwrap();
         assert_eq!(got, want);
         assert!(t > 0.0);
         assert_eq!(stats.messages as usize, s.message_count());
+    }
+
+    #[test]
+    fn threaded_run_under_faults_matches_lockstep() {
+        use xdp_fault::{FaultPlan, LinkFault};
+        use xdp_machine::ThreadNet;
+
+        let s = alltoall_bruck(VarId(0), 8, 8, 4);
+        let b = bounds(8);
+        let mut want = tagged(4, 8);
+        run_lockstep(&s, &b, &mut want).unwrap();
+
+        let mut plan = FaultPlan::uniform(
+            902,
+            LinkFault {
+                drop: 0.10,
+                dup: 0.10,
+                reorder: 0.25,
+                delay_p: 0.2,
+                delay: 150.0,
+            },
+        );
+        plan.rto = 400.0;
+        let net = Arc::new(ThreadNet::with_faults(4, plan));
+        let data = tagged(4, 8);
+        let mut handles = Vec::new();
+        for (pid, mut local) in data.into_iter().enumerate() {
+            let (s, b, net) = (s.clone(), b.clone(), net.clone());
+            handles.push(std::thread::spawn(move || {
+                run_pid(&s, &b, pid, &mut local, &*net, Duration::from_secs(10)).unwrap();
+                local
+            }));
+        }
+        let got: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got, want, "ack/retry delivery must be exact");
+        let fs = net.fault_stats();
+        assert!(
+            fs.any_injected(),
+            "chaos plan should actually inject faults: {fs:?}"
+        );
+        assert_eq!(fs.lost, 0, "no message may be permanently lost");
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        let s = broadcast_binomial(VarId(0), 8, 8, 4, 1);
+        let b = bounds(8);
+
+        // Wrong number of data vectors.
+        let mut three = tagged(3, 8);
+        assert_eq!(
+            run_lockstep(&s, &b, &mut three),
+            Err(ExecError::WrongProcCount {
+                expected: 4,
+                got: 3
+            })
+        );
+
+        // A vector shorter than the bounds volume.
+        let mut short = tagged(4, 8);
+        short[2].truncate(5);
+        assert_eq!(
+            run_lockstep(&s, &b, &mut short),
+            Err(ExecError::ShortVector {
+                pid: 2,
+                expected: 8,
+                got: 5
+            })
+        );
+
+        // Bounds that don't cover the schedule's sections: the transfer
+        // indexes land outside and must be reported, not panic.
+        let small = bounds(4);
+        let mut data = tagged(4, 8);
+        match run_lockstep(&s, &small, &mut data) {
+            Err(ExecError::OutOfBounds { .. }) => {}
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+
+        // run_sim goes through the same validation.
+        let mut data = tagged(4, 8);
+        match run_sim(
+            &s,
+            &small,
+            &mut data,
+            &CostModel::default_1993(),
+            &Topology::Uniform,
+        ) {
+            Err(ExecError::OutOfBounds { .. }) => {}
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
     }
 
     #[test]
@@ -245,8 +467,8 @@ mod tests {
         let b = bounds(16);
         let model = CostModel::default_1993();
         let (mut d1, mut d2) = (tagged(8, 16), tagged(8, 16));
-        let (t_uni, _) = run_sim(&s, &b, &mut d1, &model, &Topology::Uniform);
-        let (t_lin, _) = run_sim(&s, &b, &mut d2, &model, &Topology::Linear);
+        let (t_uni, _) = run_sim(&s, &b, &mut d1, &model, &Topology::Uniform).unwrap();
+        let (t_lin, _) = run_sim(&s, &b, &mut d2, &model, &Topology::Linear).unwrap();
         // Ring is nearest-neighbour: linear topology costs the same as
         // uniform (all hops = 1) except the wrap-around link.
         assert!(t_lin >= t_uni);

@@ -38,7 +38,7 @@ pub use algorithms::{
     allgather_recursive_doubling, allgather_ring, allreduce, alltoall_bruck, alltoall_pairwise,
     broadcast_binomial, reduce_binomial,
 };
-pub use exec::{run_lockstep, run_pid, run_sim};
+pub use exec::{run_lockstep, run_pid, run_sim, ExecError};
 pub use net::{LocalNet, Net};
 pub use planner::{
     compatible_segment_shape, lower_redistribute_for_pid, plan, prepare, prepare_arc,

@@ -453,7 +453,7 @@ mod tests {
         for (require_single, topo) in [(true, Topology::Uniform), (false, Topology::Linear)] {
             let pl = plan(V, &bounds, 8, &src, &dst, &model, &topo, require_single);
             let mut data = init.clone();
-            run_lockstep(&pl.schedule, &bsec, &mut data);
+            run_lockstep(&pl.schedule, &bsec, &mut data).unwrap();
             // Every dst-owned cell holds the right global value.
             for (p, local) in data.iter().enumerate() {
                 for rect in dst.owned_rects(&bounds, p) {

@@ -25,6 +25,53 @@ use xdp_ir::{
     SectionRef, Stmt, Triplet, VarId,
 };
 
+/// A named rejection of a sequential program the owner-computes frontend
+/// cannot lower. These used to be `panic!`s/`assert!`s deep in the
+/// translation; now `xdpc` (and any embedding) reports them as ordinary
+/// diagnostics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrontendError {
+    /// No declaration carries a distribution, so the machine size is
+    /// undetermined.
+    NoDistributedDecl,
+    /// Two distributed declarations imply different machine sizes.
+    MachineSizeConflict { first: usize, second: usize },
+    /// An operand's section does not evaluate to a concrete shape (e.g. it
+    /// mentions a variable that is not an enclosing loop index).
+    NonStaticShape { operand: String },
+    /// An operand's shape changes with the enclosing loop indices; the
+    /// frontend requires loop-invariant reference shapes.
+    LoopVariantShape { operand: String },
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::NoDistributedDecl => {
+                write!(f, "at least one distributed declaration required")
+            }
+            FrontendError::MachineSizeConflict { first, second } => {
+                write!(
+                    f,
+                    "declarations disagree on machine size ({first} vs {second})"
+                )
+            }
+            FrontendError::NonStaticShape { operand } => {
+                write!(f, "operand {operand} has a non-static shape")
+            }
+            FrontendError::LoopVariantShape { operand } => {
+                write!(
+                    f,
+                    "operand {operand} has a loop-variant shape; the owner-computes \
+                     frontend requires loop-invariant reference shapes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
 /// Frontend knobs.
 #[derive(Clone, Debug)]
 pub struct FrontendOptions {
@@ -41,12 +88,17 @@ impl Default for FrontendOptions {
 }
 
 /// Translate a sequential program to naive owner-computes IL+XDP.
-pub fn lower_owner_computes(seq: &SeqProgram, opts: &FrontendOptions) -> Program {
+/// Rejects programs the translation cannot handle with a named
+/// [`FrontendError`] instead of panicking.
+pub fn lower_owner_computes(
+    seq: &SeqProgram,
+    opts: &FrontendOptions,
+) -> Result<Program, FrontendError> {
     let mut out = Program::new();
     for d in &seq.decls {
         out.declare(d.clone());
     }
-    let nprocs = machine_size(&seq.decls);
+    let nprocs = machine_size(&seq.decls)?;
     let mut lower = Lowerer {
         out,
         nprocs,
@@ -55,29 +107,33 @@ pub fn lower_owner_computes(seq: &SeqProgram, opts: &FrontendOptions) -> Program
         loop_stack: Vec::new(),
         next_pair: 0,
     };
-    let body = lower.block(&seq.body);
+    let body = lower.block(&seq.body)?;
     let mut program = lower.out;
     program.body = body;
-    program
+    Ok(program)
 }
 
 /// The machine size implied by the declarations (all logical grids must
 /// agree on total processor count).
-pub fn machine_size(decls: &[Decl]) -> usize {
+pub fn machine_size(decls: &[Decl]) -> Result<usize, FrontendError> {
     let mut n = None;
     for d in decls {
         if let Some(dist) = &d.dist {
             let p = dist.nprocs();
             match n {
                 None => n = Some(p),
-                Some(prev) => assert_eq!(
-                    prev, p,
-                    "declarations disagree on machine size ({prev} vs {p})"
-                ),
+                Some(prev) => {
+                    if prev != p {
+                        return Err(FrontendError::MachineSizeConflict {
+                            first: prev,
+                            second: p,
+                        });
+                    }
+                }
             }
         }
     }
-    n.expect("at least one distributed declaration required")
+    n.ok_or(FrontendError::NoDistributedDecl)
 }
 
 struct Lowerer {
@@ -93,12 +149,12 @@ struct Lowerer {
 }
 
 impl Lowerer {
-    fn block(&mut self, stmts: &[SeqStmt]) -> Block {
+    fn block(&mut self, stmts: &[SeqStmt]) -> Result<Block, FrontendError> {
         let mut out = Vec::new();
         for s in stmts {
-            self.stmt(s, &mut out);
+            self.stmt(s, &mut out)?;
         }
-        out
+        Ok(out)
     }
 
     /// A salt expression unique to this pair and the current iteration:
@@ -148,7 +204,7 @@ impl Lowerer {
     /// The (loop-invariant) element count of an operand reference; the
     /// frontend requires reference shapes not to vary with enclosing loop
     /// variables.
-    fn ref_volume(&self, r: &SectionRef) -> i64 {
+    fn ref_volume(&self, r: &SectionRef) -> Result<i64, FrontendError> {
         use crate::analysis::{concrete_section, Bindings};
         let probe = |val: i64| {
             let mut env = Bindings::new();
@@ -162,29 +218,26 @@ impl Lowerer {
         };
         match (probe(1), probe(2)) {
             (Some(a), Some(b)) => {
-                assert_eq!(
-                    a,
-                    b,
-                    "operand {} has a loop-variant shape; the owner-computes \
-                     frontend requires loop-invariant reference shapes",
-                    xdp_ir::pretty::section_ref(&self.out, r)
-                );
-                a.iter().product()
+                if a != b {
+                    return Err(FrontendError::LoopVariantShape {
+                        operand: xdp_ir::pretty::section_ref(&self.out, r),
+                    });
+                }
+                Ok(a.iter().product())
             }
-            _ => panic!(
-                "operand {} has a non-static shape",
-                xdp_ir::pretty::section_ref(&self.out, r)
-            ),
+            _ => Err(FrontendError::NonStaticShape {
+                operand: xdp_ir::pretty::section_ref(&self.out, r),
+            }),
         }
     }
 
-    fn stmt(&mut self, s: &SeqStmt, out: &mut Block) {
+    fn stmt(&mut self, s: &SeqStmt, out: &mut Block) -> Result<(), FrontendError> {
         match s {
             SeqStmt::DoLoop { var, lo, hi, body } => {
                 self.loop_stack.push(var.clone());
                 let inner = self.block(body);
                 self.loop_stack.pop();
-                out.push(b::do_loop(var, lo.clone(), hi.clone(), inner));
+                out.push(b::do_loop(var, lo.clone(), hi.clone(), inner?));
             }
             SeqStmt::Kernel {
                 name,
@@ -206,12 +259,18 @@ impl Lowerer {
                 ));
             }
             SeqStmt::Assign { target, rhs } => {
-                self.assign(target, rhs, out);
+                self.assign(target, rhs, out)?;
             }
         }
+        Ok(())
     }
 
-    fn assign(&mut self, target: &SectionRef, rhs: &ElemExpr, out: &mut Block) {
+    fn assign(
+        &mut self,
+        target: &SectionRef,
+        rhs: &ElemExpr,
+        out: &mut Block,
+    ) -> Result<(), FrontendError> {
         // Operands needing communication: exclusive refs that are not
         // syntactically the target itself.
         let comm_refs: Vec<SectionRef> = rhs
@@ -251,7 +310,7 @@ impl Lowerer {
         let mut new_rhs = rhs.clone();
         for (r, salt) in uniq.iter().zip(&salts) {
             let elem = self.out.decl(r.var).elem;
-            let vol = self.ref_volume(r);
+            let vol = self.ref_volume(r)?;
             let t = self.fresh_temp(elem, vol);
             let tref = if vol > 1 {
                 b::sref(t, vec![b::at(b::mypid()), b::span(b::c(1), b::c(vol))])
@@ -279,6 +338,7 @@ impl Lowerer {
                 out.push(b::guarded(b::iown(target.clone()), recv_body));
             }
         }
+        Ok(())
     }
 }
 
@@ -339,7 +399,7 @@ mod tests {
     #[test]
     fn lowers_paper_example_shape() {
         let seq = paper_seq(16, 4, DimDist::Block);
-        let p = lower_owner_computes(&seq, &FrontendOptions::default());
+        let p = lower_owner_computes(&seq, &FrontendOptions::default()).unwrap();
         let text = pretty::program(&p);
         // Matches §2.2's translation.
         assert!(text.contains("iown(B[i]) : {"), "{text}");
@@ -380,7 +440,7 @@ mod tests {
                 rhs: b::val(ai).mul(ElemExpr::LitF(2.0)),
             }],
         }];
-        let p = lower_owner_computes(&s, &FrontendOptions::default());
+        let p = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let c = p.stmt_census();
         assert_eq!(c.sends, 0);
         assert_eq!(c.recvs, 0);
@@ -418,7 +478,7 @@ mod tests {
                 rhs: b::val(bi.clone()).add(b::val(bi)),
             }],
         }];
-        let p = lower_owner_computes(&s, &FrontendOptions::default());
+        let p = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         assert_eq!(p.stmt_census().sends, 1);
         assert!(p.lookup("_T1").is_none());
     }
@@ -445,7 +505,7 @@ mod tests {
                 int_args: vec![],
             }],
         }];
-        let p = lower_owner_computes(&s, &FrontendOptions::default());
+        let p = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let text = pretty::program(&p);
         assert!(text.contains("iown(A[*,k]) : {"), "{text}");
         assert!(text.contains("fft1d(A[*,k])"), "{text}");
@@ -454,6 +514,125 @@ mod tests {
     #[test]
     fn machine_size_consistency() {
         let seq = paper_seq(8, 4, DimDist::Cyclic);
-        assert_eq!(machine_size(&seq.decls), 4);
+        assert_eq!(machine_size(&seq.decls), Ok(4));
+    }
+
+    #[test]
+    fn machine_size_conflict_is_an_error() {
+        let mut s = SeqProgram::new();
+        s.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Block],
+            ProcGrid::linear(4),
+        ));
+        s.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Block],
+            ProcGrid::linear(2),
+        ));
+        assert_eq!(
+            machine_size(&s.decls),
+            Err(FrontendError::MachineSizeConflict {
+                first: 4,
+                second: 2
+            })
+        );
+        assert_eq!(
+            lower_owner_computes(&s, &FrontendOptions::default()),
+            Err(FrontendError::MachineSizeConflict {
+                first: 4,
+                second: 2
+            })
+        );
+    }
+
+    #[test]
+    fn no_distributed_decl_is_an_error() {
+        let s = SeqProgram::new();
+        assert_eq!(
+            machine_size(&s.decls),
+            Err(FrontendError::NoDistributedDecl)
+        );
+    }
+
+    #[test]
+    fn non_static_operand_shape_is_an_error_not_a_panic() {
+        // A[i] = B[j] where `j` is no enclosing loop's index: the operand's
+        // section never becomes concrete and the frontend must say so.
+        let grid = ProcGrid::linear(2);
+        let mut s = SeqProgram::new();
+        let a = s.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let bb = s.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Cyclic],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let bj = b::sref(bb, vec![b::at(b::iv("j"))]);
+        s.body = vec![SeqStmt::DoLoop {
+            var: "i".into(),
+            lo: b::c(1),
+            hi: b::c(8),
+            body: vec![SeqStmt::Assign {
+                target: ai,
+                rhs: b::val(bj),
+            }],
+        }];
+        match lower_owner_computes(&s, &FrontendOptions::default()) {
+            Err(FrontendError::NonStaticShape { operand }) => {
+                assert!(operand.contains('B'), "{operand}");
+            }
+            other => panic!("expected NonStaticShape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_variant_operand_shape_is_an_error_not_a_panic() {
+        // A[i] = sum over B[1:i]: the operand's extent grows with `i`.
+        let grid = ProcGrid::linear(2);
+        let mut s = SeqProgram::new();
+        let a = s.declare(b::array(
+            "A",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Block],
+            grid.clone(),
+        ));
+        let bb = s.declare(b::array(
+            "B",
+            ElemType::F64,
+            vec![(1, 8)],
+            vec![DimDist::Cyclic],
+            grid,
+        ));
+        let ai = b::sref(a, vec![b::at(b::iv("i"))]);
+        let bpre = b::sref(bb, vec![b::span(b::c(1), b::iv("i"))]);
+        s.body = vec![SeqStmt::DoLoop {
+            var: "i".into(),
+            lo: b::c(1),
+            hi: b::c(8),
+            body: vec![SeqStmt::Assign {
+                target: ai,
+                rhs: b::val(bpre),
+            }],
+        }];
+        match lower_owner_computes(&s, &FrontendOptions::default()) {
+            Err(FrontendError::LoopVariantShape { operand }) => {
+                assert!(operand.contains('B'), "{operand}");
+            }
+            other => panic!("expected LoopVariantShape, got {other:?}"),
+        }
     }
 }

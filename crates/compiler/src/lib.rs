@@ -31,7 +31,7 @@ pub mod frontend;
 pub mod passes;
 pub mod seq;
 
-pub use frontend::{lower_owner_computes, FrontendOptions};
+pub use frontend::{lower_owner_computes, machine_size, FrontendError, FrontendOptions};
 pub use passes::{Pass, PassManager, PassResult};
 pub use seq::{from_program, SeqProgram, SeqStmt};
 pub use xdp_trace::{CompileTrace, PassTrace};

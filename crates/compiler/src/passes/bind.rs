@@ -288,7 +288,7 @@ mod tests {
                 rhs: b::val(ai).add(b::val(bi)),
             }],
         }];
-        lower_owner_computes(&s, &FrontendOptions::default())
+        lower_owner_computes(&s, &FrontendOptions::default()).unwrap()
     }
 
     #[test]

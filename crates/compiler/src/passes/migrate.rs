@@ -164,7 +164,7 @@ mod tests {
                 rhs: b::val(ai).add(b::val(bi)),
             }],
         }];
-        lower_owner_computes(&s, &FrontendOptions::default())
+        lower_owner_computes(&s, &FrontendOptions::default()).unwrap()
     }
 
     #[test]
@@ -235,7 +235,7 @@ mod tests {
                 rhs: b::val(bi).add(b::val(ci)),
             }],
         }];
-        let p = lower_owner_computes(&s, &FrontendOptions::default());
+        let p = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let r = MigrateOwnership::default().run(&p);
         assert!(!r.changed);
     }

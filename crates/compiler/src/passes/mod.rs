@@ -99,7 +99,7 @@ pub trait Pass {
 ///         target: ai.clone(), rhs: b::val(ai).add(b::val(bi)),
 ///     }],
 /// }];
-/// let naive = lower_owner_computes(&s, &FrontendOptions::default());
+/// let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
 /// assert_eq!(naive.stmt_census().sends, 1);
 /// let (optimized, _log) = PassManager::paper_pipeline().run(&naive);
 /// assert_eq!(optimized.stmt_census().sends, 0);

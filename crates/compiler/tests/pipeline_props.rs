@@ -34,7 +34,7 @@ fn source(n: i64, nprocs: usize, bd: DimDist) -> SeqProgram {
 #[test]
 fn paper_pipeline_is_idempotent() {
     for bd in [DimDist::Block, DimDist::Cyclic, DimDist::BlockCyclic(2)] {
-        let naive = lower_owner_computes(&source(16, 4, bd), &FrontendOptions::default());
+        let naive = lower_owner_computes(&source(16, 4, bd), &FrontendOptions::default()).unwrap();
         let (once, _) = PassManager::paper_pipeline().run(&naive);
         let (twice, log2) = PassManager::paper_pipeline().run(&once);
         assert_eq!(
@@ -51,7 +51,8 @@ fn paper_pipeline_is_idempotent() {
 
 #[test]
 fn run_traced_matches_run_and_records_provenance() {
-    let naive = lower_owner_computes(&source(16, 4, DimDist::Cyclic), &FrontendOptions::default());
+    let naive =
+        lower_owner_computes(&source(16, 4, DimDist::Cyclic), &FrontendOptions::default()).unwrap();
     let (plain, log) = PassManager::paper_pipeline().run(&naive);
     let (traced, ct) = PassManager::paper_pipeline().run_traced(&naive);
     // Instrumentation is observation only: same output program.
@@ -82,7 +83,8 @@ fn run_traced_matches_run_and_records_provenance() {
 
 #[test]
 fn pass_notes_are_informative() {
-    let naive = lower_owner_computes(&source(16, 4, DimDist::Cyclic), &FrontendOptions::default());
+    let naive =
+        lower_owner_computes(&source(16, 4, DimDist::Cyclic), &FrontendOptions::default()).unwrap();
     let (_, log) = PassManager::paper_pipeline().run(&naive);
     for (name, r) in &log {
         if r.changed {
@@ -240,7 +242,7 @@ fn pipeline_handles_multi_statement_programs() {
             }],
         },
     ];
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let (opt, log) = PassManager::paper_pipeline().run(&naive);
     // Loop 1 vectorizes (misaligned); loop 2 elides (aligned).
     let fired: Vec<&str> = log
@@ -290,7 +292,7 @@ fn rank2_column_stencil_vectorizes() {
             rhs: b::val(aj).add(b::val(bj1)),
         }],
     }];
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let r = VectorizeMessages.run(&naive);
     assert!(r.changed, "{}", pretty::program(&naive));
     // Static sends: one column message per interior processor boundary.

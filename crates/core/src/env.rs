@@ -54,6 +54,14 @@ pub enum RtError {
     ZeroStep,
     /// Deadlock detected by the executor.
     Deadlock(String),
+    /// A receive's deadline elapsed with no eligible message — the message
+    /// may be late, still retrying, or never sent. Distinct from
+    /// [`RtError::Deadlock`] (the executor proved no progress is possible)
+    /// and [`RtError::MessageLost`] (the message is known dropped).
+    RecvTimeout(String),
+    /// A message was permanently lost in transit: fault injection dropped
+    /// every transmission attempt and the delivery layer dead-lettered it.
+    MessageLost(String),
 }
 
 impl From<SymtabError> for RtError {
@@ -86,6 +94,8 @@ impl std::fmt::Display for RtError {
             RtError::BadTransfer { pid, detail } => write!(f, "p{pid}: {detail}"),
             RtError::ZeroStep => write!(f, "do-loop with zero step"),
             RtError::Deadlock(d) => write!(f, "deadlock:\n{d}"),
+            RtError::RecvTimeout(d) => write!(f, "receive timed out:\n{d}"),
+            RtError::MessageLost(d) => write!(f, "message lost:\n{d}"),
         }
     }
 }

@@ -8,11 +8,12 @@
 //! operate on it.
 
 use std::collections::BTreeMap;
+use xdp_fault::{FaultEvent, FaultEventKind, FaultStats};
 use xdp_ir::{Section, VarId};
 use xdp_machine::NetStats;
 use xdp_runtime::symtab::SymtabStats;
 use xdp_runtime::Value;
-use xdp_trace::Trace;
+use xdp_trace::{Trace, TraceEvent, TraceKind};
 
 /// Per-processor execution summary.
 #[derive(Clone, Debug, Default)]
@@ -44,6 +45,8 @@ pub struct ExecReport {
     pub net: NetStats,
     /// Recorded trace (empty unless a `TraceConfig` enabled recording).
     pub trace: Trace,
+    /// Fault-injection/delivery counters (all zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl ExecReport {
@@ -122,6 +125,38 @@ impl Gathered {
     }
 }
 
+/// Convert delivery-layer fault events into trace instants on the sending
+/// processor's timeline: retries, injected drops (incl. the terminal loss),
+/// and suppressed duplicates. Instants ride on top of the span tiling, so
+/// adding them never perturbs the movement multiset or the critical-path
+/// attribution — retry *time* shows up in the wire/wait spans it delayed.
+pub fn fault_trace_events(events: &[FaultEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter_map(|e| {
+            let (kind, detail) = match e.kind {
+                FaultEventKind::Retry { attempt } => {
+                    (TraceKind::Retry, format!("{} attempt {}", e.tag, attempt))
+                }
+                FaultEventKind::DropInjected => (TraceKind::FaultDrop, e.tag.clone()),
+                FaultEventKind::Lost { attempts } => (
+                    TraceKind::FaultDrop,
+                    format!("{} lost after {} attempts", e.tag, attempts),
+                ),
+                FaultEventKind::DupSuppressed => (TraceKind::DupSuppressed, e.tag.clone()),
+                // The injected copy itself is invisible to the program;
+                // its suppression is the observable event.
+                FaultEventKind::DupInjected => return None,
+            };
+            Some(TraceEvent {
+                detail: Some(detail),
+                src: Some(e.src as u32),
+                ..TraceEvent::instant(kind, e.src, e.t)
+            })
+        })
+        .collect()
+}
+
 /// Build a [`Gathered`] for `var` from per-processor symbol tables.
 pub fn gather_var(var: VarId, tables: &[&xdp_runtime::RtSymbolTable], full: &Section) -> Gathered {
     let mut g = Gathered::default();
@@ -146,7 +181,6 @@ pub fn gather_var(var: VarId, tables: &[&xdp_runtime::RtSymbolTable], full: &Sec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xdp_trace::{TraceEvent, TraceKind};
 
     #[test]
     fn efficiency_and_totals() {
@@ -167,6 +201,7 @@ mod tests {
             ],
             net: NetStats::new(2),
             trace: Trace::new(2),
+            faults: FaultStats::default(),
         };
         assert_eq!(r.total_busy(), 140.0);
         assert_eq!(r.total_wait(), 60.0);
@@ -185,6 +220,7 @@ mod tests {
             procs: vec![ProcReport::default()],
             net: NetStats::new(1),
             trace,
+            faults: FaultStats::default(),
         };
         let g = r.gantt(20);
         assert!(g.contains('#'));

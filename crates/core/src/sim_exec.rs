@@ -12,6 +12,7 @@ use crate::kernels::KernelRegistry;
 use crate::report::{ExecReport, Gathered, ProcReport};
 use std::collections::HashMap;
 use std::sync::Arc;
+use xdp_fault::FaultPlan;
 use xdp_ir::{Program, Section, VarId};
 use xdp_machine::{Completion, CostModel, SimNet, Topology};
 use xdp_runtime::{Buffer, Tag, Value};
@@ -33,6 +34,9 @@ pub struct SimConfig {
     pub trace: TraceConfig,
     /// Abort after this many interpreter steps (safety net).
     pub max_steps: u64,
+    /// Fault-injection plan (inactive by default; `rto`/`delay` are
+    /// virtual time units on this backend).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -45,6 +49,7 @@ impl SimConfig {
             checked: true,
             trace: TraceConfig::off(),
             max_steps: 500_000_000,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -77,6 +82,12 @@ impl SimConfig {
     /// Disable the checked runtime.
     pub fn unchecked(mut self) -> SimConfig {
         self.checked = false;
+        self
+    }
+
+    /// Set the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> SimConfig {
+        self.faults = faults;
         self
     }
 }
@@ -133,7 +144,7 @@ impl SimExec {
                 i
             })
             .collect();
-        let net = SimNet::new(n, cfg.cost, cfg.topo.clone());
+        let net = SimNet::with_faults(n, cfg.cost, cfg.topo.clone(), cfg.faults.clone());
         SimExec {
             cfg,
             interps,
@@ -497,6 +508,24 @@ impl SimExec {
                 break;
             }
 
+            // No progress possible. If a blocked processor was waiting on a
+            // message the fault layer permanently lost, that is a *loss*,
+            // not a deadlock — name it.
+            for p in 0..self.cfg.nprocs {
+                if !matches!(self.status[p], PStatus::Blocked { .. }) {
+                    continue;
+                }
+                for (_, tag) in self.interps[p].outstanding() {
+                    if let Some(dl) = self.net.lost().iter().find(|l| l.matches(&tag, p)) {
+                        return Err(RtError::MessageLost(format!(
+                            "p{p}: receive of {tag}: message from p{} permanently lost \
+                             (every transmission dropped; {} attempts)",
+                            dl.src, dl.attempts
+                        )));
+                    }
+                }
+            }
+
             // Deadlock.
             let mut detail = String::new();
             for p in 0..self.cfg.nprocs {
@@ -513,6 +542,10 @@ impl SimExec {
 
         let virtual_time = self.clocks.iter().copied().fold(0.0f64, f64::max);
         self.trace.end = virtual_time;
+        if self.cfg.trace.instants {
+            let evs = crate::report::fault_trace_events(self.net.fault_events());
+            self.trace.events.extend(evs);
+        }
         let procs = (0..self.cfg.nprocs)
             .map(|p| ProcReport {
                 finish_time: self.clocks[p],
@@ -529,6 +562,7 @@ impl SimExec {
             procs,
             net: self.net.stats.clone(),
             trace: std::mem::take(&mut self.trace),
+            faults: self.net.fault_stats(),
         })
     }
 
@@ -765,6 +799,84 @@ mod tests {
         // The critical path attributes all of the end-to-end time.
         let report = r.trace.critical_path(&std::collections::HashMap::new());
         assert!((report.attributed() - r.virtual_time).abs() < 1e-6 * r.virtual_time);
+    }
+
+    #[test]
+    fn sim_chaos_matches_fault_free_state_and_attribution() {
+        use xdp_fault::LinkFault;
+        let n = 16;
+        let (prog, a, bb) = paper_simple(n, 4);
+        let run = |faults: FaultPlan| {
+            let mut exec = SimExec::new(
+                prog.clone(),
+                KernelRegistry::standard(),
+                SimConfig::new(4)
+                    .with_trace(TraceConfig::full())
+                    .with_faults(faults),
+            );
+            exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+            exec.init_exclusive(bb, |idx| Value::F64(3.0 * idx[0] as f64));
+            let r = exec.run().unwrap();
+            let g = exec.gather(a);
+            (r, g)
+        };
+        let (rc, gc) = run(FaultPlan::none());
+        let mut plan = FaultPlan::uniform(
+            5,
+            LinkFault {
+                drop: 0.1,
+                dup: 0.1,
+                reorder: 0.2,
+                delay_p: 0.2,
+                delay: 50.0,
+            },
+        );
+        plan.rto = 80.0;
+        let (rf, gf) = run(plan);
+        for i in 1..=n {
+            assert_eq!(gc.get(&[i]), gf.get(&[i]), "i={i}");
+        }
+        assert!(rf.faults.any_injected(), "chaos plan injected nothing");
+        assert_eq!(rf.net.messages, rc.net.messages);
+        assert!(
+            rf.virtual_time >= rc.virtual_time,
+            "faults never speed a run"
+        );
+        // Retry time is attributed, not lost: the critical path still
+        // covers 100% of end-to-end time with fault instants present.
+        assert!(rf
+            .trace
+            .events
+            .iter()
+            .any(|e| e.kind == TraceKind::Retry || e.kind == TraceKind::FaultDrop));
+        let report = rf.trace.critical_path(&std::collections::HashMap::new());
+        assert!(
+            (report.attributed() - rf.virtual_time).abs() <= 1e-6 * rf.virtual_time,
+            "attributed {} of {}",
+            report.attributed(),
+            rf.virtual_time
+        );
+    }
+
+    #[test]
+    fn sim_permanent_loss_is_diagnosed_not_deadlock() {
+        let (prog, a, bb) = paper_simple(8, 2);
+        let mut plan = FaultPlan::none();
+        plan.kill.push((0, 1));
+        plan.max_retries = 2;
+        let mut exec = SimExec::new(
+            prog,
+            KernelRegistry::standard(),
+            SimConfig::new(2).with_faults(plan),
+        );
+        exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        exec.init_exclusive(bb, |idx| Value::F64(idx[0] as f64));
+        match exec.run() {
+            Err(RtError::MessageLost(d)) => {
+                assert!(d.contains("permanently lost"), "{d}");
+            }
+            other => panic!("expected MessageLost, got {other:?}"),
+        }
     }
 
     #[test]

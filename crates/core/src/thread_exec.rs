@@ -17,9 +17,10 @@ use crate::kernels::KernelRegistry;
 use crate::report::Gathered;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+use xdp_fault::{FaultPlan, FaultStats, RecvFailure};
 use xdp_ir::{Program, VarId};
 use xdp_machine::{NetStats, ThreadNet};
-use xdp_runtime::{Msg, Value};
+use xdp_runtime::{Msg, Tag, Value};
 use xdp_trace::{Trace, TraceConfig, TraceEvent, TraceKind, WaitCause};
 
 /// Result of a threaded run.
@@ -33,6 +34,8 @@ pub struct ThreadReport {
     pub symtab: Vec<xdp_runtime::symtab::SymtabStats>,
     /// Recorded trace (wall-clock microseconds; empty unless enabled).
     pub trace: Trace,
+    /// Fault-injection/delivery counters (all zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 /// Configuration for the threaded executor.
@@ -47,22 +50,32 @@ pub struct ThreadConfig {
     pub recv_timeout: Duration,
     /// What to record in the execution trace.
     pub trace: TraceConfig,
+    /// Fault-injection plan (inactive by default; `rto`/`delay` are
+    /// wall-clock microseconds on this backend).
+    pub faults: FaultPlan,
 }
 
 impl ThreadConfig {
-    /// Defaults: checked, 5-second deadlock timeout, no tracing.
+    /// Defaults: checked, 5-second deadlock timeout, no tracing, no faults.
     pub fn new(nprocs: usize) -> ThreadConfig {
         ThreadConfig {
             nprocs,
             checked: true,
             recv_timeout: Duration::from_secs(5),
             trace: TraceConfig::off(),
+            faults: FaultPlan::none(),
         }
     }
 
     /// Set the trace configuration.
     pub fn with_trace(mut self, trace: TraceConfig) -> ThreadConfig {
         self.trace = trace;
+        self
+    }
+
+    /// Set the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> ThreadConfig {
+        self.faults = faults;
         self
     }
 }
@@ -99,7 +112,7 @@ impl ThreadExec {
     /// Run all processors concurrently to completion.
     pub fn run(&mut self) -> Result<ThreadReport, RtError> {
         let n = self.cfg.nprocs;
-        let net = ThreadNet::new(n);
+        let net = ThreadNet::with_faults(n, self.cfg.faults.clone());
         let barrier = Arc::new(Barrier::new(n));
         let timeout = self.cfg.recv_timeout;
         let tcfg = self.cfg.trace;
@@ -124,12 +137,18 @@ impl ThreadExec {
         for r in results {
             trace.events.extend(r?);
         }
+        if self.cfg.trace.instants {
+            trace
+                .events
+                .extend(crate::report::fault_trace_events(&net.fault_events()));
+        }
         let symtab = self.interps.iter().map(|i| i.env.symtab.stats).collect();
         Ok(ThreadReport {
             wall,
             net: net.stats(),
             symtab,
             trace,
+            faults: net.fault_stats(),
         })
     }
 
@@ -274,8 +293,8 @@ fn run_proc(
                 }
                 let (req, tag) = gating[0].clone();
                 let t0 = rec.now();
-                match net.recv(&tag, pid, timeout) {
-                    Some(msg) => {
+                match net.recv_diag(&tag, pid, timeout) {
+                    Ok(msg) => {
                         if tcfg.spans {
                             let t1 = rec.now();
                             if t1 > t0 {
@@ -289,11 +308,7 @@ fn run_proc(
                         rec.completed(pid, req, &msg, t0);
                         interp.complete_recv(req, msg)?;
                     }
-                    None => {
-                        return Err(RtError::Deadlock(format!(
-                            "p{pid}: receive of {tag} timed out after {timeout:?}"
-                        )))
-                    }
+                    Err(fail) => return Err(recv_error(pid, &tag, timeout, fail)),
                 }
             }
             Action::Barrier => {
@@ -315,8 +330,8 @@ fn run_proc(
     // Drain leftover outstanding receives so the final state is coherent.
     for (req, tag) in interp.outstanding() {
         let t0 = rec.now();
-        match net.recv(&tag, pid, timeout) {
-            Some(msg) => {
+        match net.recv_diag(&tag, pid, timeout) {
+            Ok(msg) => {
                 if tcfg.spans {
                     let t1 = rec.now();
                     if t1 > t0 {
@@ -330,14 +345,29 @@ fn run_proc(
                 rec.completed(pid, req, &msg, t0);
                 interp.complete_recv(req, msg)?;
             }
-            None => {
-                return Err(RtError::Deadlock(format!(
-                    "p{pid}: unfinished receive of {tag} at program end"
+            Err(RecvFailure::Timeout) => {
+                return Err(RtError::RecvTimeout(format!(
+                    "p{pid}: unfinished receive of {tag} at program end \
+                     (no message after {timeout:?})"
                 )))
             }
+            Err(fail) => return Err(recv_error(pid, &tag, timeout, fail)),
         }
     }
     Ok(rec.events)
+}
+
+/// Map a delivery-layer failure to the executor's named diagnosis.
+fn recv_error(pid: usize, tag: &Tag, timeout: Duration, fail: RecvFailure) -> RtError {
+    match fail {
+        RecvFailure::Timeout => RtError::RecvTimeout(format!(
+            "p{pid}: receive of {tag} timed out after {timeout:?}"
+        )),
+        RecvFailure::Lost { attempts } => RtError::MessageLost(format!(
+            "p{pid}: receive of {tag}: message permanently lost \
+             (every transmission dropped; {attempts} attempts)"
+        )),
+    }
 }
 
 /// Self-contained per-thread recorder state (no borrow of the
@@ -524,7 +554,10 @@ mod tests {
     }
 
     #[test]
-    fn threaded_deadlock_times_out() {
+    fn threaded_recv_timeout_is_not_a_deadlock() {
+        // Nothing is ever sent: the receive's deadline elapses and the
+        // diagnosis must be the *timeout* variant, not Deadlock (the
+        // executor has not proven no progress is possible, only waited).
         let mut p = Program::new();
         let a = p.declare(b::array(
             "A",
@@ -543,15 +576,80 @@ mod tests {
             Arc::new(p),
             KernelRegistry::standard(),
             ThreadConfig {
-                nprocs: 2,
-                checked: true,
                 recv_timeout: Duration::from_millis(50),
-                trace: TraceConfig::off(),
+                ..ThreadConfig::new(2)
             },
         );
         match exec.run() {
-            Err(RtError::Deadlock(d)) => assert!(d.contains("timed out"), "{d}"),
-            other => panic!("expected deadlock, got {other:?}"),
+            Err(RtError::RecvTimeout(d)) => assert!(d.contains("timed out"), "{d}"),
+            other => panic!("expected RecvTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_chaos_matches_fault_free_state() {
+        use xdp_fault::LinkFault;
+        let n = 24;
+        let (prog, a, bb) = simple(n, 3);
+        let mut clean = ThreadExec::new(
+            prog.clone(),
+            KernelRegistry::standard(),
+            ThreadConfig::new(3),
+        );
+        clean.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        clean.init_exclusive(bb, |idx| Value::F64(idx[0] as f64 * 0.5));
+        clean.run().unwrap();
+
+        let mut plan = FaultPlan::uniform(
+            17,
+            LinkFault {
+                drop: 0.1,
+                dup: 0.1,
+                reorder: 0.2,
+                delay_p: 0.2,
+                delay: 200.0,
+            },
+        );
+        plan.rto = 300.0;
+        let mut chaos = ThreadExec::new(
+            prog,
+            KernelRegistry::standard(),
+            ThreadConfig::new(3).with_faults(plan),
+        );
+        chaos.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        chaos.init_exclusive(bb, |idx| Value::F64(idx[0] as f64 * 0.5));
+        let report = chaos.run().unwrap();
+        assert_eq!(report.net.messages, n as u64, "dedup must not double-count");
+        let (gc, gf) = (clean.gather(a), chaos.gather(a));
+        for i in 1..=n {
+            assert_eq!(gc.get(&[i]), gf.get(&[i]), "i={i}");
+        }
+    }
+
+    #[test]
+    fn threaded_permanent_loss_is_diagnosed() {
+        let n = 16;
+        let (prog, a, bb) = simple(n, 4);
+        let mut plan = FaultPlan::none();
+        plan.kill.push((0, 1)); // p0's first message can never arrive
+        plan.rto = 200.0;
+        plan.max_retries = 3;
+        let mut exec = ThreadExec::new(
+            prog,
+            KernelRegistry::standard(),
+            ThreadConfig {
+                recv_timeout: Duration::from_secs(2),
+                ..ThreadConfig::new(4)
+            }
+            .with_faults(plan),
+        );
+        exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        exec.init_exclusive(bb, |idx| Value::F64(idx[0] as f64));
+        match exec.run() {
+            Err(RtError::MessageLost(d)) => {
+                assert!(d.contains("permanently lost"), "{d}")
+            }
+            other => panic!("expected MessageLost, got {other:?}"),
         }
     }
 }

@@ -1,0 +1,59 @@
+//! # xdp-fault — deterministic fault injection for the XDP transports
+//!
+//! The paper's operational rules assume the 1993 multicomputer's guarantee
+//! that every initiated send eventually pairs with its blocking receive.
+//! A production-scale runtime cannot: links drop, delay, duplicate, and
+//! reorder messages. This crate supplies the two halves the executors need
+//! to keep XDP's semantics on an unreliable transport:
+//!
+//! * a **fault plan** ([`FaultPlan`]) — per-link drop / duplicate / delay /
+//!   reorder probabilities plus the retry policy, parseable from the CLI's
+//!   `--faults` spec;
+//! * a **deterministic injector** ([`Injector`]) — every decision is a pure
+//!   function of `(seed, src, seq, attempt)`, so a replay with the same
+//!   seed makes the same decisions regardless of thread interleaving or
+//!   executor backend;
+//! * the **delivery taxonomy** ([`RecvFailure`], [`FaultStats`],
+//!   [`FaultEvent`]) shared by `ThreadNet` and `SimNet`: named diagnoses
+//!   (lost vs. late vs. truly deadlocked), counters, and the retry /
+//!   drop / dup-suppressed events the tracer turns into `TraceKind`s.
+//!
+//! The reliable-delivery protocol itself (sequence numbers, receiver-side
+//! dedup, ack-on-claim, exponential backoff) lives in the transports — it
+//! needs their locks and clocks — but both implement the same contract:
+//! with `drop < 1` and enough retries, a faulty run delivers exactly the
+//! multiset of messages a fault-free run delivers.
+
+pub mod inject;
+pub mod plan;
+pub mod stats;
+
+pub use inject::{Decision, Injector};
+pub use plan::{FaultPlan, LinkFault, PlanParseError};
+pub use stats::{FaultEvent, FaultEventKind, FaultStats};
+
+/// Why a receive did not return a message: the named diagnosis the
+/// executors surface instead of a blanket "deadlock".
+#[derive(Clone, PartialEq, Debug)]
+pub enum RecvFailure {
+    /// The deadline elapsed with no eligible message — the message may be
+    /// late, still retrying, or the sender never sent it.
+    Timeout,
+    /// Every retry of the only matching message was dropped: the message
+    /// is permanently lost (dead-lettered after `attempts` transmissions).
+    Lost {
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for RecvFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvFailure::Timeout => write!(f, "timed out"),
+            RecvFailure::Lost { attempts } => {
+                write!(f, "permanently lost after {attempts} attempts")
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the fault-injection layer: decisions are a pure
+//! function of `(seed, src, seq, attempt)` regardless of query order, the
+//! spec grammar round-trips, and the retry schedule is sane.
+
+use proptest::prelude::*;
+use xdp_fault::{FaultPlan, Injector, LinkFault};
+
+fn arb_link() -> impl Strategy<Value = LinkFault> {
+    (
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..500.0,
+    )
+        .prop_map(|(drop, dup, reorder, delay_p, delay)| LinkFault {
+            drop,
+            dup,
+            reorder,
+            delay_p,
+            delay,
+        })
+}
+
+proptest! {
+    // Replay determinism: the same (seed, src, seq, attempt) gives the
+    // same decision no matter how many other decisions were drawn first,
+    // in what order, or from which Injector instance. This is what makes
+    // a fault run reproducible across thread interleavings.
+    #[test]
+    fn decisions_are_order_independent(
+        seed in any::<u64>(),
+        link in arb_link(),
+        queries in prop::collection::vec(
+            (0usize..8, 1u64..64, 1u32..6), 1..40),
+    ) {
+        let plan = FaultPlan::uniform(seed, link);
+        let inj_a = Injector::new(plan.clone());
+        let inj_b = Injector::new(plan);
+        let forward: Vec<_> = queries
+            .iter()
+            .map(|&(src, seq, at)| inj_a.decide(src, seq, at))
+            .collect();
+        let backward: Vec<_> = queries
+            .iter()
+            .rev()
+            .map(|&(src, seq, at)| inj_b.decide(src, seq, at))
+            .collect();
+        for (f, b) in forward.iter().zip(backward.iter().rev()) {
+            prop_assert_eq!(f, b);
+        }
+    }
+
+    // A drop never carries secondary faults: the attempt either vanishes
+    // or is delivered (possibly duplicated/reordered/delayed), never both.
+    #[test]
+    fn dropped_attempts_have_no_side_faults(
+        seed in any::<u64>(),
+        link in arb_link(),
+        src in 0usize..8,
+        seq in 1u64..64,
+        attempt in 1u32..6,
+    ) {
+        let inj = Injector::new(FaultPlan::uniform(seed, link));
+        let d = inj.decide(src, seq, attempt);
+        if d.drop {
+            prop_assert!(!d.dup && !d.reorder && d.extra_delay == 0.0);
+        }
+    }
+
+    // first_delivery agrees with the per-attempt decisions: it returns the
+    // first non-dropped attempt within the retry budget, or None when
+    // every attempt drops.
+    #[test]
+    fn first_delivery_matches_attempt_chain(
+        seed in any::<u64>(),
+        drop in 0.0f64..1.0,
+        retries in 0u32..6,
+        src in 0usize..4,
+        seq in 1u64..32,
+    ) {
+        let mut plan = FaultPlan::uniform(seed, LinkFault { drop, ..LinkFault::default() });
+        plan.max_retries = retries;
+        let inj = Injector::new(plan.clone());
+        let expect = (0..=retries)
+            .find(|&a| !inj.decide(src, seq, a).drop);
+        match (inj.first_delivery(src, seq), expect) {
+            (Some((attempt, d)), Some(want)) => {
+                prop_assert_eq!(attempt, want);
+                prop_assert!(!d.drop);
+            }
+            (None, None) => {}
+            (got, want) => {
+                panic!("first_delivery {got:?}, expected attempt {want:?}");
+            }
+        }
+    }
+
+    // Parse round-trip: formatting a plan's scalar fields back into the
+    // spec grammar re-parses to the same plan.
+    #[test]
+    fn parse_roundtrips(
+        seed in any::<u64>(),
+        drop in 0.0f64..1.0,
+        dup in 0.0f64..1.0,
+        reorder in 0.0f64..1.0,
+        delayp in 0.0f64..1.0,
+        delay in 0.0f64..1000.0,
+        rto in 0.0f64..10_000.0,
+        backoff in 1.0f64..8.0,
+        retries in 0u32..64,
+        kills in prop::collection::vec((0usize..8, 1u64..64), 0..4),
+    ) {
+        let mut spec = format!(
+            "seed={seed},drop={drop},dup={dup},reorder={reorder},\
+             delayp={delayp},delay={delay},rto={rto},backoff={backoff},\
+             retries={retries}"
+        );
+        for (s, n) in &kills {
+            spec.push_str(&format!(",kill={s}:{n}"));
+        }
+        let p = FaultPlan::parse(&spec).unwrap();
+        prop_assert_eq!(p.seed, seed);
+        prop_assert_eq!(p.default.drop, drop);
+        prop_assert_eq!(p.default.dup, dup);
+        prop_assert_eq!(p.default.reorder, reorder);
+        prop_assert_eq!(p.default.delay_p, delayp);
+        prop_assert_eq!(p.default.delay, delay);
+        prop_assert_eq!(p.rto, rto);
+        prop_assert_eq!(p.backoff, backoff);
+        prop_assert_eq!(p.max_retries, retries);
+        prop_assert_eq!(&p.kill, &kills);
+    }
+
+    // The retry schedule never accelerates and grows with each attempt.
+    #[test]
+    fn retry_delays_are_monotone(
+        rto in 1.0f64..10_000.0,
+        backoff in 1.0f64..8.0,
+        attempt in 1u32..12,
+    ) {
+        let mut plan = FaultPlan::none();
+        plan.rto = rto;
+        plan.backoff = backoff;
+        prop_assert_eq!(plan.retry_delay(0), 0.0);
+        prop_assert!(plan.retry_delay(attempt) > plan.retry_delay(attempt - 1));
+    }
+}

@@ -20,6 +20,13 @@
 //! The simulated network never reorders two messages with the same name
 //! between the same pair of processors (FIFO per name), and matching is by
 //! earliest virtual post time with pid tie-breaking.
+//!
+//! Both backends accept an `xdp-fault` [`FaultPlan`](xdp_fault::FaultPlan)
+//! (`SimNet::with_faults` / `ThreadNet::with_faults`): transmission
+//! attempts are then dropped/delayed/duplicated/reordered by the plan's
+//! deterministic injector, and an ack/retry delivery layer (sequence
+//! numbers, receiver-side dedup, exponential backoff, dead letters) keeps
+//! rendezvous semantics intact or reports a *named* loss diagnosis.
 
 pub mod cost;
 pub mod sim;
@@ -28,7 +35,7 @@ pub mod thread_net;
 pub mod topo;
 
 pub use cost::CostModel;
-pub use sim::{Completion, SimNet};
+pub use sim::{Completion, LostMsg, SimNet};
 pub use stats::NetStats;
 pub use thread_net::ThreadNet;
 pub use topo::Topology;

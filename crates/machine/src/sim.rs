@@ -21,6 +21,7 @@ use crate::cost::CostModel;
 use crate::stats::NetStats;
 use crate::topo::Topology;
 use std::collections::HashMap;
+use xdp_fault::{FaultEvent, FaultEventKind, FaultPlan, FaultStats, Injector};
 use xdp_runtime::{Msg, Tag};
 
 /// A posted, not-yet-matched send.
@@ -31,6 +32,33 @@ struct SendPost {
     dest: Option<Vec<usize>>,
     time: f64,
     seq: u64,
+    /// Extra transit latency from injected faults (retry backoff + delay);
+    /// 0 on a fault-free net. Charged to the wire interval, so the
+    /// critical-path analyzer attributes retry time rather than losing it.
+    extra: f64,
+}
+
+/// A message permanently lost under fault injection: every transmission
+/// attempt was dropped. The executor consults these to report a *loss*
+/// diagnosis instead of a deadlock.
+#[derive(Clone, Debug)]
+pub struct LostMsg {
+    pub tag: Tag,
+    pub dest: Option<Vec<usize>>,
+    pub src: usize,
+    pub seq: u64,
+    pub attempts: u32,
+}
+
+impl LostMsg {
+    /// Could a receive for `tag` on `dst` have paired with this message?
+    pub fn matches(&self, tag: &Tag, dst: usize) -> bool {
+        self.tag == *tag
+            && match &self.dest {
+                None => true,
+                Some(pids) => pids.contains(&dst),
+            }
+    }
 }
 
 /// A posted, not-yet-matched receive.
@@ -76,19 +104,44 @@ pub struct SimNet {
     sends: HashMap<Tag, Vec<SendPost>>,
     recvs: HashMap<Tag, Vec<RecvPost>>,
     seq: u64,
+    injector: Option<Injector>,
+    src_seq: HashMap<usize, u64>,
+    dead: Vec<LostMsg>,
+    fstats: FaultStats,
+    events: Vec<FaultEvent>,
     /// Traffic counters.
     pub stats: NetStats,
 }
 
 impl SimNet {
-    /// A network of `nprocs` processors.
+    /// A fault-free network of `nprocs` processors.
     pub fn new(nprocs: usize, model: CostModel, topo: Topology) -> SimNet {
+        SimNet::with_faults(nprocs, model, topo, FaultPlan::none())
+    }
+
+    /// A network of `nprocs` processors with injected faults.
+    ///
+    /// Virtual time is analytic, so the whole retry chain is resolved at
+    /// post time: the first non-dropped attempt's cumulative backoff (plus
+    /// any injected delay) is added to the message's transit latency;
+    /// duplicates are counted and suppressed analytically (rendezvous
+    /// matching consumes each send exactly once, so a duplicate can never
+    /// double-deliver here); a message whose every attempt drops is
+    /// recorded in [`SimNet::lost`] instead of being posted. Plan time
+    /// quantities (`rto`, `delay`) are virtual time units.
+    pub fn with_faults(nprocs: usize, model: CostModel, topo: Topology, plan: FaultPlan) -> SimNet {
+        let injector = plan.is_active().then(|| Injector::new(plan));
         SimNet {
             model,
             topo,
             sends: HashMap::new(),
             recvs: HashMap::new(),
             seq: 0,
+            injector,
+            src_seq: HashMap::new(),
+            dead: Vec::new(),
+            fstats: FaultStats::default(),
+            events: Vec::new(),
             stats: NetStats::new(nprocs),
         }
     }
@@ -103,6 +156,97 @@ impl SimNet {
         self.seq
     }
 
+    /// Resolve the fault fate of a send posted at `time`: `Some(extra)`
+    /// transit latency if it eventually delivers, `None` if it is
+    /// permanently lost (recorded in the dead-letter list).
+    fn inject(&mut self, msg: &Msg, dest: &Option<Vec<usize>>, time: f64) -> Option<f64> {
+        let Some(inj) = &self.injector else {
+            return Some(0.0);
+        };
+        let inj = inj.clone();
+        let plan = inj.plan();
+        let src_seq = {
+            let c = self.src_seq.entry(msg.src).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let tag_str = msg.tag.to_string();
+        let event = |t, kind| FaultEvent {
+            t,
+            kind,
+            src: msg.src,
+            seq: src_seq,
+            tag: tag_str.clone(),
+        };
+        match inj.first_delivery(msg.src, src_seq) {
+            None => {
+                // Every allowed attempt dropped: dead-letter the message.
+                let attempts = plan.max_retries + 1;
+                for a in 0..attempts {
+                    let t = time + plan.retry_delay(a);
+                    if a > 0 {
+                        self.fstats.retries += 1;
+                        self.events
+                            .push(event(t, FaultEventKind::Retry { attempt: a }));
+                    }
+                    self.fstats.injected_drops += 1;
+                    self.events.push(event(t, FaultEventKind::DropInjected));
+                }
+                let give_up = time + plan.retry_delay(attempts);
+                self.fstats.lost += 1;
+                self.events
+                    .push(event(give_up, FaultEventKind::Lost { attempts }));
+                self.dead.push(LostMsg {
+                    tag: msg.tag.clone(),
+                    dest: dest.clone(),
+                    src: msg.src,
+                    seq: src_seq,
+                    attempts,
+                });
+                None
+            }
+            Some((k, d)) => {
+                for a in 0..k {
+                    let t = time + plan.retry_delay(a);
+                    if a > 0 {
+                        self.fstats.retries += 1;
+                        self.events
+                            .push(event(t, FaultEventKind::Retry { attempt: a }));
+                    }
+                    self.fstats.injected_drops += 1;
+                    self.events.push(event(t, FaultEventKind::DropInjected));
+                }
+                let mut extra = plan.retry_delay(k);
+                if k > 0 {
+                    self.fstats.retries += 1;
+                    self.events
+                        .push(event(time + extra, FaultEventKind::Retry { attempt: k }));
+                }
+                if d.extra_delay > 0.0 {
+                    self.fstats.injected_delays += 1;
+                    extra += d.extra_delay;
+                }
+                if d.reorder {
+                    // Reordering cannot change rendezvous-by-name matching
+                    // outcomes in virtual time (pairs are picked by post
+                    // time); counted for parity with the threaded net.
+                    self.fstats.injected_reorders += 1;
+                }
+                if d.dup {
+                    // The matcher consumes each send exactly once, so the
+                    // duplicate copy is suppressed analytically.
+                    self.fstats.injected_dups += 1;
+                    self.events
+                        .push(event(time + extra, FaultEventKind::DupInjected));
+                    self.fstats.dup_suppressed += 1;
+                    self.events
+                        .push(event(time + extra, FaultEventKind::DupSuppressed));
+                }
+                Some(extra)
+            }
+        }
+    }
+
     /// Post a send at virtual `time` on the sending processor. Returns the
     /// completion if a matching receive was already waiting.
     pub fn post_send(
@@ -111,12 +255,16 @@ impl SimNet {
         dest: Option<Vec<usize>>,
         time: f64,
     ) -> Option<Completion> {
+        let Some(extra) = self.inject(&msg, &dest, time) else {
+            return None; // permanently lost: never enters the matcher
+        };
         let seq = self.next_seq();
         let post = SendPost {
             msg,
             dest,
             time,
             seq,
+            extra,
         };
         // Earliest eligible receive.
         let tag = post.msg.tag.clone();
@@ -189,7 +337,7 @@ impl SimNet {
             send.msg.size_bytes()
         };
         let hops = self.topo.hops(send.msg.src, recv.dst);
-        let arrive_at = send.time + self.model.wire_time(wire, hops);
+        let arrive_at = send.time + send.extra + self.model.wire_time(wire, hops);
         let mut handling = self.model.cpu_overhead;
         if !bound {
             handling += self.model.match_overhead;
@@ -217,6 +365,21 @@ impl SimNet {
             arrive_at,
             handling,
         }
+    }
+
+    /// Messages permanently lost to injected faults (dead letters).
+    pub fn lost(&self) -> &[LostMsg] {
+        &self.dead
+    }
+
+    /// Snapshot of fault/delivery counters (all zero without a plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fstats
+    }
+
+    /// Timestamped fault events (virtual time).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.events
     }
 
     /// Numbers of unmatched sends and receives (for deadlock diagnosis).
@@ -370,6 +533,92 @@ mod tests {
         let c_near = near.post_recv(tag(0), 1, 0.0, 1).unwrap();
         let c_far = far.post_recv(tag(0), 3, 0.0, 1).unwrap();
         assert!(c_far.arrive_at > c_near.arrive_at);
+    }
+
+    #[test]
+    fn faulty_sim_delays_but_delivers() {
+        use xdp_fault::LinkFault;
+        let mut plan = FaultPlan::uniform(
+            3,
+            LinkFault {
+                drop: 0.5,
+                ..LinkFault::default()
+            },
+        );
+        plan.rto = 50.0;
+        let mut faulty = SimNet::with_faults(4, CostModel::default_1993(), Topology::Uniform, plan);
+        let mut clean = net();
+        for k in 0..20 {
+            faulty.post_send(msg(0, 0), None, k as f64);
+            clean.post_send(msg(0, 0), None, k as f64);
+        }
+        let mut extra_total = 0.0;
+        for k in 0..20 {
+            let cf = faulty
+                .post_recv(tag(0), 1, 1e6, k)
+                .expect("retries deliver");
+            let cc = clean.post_recv(tag(0), 1, 1e6, k).expect("clean");
+            assert_eq!(cf.msg, cc.msg, "payloads identical under faults");
+            assert!(cf.arrive_at >= cc.arrive_at, "faults never speed delivery");
+            extra_total += cf.arrive_at - cc.arrive_at;
+        }
+        let f = faulty.fault_stats();
+        assert!(f.injected_drops > 0, "50% drop plan injected nothing");
+        assert_eq!(f.retries, f.injected_drops);
+        assert!(extra_total > 0.0, "retries must cost virtual time");
+        assert_eq!(faulty.stats.messages, clean.stats.messages);
+        assert!(faulty.lost().is_empty());
+    }
+
+    #[test]
+    fn killed_message_becomes_dead_letter_not_match() {
+        let mut plan = FaultPlan::none();
+        plan.kill.push((0, 1));
+        plan.max_retries = 2;
+        let mut n = SimNet::with_faults(4, CostModel::default_1993(), Topology::Uniform, plan);
+        assert!(n.post_send(msg(0, 0), None, 0.0).is_none());
+        assert!(
+            n.post_recv(tag(0), 1, 10.0, 1).is_none(),
+            "lost send never matches"
+        );
+        assert_eq!(n.lost().len(), 1);
+        let dl = &n.lost()[0];
+        assert!(dl.matches(&tag(0), 1));
+        assert!(!dl.matches(&tag(1), 1));
+        assert_eq!(dl.attempts, 3);
+        assert_eq!(n.fault_stats().lost, 1);
+        assert_eq!(n.pending(), (0, 1), "only the receive is left unmatched");
+    }
+
+    #[test]
+    fn sim_fault_replay_is_deterministic() {
+        use xdp_fault::LinkFault;
+        let run = || {
+            let plan = FaultPlan::uniform(
+                99,
+                LinkFault {
+                    drop: 0.3,
+                    dup: 0.3,
+                    reorder: 0.3,
+                    delay_p: 0.3,
+                    delay: 40.0,
+                },
+            );
+            let mut n = SimNet::with_faults(2, CostModel::default_1993(), Topology::Uniform, plan);
+            let mut arrivals = Vec::new();
+            for k in 0..25 {
+                n.post_send(msg(0, 0), None, k as f64);
+            }
+            for k in 0..25 {
+                arrivals.push(n.post_recv(tag(0), 1, 1e6, k).unwrap().arrive_at);
+            }
+            (arrivals, n.fault_stats())
+        };
+        let (a1, s1) = run();
+        let (a2, s2) = run();
+        assert_eq!(a1, a2, "virtual arrival times must replay exactly");
+        assert_eq!(s1, s2);
+        assert!(s1.any_injected());
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub enum TraceKind {
     /// One planned collective/redistribution was scheduled; `detail`
     /// carries strategy + piece count.
     CollectiveRound,
+    /// The delivery layer retransmitted an unacked message (fault
+    /// injection); `detail` carries the tag and attempt number.
+    Retry,
+    /// Fault injection dropped a transmission attempt on the wire.
+    FaultDrop,
+    /// Receiver-side dedup suppressed an injected or crossed duplicate.
+    DupSuppressed,
 }
 
 impl TraceKind {
@@ -51,6 +58,9 @@ impl TraceKind {
             TraceKind::SymtabQuery => "symtab-query",
             TraceKind::KernelInvoke => "kernel-invoke",
             TraceKind::CollectiveRound => "collective-round",
+            TraceKind::Retry => "retry",
+            TraceKind::FaultDrop => "fault-drop",
+            TraceKind::DupSuppressed => "dup-suppressed",
         }
     }
 }

@@ -105,7 +105,10 @@ impl Trace {
                 TraceKind::SectionState
                 | TraceKind::SymtabQuery
                 | TraceKind::KernelInvoke
-                | TraceKind::CollectiveRound => (PROC_PROCESS, "i"),
+                | TraceKind::CollectiveRound
+                | TraceKind::Retry
+                | TraceKind::FaultDrop
+                | TraceKind::DupSuppressed => (PROC_PROCESS, "i"),
                 _ => (PROC_PROCESS, "X"),
             };
             let mut ev = Map::new();

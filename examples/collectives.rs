@@ -64,7 +64,8 @@ fn main() {
             }
         })
         .collect();
-    let (t_sim, stats) = run_sim(bcast, &bounds, &mut data, &model, &Topology::Uniform);
+    let (t_sim, stats) =
+        run_sim(bcast, &bounds, &mut data, &model, &Topology::Uniform).expect("schedule replays");
     assert!(data.iter().all(|v| v[7] == 8.0), "broadcast delivered");
     println!(
         "\nbroadcast simulated: time {t_sim:.1}, {} messages, {} wire bytes\n",

@@ -46,7 +46,8 @@ fn main() {
     }];
 
     // --- naive owner-computes translation (§2.2) -------------------------
-    let naive = xdp_compiler::lower_owner_computes(&seq, &xdp_compiler::FrontendOptions::default());
+    let naive = xdp_compiler::lower_owner_computes(&seq, &xdp_compiler::FrontendOptions::default())
+        .unwrap();
     println!("==== naive owner-computes IL+XDP ====\n");
     println!("{}", xdp_ir::pretty::program(&naive));
 

@@ -13,6 +13,9 @@
 //!   --gather NAME    print the named array's final contents and owners (run)
 //!   --optimize       run the paper pipeline before executing
 //!   --unchecked      disable the checked runtime (run)
+//!   --faults SPEC    inject transport faults and deliver through ack/retry:
+//!                    comma-separated drop=P dup=P reorder=P delayp=P delay=T
+//!                    seed=N rto=T backoff=X retries=N kill=SRC:SEQ
 //!   --out PATH       Chrome trace-event JSON output (trace; default trace.json)
 //!   --jsonl PATH     also write the compact JSONL trace (trace)
 //!   --top N          rows in the critical-path tables (trace; default 10)
@@ -168,7 +171,13 @@ fn cmd_check(program: &Program, _rest: &[String]) -> ExitCode {
 fn cmd_lower(program: &Program, rest: &[String]) -> ExitCode {
     match xdp_compiler::from_program(program) {
         Ok(seq) => {
-            let naive = lower_owner_computes(&seq, &FrontendOptions::default());
+            let naive = match lower_owner_computes(&seq, &FrontendOptions::default()) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("xdpc: frontend: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             outp!("{}", pretty::program(&naive));
             if flag(rest, "--explain") {
                 // Show what the standard pipeline would do to this program:
@@ -585,6 +594,18 @@ fn cmd_place(program: &Program, rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--faults SPEC` shared by `run` and `trace`. A malformed spec is a
+/// usage error (exit 2), not a runtime failure.
+fn parse_faults(rest: &[String]) -> Result<xdp_fault::FaultPlan, ExitCode> {
+    match opt_val(rest, "--faults") {
+        None => Ok(xdp_fault::FaultPlan::none()),
+        Some(spec) => xdp_fault::FaultPlan::parse(spec).map_err(|e| {
+            eprintln!("xdpc: bad --faults spec: {e}");
+            ExitCode::from(2)
+        }),
+    }
+}
+
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
 }
@@ -657,8 +678,12 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let program = maybe_optimize(program, rest);
+    let faults = match parse_faults(rest) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     let (nprocs, cost) = machine_cfg(&program, rest);
-    let mut cfg = SimConfig::new(nprocs).with_cost(cost);
+    let mut cfg = SimConfig::new(nprocs).with_cost(cost).with_faults(faults);
     if flag(rest, "--timeline") {
         cfg = cfg.with_timeline();
     }
@@ -683,6 +708,9 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
         report.net.wire_bytes,
         100.0 * report.efficiency(),
     );
+    if report.faults.any_injected() {
+        out!("faults: {}", report.faults.summary());
+    }
     for (pid, p) in report.procs.iter().enumerate() {
         out!(
             "  p{pid}: finish {:>10.1}  busy {:>10.1}  wait {:>10.1}  sends {:>4}  recvs {:>4}  symtab queries {:>5}",
@@ -720,9 +748,14 @@ fn cmd_trace(program: &Program, rest: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let program = maybe_optimize(program, rest);
+    let faults = match parse_faults(rest) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     let (nprocs, cost) = machine_cfg(&program, rest);
     let cfg = SimConfig::new(nprocs)
         .with_cost(cost)
+        .with_faults(faults)
         .with_trace(TraceConfig::full());
 
     // Statement labels for the per-statement cost ranking.
@@ -771,6 +804,9 @@ fn cmd_trace(program: &Program, rest: &[String]) -> ExitCode {
         report.net.messages,
         report.trace.events.len()
     );
+    if report.faults.any_injected() {
+        out!("faults: {}", report.faults.summary());
+    }
     outp!("{}", cp.render(top));
     out!("wrote {out_path}");
     ExitCode::SUCCESS

@@ -47,7 +47,7 @@
 //! }];
 //!
 //! // Naive owner-computes translation (§2.2), then the paper's passes.
-//! let naive = lower_owner_computes(&seq, &FrontendOptions::default());
+//! let naive = lower_owner_computes(&seq, &FrontendOptions::default()).unwrap();
 //! let (optimized, _log) = PassManager::paper_pipeline().run(&naive);
 //!
 //! // Execute both on the simulated machine; results agree, messages drop.
@@ -75,6 +75,7 @@ pub use xdp_bench as bench;
 pub use xdp_collectives as collectives;
 pub use xdp_compiler as compiler;
 pub use xdp_core as core;
+pub use xdp_fault as fault;
 pub use xdp_ir as ir;
 pub use xdp_lang as lang;
 pub use xdp_machine as machine;
@@ -95,6 +96,7 @@ pub mod prelude {
         ExecReport, Gathered, Kernel, KernelRegistry, RtError, SimConfig, SimExec, ThreadConfig,
         ThreadExec,
     };
+    pub use xdp_fault::{FaultPlan, FaultStats, LinkFault};
     pub use xdp_ir::build;
     pub use xdp_ir::{
         Block, BoolExpr, Decl, DimDist, Distribution, ElemExpr, ElemType, IntExpr, Ownership,

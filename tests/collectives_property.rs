@@ -67,7 +67,7 @@ proptest! {
                     v
                 })
                 .collect();
-            collectives::run_lockstep(&plan.schedule, &bsec, &mut data);
+            collectives::run_lockstep(&plan.schedule, &bsec, &mut data).unwrap();
             for (p, local) in data.iter().enumerate() {
                 for rect in dst.owned_rects(&bounds, p) {
                     for pt in rect.iter() {

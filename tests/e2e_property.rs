@@ -65,7 +65,7 @@ proptest! {
                 rhs: build::val(ai).add(build::val(bi)),
             }],
         }];
-        let naive = lower_owner_computes(&s, &FrontendOptions::default());
+        let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let (opt, _) = PassManager::paper_pipeline().run(&naive);
 
         let (v0, m0) = run(&naive, a, bvar, nprocs, n);
@@ -107,7 +107,7 @@ proptest! {
                 rhs: build::val(ai).add(build::val(bi)),
             }],
         }];
-        let naive = lower_owner_computes(&s, &FrontendOptions::default());
+        let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let mig = xdp_compiler::passes::MigrateOwnership::default()
             .run(&naive)
             .program;
@@ -142,7 +142,7 @@ proptest! {
                 rhs: build::val(ai).mul(build::val(bi)),
             }],
         }];
-        let p = lower_owner_computes(&s, &FrontendOptions::default());
+        let p = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let (vs, _) = run(&p, a, bvar, nprocs, n);
 
         let mut thr = ThreadExec::new(

@@ -64,14 +64,14 @@ fn assert_fixpoint_and_equivalent(p: &Program, a: VarId, b: VarId, nprocs: usize
 #[test]
 fn frontend_output_roundtrips() {
     let (s, a, b) = source(16, 4, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     assert_fixpoint_and_equivalent(&naive, a, b, 4, 16);
 }
 
 #[test]
 fn optimized_output_roundtrips() {
     let (s, a, b) = source(16, 4, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let (opt, _) = PassManager::paper_pipeline().run(&naive);
     assert_fixpoint_and_equivalent(&opt, a, b, 4, 16);
 }
@@ -79,7 +79,7 @@ fn optimized_output_roundtrips() {
 #[test]
 fn bound_output_roundtrips() {
     let (s, a, b) = source(16, 4, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let bound = BindCommunication.run(&naive).program;
     assert_fixpoint_and_equivalent(&bound, a, b, 4, 16);
 }
@@ -87,7 +87,7 @@ fn bound_output_roundtrips() {
 #[test]
 fn migrated_output_roundtrips() {
     let (s, a, b) = source(16, 4, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let mig = MigrateOwnership::default().run(&naive).program;
     assert_fixpoint_and_equivalent(&mig, a, b, 4, 16);
 }

@@ -73,7 +73,7 @@ fn naive_translation_is_correct() {
         (DimDist::Cyclic, DimDist::BlockCyclic(2)),
     ] {
         let (s, a, b) = source(16, 4, ad, bd);
-        let naive = lower_owner_computes(&s, &FrontendOptions::default());
+        let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
         let (g, r) = execute(&naive, a, b, 4);
         check_result(&g, 16);
         assert_eq!(r.net.messages, 16, "naive sends one message per element");
@@ -83,7 +83,7 @@ fn naive_translation_is_correct() {
 #[test]
 fn same_owner_elision_removes_all_messages_when_aligned() {
     let (s, a, b) = source(16, 4, DimDist::Block, DimDist::Block);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let r = ElideSameOwnerComm.run(&naive);
     assert!(r.changed);
     let (g, rep) = execute(&r.program, a, b, 4);
@@ -94,7 +94,7 @@ fn same_owner_elision_removes_all_messages_when_aligned() {
 #[test]
 fn vectorization_preserves_results_and_reduces_messages() {
     let (s, a, b) = source(32, 4, DimDist::Block, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let (g0, r0) = execute(&naive, a, b, 4);
     check_result(&g0, 32);
 
@@ -116,7 +116,7 @@ fn vectorization_preserves_results_and_reduces_messages() {
 #[test]
 fn full_pipeline_preserves_results_and_wins() {
     let (s, a, b) = source(32, 4, DimDist::Block, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let (opt, log) = PassManager::paper_pipeline().run(&naive);
     // At least vectorize + localize must have fired.
     let fired: Vec<&str> = log
@@ -145,7 +145,7 @@ fn migration_strategy_correct_and_amortizes() {
     let n = 16;
     let nprocs = 4;
     let (s, a, b) = source(n, nprocs, DimDist::Block, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let m = MigrateOwnership::default().run(&naive);
     assert!(m.changed);
 
@@ -185,7 +185,7 @@ fn migration_strategy_correct_and_amortizes() {
 #[test]
 fn binding_preserves_results_and_sheds_wire_bytes() {
     let (s, a, b) = source(16, 4, DimDist::Block, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let bound = BindCommunication.run(&naive);
     assert!(bound.changed);
     let (g0, r0) = execute(&naive, a, b, 4);
@@ -204,7 +204,7 @@ fn binding_preserves_results_and_sheds_wire_bytes() {
 #[test]
 fn localization_after_elision_runs_guard_free() {
     let (s, a, b) = source(16, 4, DimDist::Block, DimDist::Block);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let (opt, _) = PassManager::new()
         .add(ElideSameOwnerComm)
         .add(LocalizeBounds)
@@ -228,7 +228,7 @@ fn localization_after_elision_runs_guard_free() {
 #[test]
 fn threaded_backend_agrees_with_simulator_after_optimization() {
     let (s, a, b) = source(24, 3, DimDist::Block, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     let (opt, _) = PassManager::paper_pipeline().run(&naive);
 
     let mut sim = SimExec::new(
@@ -260,7 +260,7 @@ fn every_generated_program_validates_cleanly() {
     // Frontend output, every optimizer output, and every app builder must
     // produce statically well-formed programs.
     let (s, _, _) = source(16, 4, DimDist::Block, DimDist::Cyclic);
-    let naive = lower_owner_computes(&s, &FrontendOptions::default());
+    let naive = lower_owner_computes(&s, &FrontendOptions::default()).unwrap();
     assert!(
         xdp_ir::validate(&naive).is_empty(),
         "{:?}",
