@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: all test bench experiments examples lint doc clean e10 e11
+.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 fuzz
 
 all: test
 
@@ -26,6 +26,8 @@ experiments:
 	    echo "==== $$b ===="; \
 	    cargo run -q --release -p xdp-bench --bin $$b; \
 	done
+	@echo "==== e12_fuzz ===="
+	@cargo run -q --release -p xdp-verify --bin e12_fuzz
 
 # The automatic-placement experiment on its own (EXPERIMENTS.md E10).
 e10:
@@ -34,6 +36,14 @@ e10:
 # The chaos-conformance experiment on its own (EXPERIMENTS.md E11).
 e11:
 	cargo run -q --release -p xdp-bench --bin e11_chaos
+
+# The differential-fuzzing experiment on its own (EXPERIMENTS.md E12).
+e12:
+	cargo run -q --release -p xdp-verify --bin e12_fuzz
+
+# A longer differential fuzz sweep via the CLI (CI runs --count 200).
+fuzz:
+	cargo run -q --release --bin xdpc -- fuzz --count 500 --seed 7
 
 examples:
 	@for e in quickstart fft3d paper_listings load_balance redistribute \

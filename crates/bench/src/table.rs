@@ -158,6 +158,56 @@ mod tests {
         t.row(&[j::i(1)]);
     }
 
+    #[test]
+    fn render_aligns_columns_and_formats_numbers() {
+        let mut t = Table::new("widths", &["name", "n", "time"]);
+        t.row(&[j::s("a"), j::i(7), j::f(1.25)]);
+        t.row(&[j::s("longer"), j::u(1234), j::f(10.0)]);
+        let text = t.render();
+        assert!(text.starts_with("== widths ==\n"), "{text}");
+        // Every row is padded to the same width.
+        let lines: Vec<&str> = text.lines().skip(1).filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(lines[1].len(), lines[0].len(), "{text}");
+        assert_eq!(lines[2].len(), lines[0].len(), "{text}");
+        // Floats print with one decimal, integers without.
+        assert!(lines[1].contains("1.2"), "{text}");
+        assert!(lines[2].contains("10.0"), "{text}");
+        assert!(lines[2].contains("1234"), "{text}");
+        // Right-aligned: the short name is padded on the left.
+        assert!(lines[1].starts_with("     a"), "{text:?}");
+        // Trailing blank line so tables can be concatenated.
+        assert!(text.ends_with("\n\n"), "{text:?}");
+    }
+
+    #[test]
+    fn json_lines_stamp_experiment_row_and_version() {
+        let mut t = Table::new("exp-name", &["k"]);
+        t.row(&[j::i(1)]);
+        t.row(&[j::i(2)]);
+        let lines = t.json_lines();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v.get("experiment").unwrap().as_str(), Some("exp-name"));
+            assert_eq!(v.get("row").unwrap().as_u64(), Some(i as u64));
+            assert_eq!(
+                v.get("xdp_json_version").unwrap().as_u64(),
+                Some(JSON_SCHEMA_VERSION),
+                "{line}"
+            );
+            assert_eq!(v.get("k").unwrap().as_u64(), Some(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn j_helpers_build_the_expected_json_types() {
+        assert_eq!(j::s("x").as_str(), Some("x"));
+        assert_eq!(j::i(-3).as_i64(), Some(-3));
+        assert_eq!(j::u(3).as_u64(), Some(3));
+        assert_eq!(j::f(0.5).as_f64(), Some(0.5));
+    }
+
     // All env cases in one test: the process environment is shared, so
     // splitting these across tests would race under the parallel runner.
     #[test]

@@ -205,13 +205,13 @@ impl Lowerer {
     /// frontend requires reference shapes not to vary with enclosing loop
     /// variables.
     fn ref_volume(&self, r: &SectionRef) -> Result<i64, FrontendError> {
-        use crate::analysis::{concrete_section, Bindings};
+        use crate::analysis::{concrete_section_unbounded, Bindings};
         let probe = |val: i64| {
             let mut env = Bindings::new();
             for v in &self.loop_stack {
                 env.insert(v.clone(), val);
             }
-            concrete_section(&self.out, r, &env).map(|s| {
+            concrete_section_unbounded(&self.out, r, &env).map(|s| {
                 // Shape only: per-dim counts are what matter.
                 s.extents()
             })

@@ -391,3 +391,34 @@ fn fft_pipeline_preset_derives_the_paper_stages() {
     assert_eq!(out.stmt_census().loops, 1, "{text}");
     assert_eq!(out.stmt_census().guards, 0, "{text}");
 }
+
+mod no_panic {
+    //! Totality: the paper pipeline must never panic on a well-formed
+    //! program, arbitrary or executable (the *semantic* pass-equivalence
+    //! oracle lives in `xdp-verify`; this is the cheaper syntactic net).
+
+    use proptest::prelude::*;
+    use xdp_compiler::PassManager;
+    use xdp_verify::gen;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn paper_pipeline_never_panics_on_generated_programs(p in gen::program()) {
+            let (out, _) = PassManager::paper_pipeline().run(&p);
+            // The rewrite must stay well-formed enough to pretty-print.
+            let _ = xdp_ir::pretty::program(&out);
+        }
+    }
+
+    #[test]
+    fn paper_pipeline_never_panics_on_executable_programs() {
+        for seed in 0..40u64 {
+            let tp = gen::executable_program(seed);
+            let (out, _) = PassManager::paper_pipeline().run(&tp.program);
+            let errs = xdp_ir::validate(&out);
+            assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+        }
+    }
+}

@@ -209,6 +209,81 @@ mod tests {
     }
 
     #[test]
+    fn efficiency_of_an_empty_run_is_one() {
+        let r = ExecReport {
+            nprocs: 4,
+            virtual_time: 0.0,
+            procs: vec![ProcReport::default(); 4],
+            net: NetStats::new(4),
+            trace: Trace::new(4),
+            faults: FaultStats::default(),
+        };
+        assert_eq!(r.efficiency(), 1.0);
+        assert_eq!(r.gantt(40), "(no trace recorded)\n");
+    }
+
+    #[test]
+    fn gathered_lookup_dense_and_owners() {
+        let mut g = Gathered::default();
+        g.values.insert(vec![1], (0, Value::F64(10.0)));
+        g.values.insert(vec![2], (1, Value::F64(20.0)));
+        assert_eq!(g.get(&[1]), Some(Value::F64(10.0)));
+        assert_eq!(g.owner(&[2]), Some(1));
+        assert_eq!(g.get(&[3]), None);
+        let sec = Section::new(vec![xdp_ir::Triplet::range(1, 3)]);
+        assert_eq!(
+            g.dense(&sec),
+            vec![Some(Value::F64(10.0)), Some(Value::F64(20.0)), None]
+        );
+        assert_eq!(g.owners(&sec), vec![Some(0), Some(1), None]);
+        let small = Section::new(vec![xdp_ir::Triplet::range(1, 2)]);
+        g.assert_close_f64(&small, &[10.0, 20.0], 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unowned")]
+    fn assert_close_panics_on_unowned_elements() {
+        let g = Gathered::default();
+        let sec = Section::new(vec![xdp_ir::Triplet::range(1, 1)]);
+        g.assert_close_f64(&sec, &[1.0], 1e-12);
+    }
+
+    #[test]
+    fn fault_events_map_to_trace_instants() {
+        let ev = |kind| FaultEvent {
+            t: 5.0,
+            kind,
+            src: 2,
+            seq: 1,
+            tag: "A@[1:1]".into(),
+        };
+        let events = vec![
+            ev(FaultEventKind::Retry { attempt: 3 }),
+            ev(FaultEventKind::DropInjected),
+            ev(FaultEventKind::Lost { attempts: 7 }),
+            ev(FaultEventKind::DupSuppressed),
+            ev(FaultEventKind::DupInjected), // invisible: suppression is the event
+        ];
+        let out = fault_trace_events(&events);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].kind, TraceKind::Retry);
+        assert!(out[0].detail.as_deref().unwrap().contains("attempt 3"));
+        assert_eq!(out[1].kind, TraceKind::FaultDrop);
+        assert_eq!(out[2].kind, TraceKind::FaultDrop);
+        assert!(out[2]
+            .detail
+            .as_deref()
+            .unwrap()
+            .contains("after 7 attempts"));
+        assert_eq!(out[3].kind, TraceKind::DupSuppressed);
+        for e in &out {
+            assert_eq!(e.pid, 2);
+            assert_eq!(e.src, Some(2));
+            assert_eq!(e.t0, 5.0);
+        }
+    }
+
+    #[test]
     fn gantt_renders() {
         let mut trace = Trace::new(1);
         trace.end = 10.0;

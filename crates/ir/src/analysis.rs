@@ -42,12 +42,36 @@ pub fn eval_static(e: &IntExpr, env: &Bindings) -> Option<i64> {
 }
 
 /// Resolve a section reference to concrete bounds under `env`. `None` if
-/// any subscript is not compile-time constant.
+/// any subscript is not compile-time constant, if the reference's rank
+/// does not match the declaration, or if the section reaches outside the
+/// declared bounds — an out-of-bounds reference has no meaningful
+/// compile-time placement, so analyses must bail rather than reason from
+/// a nonsensical owner.
 pub fn concrete_section(p: &Program, r: &SectionRef, env: &Bindings) -> Option<Section> {
+    resolve_section(p, r, env, true)
+}
+
+/// Like [`concrete_section`] but without the containment requirement:
+/// the section may reach outside the declared bounds. For shape probes
+/// (e.g. the frontend's loop-invariance check) where only the extents
+/// matter and the binding values are synthetic.
+pub fn concrete_section_unbounded(p: &Program, r: &SectionRef, env: &Bindings) -> Option<Section> {
+    resolve_section(p, r, env, false)
+}
+
+fn resolve_section(
+    p: &Program,
+    r: &SectionRef,
+    env: &Bindings,
+    check_bounds: bool,
+) -> Option<Section> {
     let decl = p.decl(r.var);
+    if r.subs.len() != decl.bounds.len() {
+        return None;
+    }
     let mut dims = Vec::with_capacity(r.subs.len());
     for (d, s) in r.subs.iter().enumerate() {
-        dims.push(match s {
+        let t = match s {
             Subscript::Point(e) => Triplet::point(eval_static(e, env)?),
             Subscript::All => decl.bounds[d],
             Subscript::Range(t) => Triplet::new(
@@ -55,7 +79,15 @@ pub fn concrete_section(p: &Program, r: &SectionRef, env: &Bindings) -> Option<S
                 eval_static(&t.ub, env)?,
                 eval_static(&t.st, env)?,
             ),
-        });
+        };
+        if t.st <= 0 {
+            return None;
+        }
+        let bound = decl.bounds[d];
+        if check_bounds && t.lb <= t.ub && (t.lb < bound.lb || t.ub > bound.ub) {
+            return None;
+        }
+        dims.push(t);
     }
     Some(Section::new(dims))
 }

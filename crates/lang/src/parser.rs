@@ -250,7 +250,21 @@ impl Parser {
             return self.err("expected `onto` after distribution dims");
         }
         let grid = self.grid()?;
+        self.check_dist_grid(&dims, &grid)?;
         Ok(Distribution::new(dims, grid))
+    }
+
+    /// Pre-validate the invariants [`Distribution::new`] asserts, so
+    /// malformed source surfaces as a parse error rather than a panic.
+    fn check_dist_grid(&self, dims: &[DimDist], grid: &ProcGrid) -> PResult<()> {
+        let ndist = dims.iter().filter(|d| d.is_distributed()).count();
+        if !(ndist == grid.rank() || (ndist == 0 && grid.rank() == 1)) {
+            return self.err(format!(
+                "distribution has {ndist} distributed dims but grid {grid} has rank {}",
+                grid.rank()
+            ));
+        }
+        Ok(())
     }
 
     /// `align (BLOCK) onto 4 bounds [1:16] map (d0+1,*)` — ownership
@@ -315,11 +329,31 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RParen)?;
-        Ok(Distribution::aligned_map(
-            Distribution::new(dims, grid),
-            bounds,
-            map,
-        ))
+        self.check_dist_grid(&dims, &grid)?;
+        let base = Distribution::new(dims, grid);
+        if bounds.len() != base.rank() {
+            return self.err(format!(
+                "align clause has {} bounds but the base distribution has rank {}",
+                bounds.len(),
+                base.rank()
+            ));
+        }
+        for &(bd, _) in map.iter().flatten() {
+            if bd >= base.rank() {
+                return self.err(format!(
+                    "align map refers to base dim d{bd} but the base has rank {}",
+                    base.rank()
+                ));
+            }
+        }
+        for (bd, dd) in base.dims().iter().enumerate() {
+            if dd.is_distributed() && !map.iter().flatten().any(|&(d, _)| d == bd) {
+                return self.err(format!(
+                    "distributed base dim {bd} is not mapped in the align clause"
+                ));
+            }
+        }
+        Ok(Distribution::aligned_map(base, bounds, map))
     }
 
     fn dim_dist(&mut self) -> PResult<DimDist> {
@@ -333,6 +367,9 @@ impl Parser {
                 if self.eat(&TokenKind::LParen) {
                     let b = self.int_lit()?;
                     self.expect(&TokenKind::RParen)?;
+                    if b < 1 {
+                        return self.err(format!("CYCLIC({b}) block size must be >= 1"));
+                    }
                     Ok(DimDist::BlockCyclic(b))
                 } else {
                     Ok(DimDist::Cyclic)
@@ -346,6 +383,9 @@ impl Parser {
     /// digits during lexing, so split identifiers like `x2x4`).
     fn grid(&mut self) -> PResult<ProcGrid> {
         let first = self.int_lit()?;
+        if first < 1 {
+            return self.err(format!("grid extent {first} must be >= 1"));
+        }
         let mut dims = vec![first as usize];
         if let TokenKind::Ident(s) = self.peek().clone() {
             if s.starts_with('x') {
@@ -357,6 +397,9 @@ impl Parser {
                     }
                 }
             }
+        }
+        if let Some(bad) = dims.iter().find(|&&e| e < 1) {
+            return self.err(format!("grid extent {bad} must be >= 1"));
         }
         Ok(ProcGrid::new(dims))
     }
@@ -387,6 +430,13 @@ impl Parser {
                 return self.err(format!("redistribute of undeclared array `{name}`"));
             };
             let dist = self.distribution()?;
+            let rank = self.program.decl(var).bounds.len();
+            if dist.rank() != rank {
+                return self.err(format!(
+                    "redistribute of `{name}`: array has rank {rank} but distribution has rank {}",
+                    dist.rank()
+                ));
+            }
             self.end_of_stmt()?;
             return Ok(Stmt::Redistribute { var, dist });
         }
@@ -1073,6 +1123,40 @@ do k = 1, 4 {
         );
         let e3 = parse_program("real A distribute (BLOCK) onto\n").unwrap_err();
         assert!(e3.line == 1, "{e3}");
+    }
+
+    #[test]
+    fn malformed_distributions_err_instead_of_panicking() {
+        // Distributed-dims vs grid-rank mismatch.
+        let e = parse_program("real A[1:4,1:4] distribute (BLOCK,BLOCK) onto 4\n").unwrap_err();
+        assert!(e.message.contains("distributed dims"), "{e}");
+        // Zero block size.
+        let e = parse_program("real A[1:4] distribute (CYCLIC(0)) onto 2\n").unwrap_err();
+        assert!(e.message.contains("block size"), "{e}");
+        // Zero grid extent.
+        let e = parse_program("real A[1:4] distribute (BLOCK) onto 0\n").unwrap_err();
+        assert!(e.message.contains("grid extent"), "{e}");
+        // Align clause: bounds arity mismatch.
+        let e = parse_program(
+            "real A[1:4] distribute align (BLOCK) onto 2 bounds [1:4,1:4] map (d0)\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("bounds"), "{e}");
+        // Align clause: out-of-range base dim.
+        let e =
+            parse_program("real A[1:4] distribute align (BLOCK) onto 2 bounds [1:4] map (d3)\n")
+                .unwrap_err();
+        assert!(e.message.contains("d3"), "{e}");
+        // Align clause: distributed base dim left unmapped.
+        let e = parse_program("real A[1:4] distribute align (BLOCK) onto 2 bounds [1:4] map (*)\n")
+            .unwrap_err();
+        assert!(e.message.contains("not mapped"), "{e}");
+        // Redistribute rank mismatch against the declared array.
+        let e = parse_program(
+            "real A[1:4] distribute (BLOCK) onto 2\nredistribute A (BLOCK,BLOCK) onto 2x2\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("rank"), "{e}");
     }
 
     #[test]

@@ -1,164 +1,88 @@
 //! Property test: randomly generated well-formed programs survive
 //! pretty-print -> parse -> pretty-print as a text fixpoint.
+//!
+//! The program strategies live in `xdp_verify::gen` so every crate
+//! property-tests against the same shapes; this file keeps the
+//! language-level oracle (the fixpoint) plus named regression tests for
+//! cases proptest found historically (the same programs live as `.xdp`
+//! seed corpus files under `crates/verify/corpus/`).
 
 use proptest::prelude::*;
 use xdp_ir::build as b;
-use xdp_ir::{
-    pretty, BoolExpr, CmpOp, DestSet, DimDist, ElemExpr, ElemType, IntExpr, ProcGrid, Program,
-    SectionRef, Stmt, Subscript, TransferKind, VarId,
-};
+use xdp_ir::{pretty, DimDist, ElemExpr, ElemType, ProcGrid, Program, VarId};
+use xdp_verify::gen;
 
-const NPROCS: usize = 4;
-const NVARS: u32 = 3;
-const N: i64 = 12;
-
-fn int_expr(depth: u32) -> BoxedStrategy<IntExpr> {
-    let leaf = prop_oneof![
-        (1i64..N).prop_map(IntExpr::Const),
-        Just(IntExpr::MyPid),
-        Just(IntExpr::Var("i".into())),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
-    }
-    let sub = int_expr(depth - 1);
-    prop_oneof![
-        4 => leaf,
-        1 => (sub.clone(), sub.clone()).prop_map(|(a, b2)| a.add(b2)),
-        1 => (sub.clone(), sub).prop_map(|(a, b2)| a.mul(b2)),
-    ]
-    .boxed()
-}
-
-fn subscript() -> BoxedStrategy<Subscript> {
-    prop_oneof![
-        2 => int_expr(1).prop_map(Subscript::Point),
-        1 => Just(Subscript::All),
-        1 => (1i64..N / 2, 1i64..N, 1i64..3).prop_map(|(lo, hi, st)| {
-            b::span_st(b::c(lo), b::c(lo + hi % (N - lo)), b::c(st))
-        }),
-    ]
-    .boxed()
-}
-
-fn section_ref() -> BoxedStrategy<SectionRef> {
-    (0..NVARS, subscript())
-        .prop_map(|(v, s)| SectionRef::new(VarId(v), vec![s]))
-        .boxed()
-}
-
-fn bool_expr(depth: u32) -> BoxedStrategy<BoolExpr> {
-    let leaf = prop_oneof![
-        section_ref().prop_map(BoolExpr::Iown),
-        section_ref().prop_map(BoolExpr::Accessible),
-        section_ref().prop_map(BoolExpr::Await),
-        (int_expr(1), int_expr(1)).prop_map(|(a, b2)| BoolExpr::Cmp(CmpOp::Le, a, b2)),
-        (int_expr(1), int_expr(1)).prop_map(|(a, b2)| BoolExpr::Cmp(CmpOp::Eq, a, b2)),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
-    }
-    let sub = bool_expr(depth - 1);
-    prop_oneof![
-        3 => leaf,
-        1 => (sub.clone(), sub.clone()).prop_map(|(a, b2)| a.and(b2)),
-        1 => sub.prop_map(|a| BoolExpr::Not(Box::new(a))),
-    ]
-    .boxed()
-}
-
-fn elem_expr(depth: u32) -> BoxedStrategy<ElemExpr> {
-    let leaf = prop_oneof![
-        section_ref().prop_map(ElemExpr::Ref),
-        (0i64..100).prop_map(|v| ElemExpr::LitF(v as f64 / 4.0)),
-        (0i64..100).prop_map(ElemExpr::LitI),
-        int_expr(1).prop_map(ElemExpr::FromInt),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
-    }
-    let sub = elem_expr(depth - 1);
-    prop_oneof![
-        3 => leaf,
-        1 => (sub.clone(), sub).prop_map(|(a, b2)| a.add(b2)),
-    ]
-    .boxed()
-}
-
-fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let leaf = prop_oneof![
-        (section_ref(), elem_expr(1)).prop_map(|(t, r)| b::assign(t, r)),
-        section_ref().prop_map(b::send),
-        section_ref().prop_map(b::send_own),
-        section_ref().prop_map(b::send_own_val),
-        (section_ref(), int_expr(1)).prop_map(|(s, e)| b::send_salted(s, e)),
-        (section_ref(), 0i64..NPROCS as i64).prop_map(|(s, q)| Stmt::Send {
-            sec: s,
-            kind: TransferKind::Value,
-            dest: DestSet::Pids(vec![IntExpr::Const(q)]),
-            salt: None,
-        }),
-        (section_ref(), section_ref()).prop_map(|(t, n)| b::recv_val(t, n)),
-        section_ref().prop_map(b::recv_own),
-        section_ref().prop_map(b::recv_own_val),
-        section_ref().prop_map(|s| b::kernel("fft1d", vec![s])),
-        Just(Stmt::Barrier),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
-    }
-    let sub = stmt(depth - 1);
-    prop_oneof![
-        4 => leaf,
-        1 => (bool_expr(1), prop::collection::vec(sub.clone(), 1..3))
-            .prop_map(|(rule, body)| b::guarded(rule, body)),
-        1 => (int_expr(0), prop::collection::vec(sub, 1..3))
-            .prop_map(|(hi, body)| b::do_loop("i", b::c(1), hi, body)),
-    ]
-    .boxed()
-}
-
-fn program() -> BoxedStrategy<Program> {
-    prop::collection::vec(stmt(2), 1..6)
-        .prop_map(|body| {
-            let mut p = Program::new();
-            let grid = ProcGrid::linear(NPROCS);
-            p.declare(b::array(
-                "A",
-                ElemType::F64,
-                vec![(1, N)],
-                vec![DimDist::Block],
-                grid.clone(),
-            ));
-            p.declare(b::array(
-                "B",
-                ElemType::C64,
-                vec![(1, N)],
-                vec![DimDist::Cyclic],
-                grid.clone(),
-            ));
-            p.declare(b::array(
-                "C",
-                ElemType::I64,
-                vec![(1, N)],
-                vec![DimDist::BlockCyclic(2)],
-                grid,
-            ));
-            p.body = body;
-            p
-        })
-        .boxed()
+fn assert_fixpoint(p: &Program) {
+    let text1 = pretty::program(p);
+    let reparsed = xdp_lang::parse_program(&text1)
+        .unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{text1}"));
+    let text2 = pretty::program(&reparsed);
+    assert_eq!(text1, text2);
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn pretty_parse_fixpoint(p in program()) {
-        let text1 = pretty::program(&p);
-        let reparsed = xdp_lang::parse_program(&text1)
-            .unwrap_or_else(|e| panic!("parse failed: {e}\n---\n{text1}"));
-        let text2 = pretty::program(&reparsed);
-        prop_assert_eq!(text1, text2);
+    fn pretty_parse_fixpoint(p in gen::program()) {
+        assert_fixpoint(&p);
+    }
+}
+
+/// Found by proptest 2026-07: two nested `do i` loops shadowing the same
+/// loop variable around a self-referencing assignment. The inner loop
+/// header used to re-declare `i` in a way the parser round-tripped with
+/// different spacing.
+#[test]
+fn regression_nested_shadowed_do_loop() {
+    let mut p = Program::new();
+    let grid = ProcGrid::linear(4);
+    let a = p.declare(b::array(
+        "A",
+        ElemType::F64,
+        vec![(1, 12)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    p.declare(b::array(
+        "B",
+        ElemType::C64,
+        vec![(1, 12)],
+        vec![DimDist::Cyclic],
+        grid.clone(),
+    ));
+    p.declare(b::array(
+        "C",
+        ElemType::I64,
+        vec![(1, 12)],
+        vec![DimDist::BlockCyclic(2)],
+        grid,
+    ));
+    let a1 = b::sref(a, vec![b::at(b::c(1))]);
+    p.body = vec![b::do_loop(
+        "i",
+        b::c(1),
+        b::c(1),
+        vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(1),
+            vec![b::assign(
+                a1.clone(),
+                ElemExpr::FromInt(b::mypid()).add(b::val(a1)),
+            )],
+        )],
+    )];
+    assert_eq!(a, VarId(0));
+    assert_fixpoint(&p);
+}
+
+/// The executable generator's output must also be in-language, not just
+/// IR-validatable (a handful of seeds; the exhaustive sweep lives in
+/// `xdp-verify`'s own tests).
+#[test]
+fn executable_programs_are_in_language() {
+    for seed in [7u64, 8, 9] {
+        assert_fixpoint(&gen::executable_program(seed).program);
     }
 }

@@ -1,0 +1,78 @@
+//! Dev utility: regenerate the seed corpus under `corpus/`.
+//!
+//! ```text
+//! cargo run -p xdp-verify --example emit_corpus
+//! ```
+
+use xdp_ir::build as b;
+use xdp_ir::{pretty, DimDist, ElemExpr, ElemType, ProcGrid, Program};
+use xdp_verify::gen::executable_program;
+
+fn regression_nested_shadowed_do_loop() -> Program {
+    let mut p = Program::new();
+    let grid = ProcGrid::linear(4);
+    let a = p.declare(b::array(
+        "A",
+        ElemType::F64,
+        vec![(1, 12)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    p.declare(b::array(
+        "B",
+        ElemType::C64,
+        vec![(1, 12)],
+        vec![DimDist::Cyclic],
+        grid.clone(),
+    ));
+    p.declare(b::array(
+        "C",
+        ElemType::I64,
+        vec![(1, 12)],
+        vec![DimDist::BlockCyclic(2)],
+        grid,
+    ));
+    let a1 = b::sref(a, vec![b::at(b::c(1))]);
+    p.body = vec![b::do_loop(
+        "i",
+        b::c(1),
+        b::c(1),
+        vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(1),
+            vec![b::assign(
+                a1.clone(),
+                ElemExpr::FromInt(b::mypid()).add(b::val(a1)),
+            )],
+        )],
+    )];
+    p
+}
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    std::fs::create_dir_all(dir).unwrap();
+    let write = |name: &str, header: &str, p: &Program| {
+        let text = format!("// {header}\n{}", pretty::program(p));
+        std::fs::write(format!("{dir}/{name}.xdp"), text).unwrap();
+        println!("wrote {dir}/{name}.xdp");
+    };
+    write(
+        "nested-shadowed-do-loop",
+        "proptest regression (2026-07): nested do-loops shadowing `i` \
+         around a self-referencing assignment",
+        &regression_nested_shadowed_do_loop(),
+    );
+    for seed in [7u64, 19, 42] {
+        let tp = executable_program(seed);
+        write(
+            &format!("executable-seed-{seed}"),
+            &format!(
+                "xdp-verify executable generator, seed={seed} nprocs={}",
+                tp.nprocs
+            ),
+            &tp.program,
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! The differential driver.
+//!
+//! For one generated [`TestProgram`] this module runs:
+//!
+//! 1. **Executor conformance** — [`Lockstep`] and [`xdp_core::ThreadExec`]
+//!    against the [`xdp_core::SimExec`] baseline on the unoptimized
+//!    program: full memory image, movement multiset, and message count
+//!    must agree (plus the section-state digest for the two deterministic
+//!    backends).
+//! 2. **Per-pass equivalence** — every *prefix* of the default pass
+//!    pipeline, so the first pass that changes observable memory is named
+//!    as the culprit.
+//! 3. **Chaos conformance** — the same program under a lossy
+//!    [`FaultPlan`]: the delivery layer must reconstruct exactly the
+//!    lossless memory image and message count.
+//!
+//! Executor/pass panics are caught and reported as divergences rather
+//! than aborting a fuzz run.
+
+use crate::fingerprint::{diff_lines, Fingerprint};
+use crate::gen::TestProgram;
+use crate::lockstep::{Lockstep, LockstepConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+use xdp_compiler::passes::{
+    BindCommunication, ElideAccessibleChecks, ElideSameOwnerComm, LocalizeBounds, VectorizeMessages,
+};
+use xdp_compiler::Pass;
+use xdp_core::{KernelRegistry, SimConfig, SimExec, ThreadConfig, ThreadExec, TraceConfig};
+use xdp_fault::{FaultPlan, LinkFault};
+use xdp_ir::{Program, VarId};
+use xdp_runtime::Value;
+
+/// A detected disagreement. `key()` identifies the *kind* of failure so
+/// the shrinker can hold it fixed while deleting everything else.
+#[derive(Clone, Debug)]
+pub enum Divergence {
+    /// A run or a pass failed (error or panic) where the baseline
+    /// succeeded.
+    RunError { stage: String, detail: String },
+    /// Two executors disagree on the same program.
+    ExecutorMismatch { backend: String, detail: String },
+    /// A pass-pipeline prefix changed observable memory.
+    PassMismatch { pass: String, detail: String },
+    /// The faulty run disagrees with the lossless run.
+    ChaosMismatch { detail: String },
+}
+
+impl Divergence {
+    /// Stable identity: failure category plus the responsible stage.
+    pub fn key(&self) -> String {
+        match self {
+            Divergence::RunError { stage, .. } => format!("run-error:{stage}"),
+            Divergence::ExecutorMismatch { backend, .. } => format!("executor:{backend}"),
+            Divergence::PassMismatch { pass, .. } => format!("pass:{pass}"),
+            Divergence::ChaosMismatch { .. } => "chaos".to_string(),
+        }
+    }
+
+    pub fn detail(&self) -> &str {
+        match self {
+            Divergence::RunError { detail, .. }
+            | Divergence::ExecutorMismatch { detail, .. }
+            | Divergence::PassMismatch { detail, .. }
+            | Divergence::ChaosMismatch { detail } => detail,
+        }
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.key(), self.detail())
+    }
+}
+
+/// What [`check_with`] checks.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Run the threaded executor (real OS threads).
+    pub thread: bool,
+    /// Run the chaos (fault-injected) conformance check.
+    pub chaos: bool,
+    /// Fault plan for the chaos check; `None` derives a uniform lossy
+    /// plan from the program seed.
+    pub faults: Option<FaultPlan>,
+    /// Check every prefix of the default pass pipeline.
+    pub passes: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            thread: true,
+            chaos: true,
+            faults: None,
+            passes: true,
+        }
+    }
+}
+
+/// The default optimization pipeline, pass by pass (mirrors
+/// `PassManager::paper_pipeline`, which keeps its pass list private).
+pub fn default_passes() -> Vec<(&'static str, Box<dyn Pass>)> {
+    vec![
+        ("elide-same-owner-comm", Box::new(ElideSameOwnerComm)),
+        ("vectorize-messages", Box::new(VectorizeMessages)),
+        ("localize-bounds", Box::new(LocalizeBounds)),
+        ("bind-communication", Box::new(BindCommunication)),
+        ("elide-accessible-checks", Box::new(ElideAccessibleChecks)),
+    ]
+}
+
+/// The uniform lossy plan the chaos check uses when none is supplied.
+pub fn default_chaos_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::uniform(
+        seed.wrapping_add(1),
+        LinkFault {
+            drop: 0.1,
+            dup: 0.1,
+            reorder: 0.2,
+            delay_p: 0.2,
+            delay: 200.0,
+        },
+    );
+    plan.rto = 400.0;
+    plan
+}
+
+/// One backend's outcome, or a String describing the failure (errors and
+/// panics alike).
+type RunResult = Result<Fingerprint, String>;
+
+fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Deterministic initial value for declaration ordinal `o` at `idx`.
+/// Integer-valued, so every downstream dyadic computation is exact, and
+/// index-dependent, so permuted elements are detected.
+fn init_value(o: usize, idx: &[i64]) -> Value {
+    let mut v = (o as i64 + 1) * 1000;
+    for (k, x) in idx.iter().enumerate() {
+        v += x * (k as i64 + 1);
+    }
+    Value::F64(v as f64)
+}
+
+fn decl_list(p: &Program) -> Vec<(usize, String, VarId)> {
+    p.decls
+        .iter()
+        .enumerate()
+        .map(|(o, d)| (o, d.name.clone(), VarId(o as u32)))
+        .collect()
+}
+
+/// Run under the virtual-time simulator.
+pub fn run_sim(p: &Arc<Program>, nprocs: usize, faults: Option<&FaultPlan>) -> RunResult {
+    let p = p.clone();
+    let faults = faults.cloned();
+    catch_unwind(AssertUnwindSafe(move || {
+        let mut cfg = SimConfig::new(nprocs).with_trace(TraceConfig::full());
+        if let Some(plan) = faults {
+            cfg = cfg.with_faults(plan);
+        }
+        let decls = decl_list(&p);
+        let mut exec = SimExec::new(p, KernelRegistry::standard(), cfg);
+        for (o, _, var) in &decls {
+            let o = *o;
+            exec.init_exclusive(*var, move |idx| init_value(o, idx));
+        }
+        let report = exec.run().map_err(|e| e.to_string())?;
+        let mut fp = Fingerprint::default();
+        for (_, name, var) in &decls {
+            fp.record_memory(name, &exec.gather(*var));
+        }
+        fp.record_trace(&report.trace);
+        fp.messages = report.net.messages;
+        Ok(fp)
+    }))
+    .unwrap_or_else(|e| Err(panic_text(e)))
+}
+
+/// Run under the lockstep executor.
+pub fn run_lockstep(p: &Arc<Program>, nprocs: usize) -> RunResult {
+    let p = p.clone();
+    catch_unwind(AssertUnwindSafe(move || {
+        let decls = decl_list(&p);
+        let mut exec = Lockstep::new(p, KernelRegistry::standard(), LockstepConfig::new(nprocs));
+        for (o, _, var) in &decls {
+            let o = *o;
+            exec.init_exclusive(*var, move |idx| init_value(o, idx));
+        }
+        let report = exec.run().map_err(|e| e.to_string())?;
+        let mut fp = Fingerprint::default();
+        for (_, name, var) in &decls {
+            fp.record_memory(name, &exec.gather(*var));
+        }
+        fp.record_trace(&report.trace);
+        fp.messages = report.messages;
+        Ok(fp)
+    }))
+    .unwrap_or_else(|e| Err(panic_text(e)))
+}
+
+/// Run under the threaded executor (short deadlock timeout: divergent
+/// shrink candidates must fail fast).
+pub fn run_thread(p: &Arc<Program>, nprocs: usize) -> RunResult {
+    let p = p.clone();
+    catch_unwind(AssertUnwindSafe(move || {
+        let decls = decl_list(&p);
+        let cfg = ThreadConfig {
+            recv_timeout: Duration::from_secs(2),
+            ..ThreadConfig::new(nprocs)
+        }
+        .with_trace(TraceConfig::full());
+        let mut exec = ThreadExec::new(p, KernelRegistry::standard(), cfg);
+        for (o, _, var) in &decls {
+            let o = *o;
+            exec.init_exclusive(*var, move |idx| init_value(o, idx));
+        }
+        let report = exec.run().map_err(|e| e.to_string())?;
+        let mut fp = Fingerprint::default();
+        for (_, name, var) in &decls {
+            fp.record_memory(name, &exec.gather(*var));
+        }
+        fp.record_trace(&report.trace);
+        fp.messages = report.net.messages;
+        Ok(fp)
+    }))
+    .unwrap_or_else(|e| Err(panic_text(e)))
+}
+
+/// Full differential check with the default configuration.
+pub fn check_program(tp: &TestProgram) -> Option<Divergence> {
+    check_with(tp, &CheckConfig::default())
+}
+
+/// Full differential check.
+pub fn check_with(tp: &TestProgram, cfg: &CheckConfig) -> Option<Divergence> {
+    let prog = Arc::new(tp.program.clone());
+
+    // Baseline: the unoptimized program under the simulator.
+    let base = match run_sim(&prog, tp.nprocs, None) {
+        Ok(fp) => fp,
+        Err(e) => {
+            return Some(Divergence::RunError {
+                stage: "sim".into(),
+                detail: e,
+            })
+        }
+    };
+
+    // Executor conformance: lockstep (memory + movement + states).
+    match run_lockstep(&prog, tp.nprocs) {
+        Ok(fp) => {
+            if let Some(d) = conform(&base, &fp, true) {
+                return Some(Divergence::ExecutorMismatch {
+                    backend: "lockstep".into(),
+                    detail: d,
+                });
+            }
+        }
+        Err(e) => {
+            return Some(Divergence::RunError {
+                stage: "lockstep".into(),
+                detail: e,
+            })
+        }
+    }
+
+    // Executor conformance: threads (memory + movement; wall-clock
+    // recording order makes the state digest its own, weaker check).
+    if cfg.thread {
+        match run_thread(&prog, tp.nprocs) {
+            Ok(fp) => {
+                if let Some(d) = conform(&base, &fp, false) {
+                    return Some(Divergence::ExecutorMismatch {
+                        backend: "thread".into(),
+                        detail: d,
+                    });
+                }
+            }
+            Err(e) => {
+                return Some(Divergence::RunError {
+                    stage: "thread".into(),
+                    detail: e,
+                })
+            }
+        }
+    }
+
+    // Per-pass-prefix equivalence over the observable arrays.
+    if cfg.passes {
+        if let Some(d) = check_passes(tp, &default_passes(), &base) {
+            return Some(d);
+        }
+    }
+
+    // Chaos conformance.
+    if cfg.chaos {
+        let plan = cfg
+            .faults
+            .clone()
+            .unwrap_or_else(|| default_chaos_plan(tp.seed));
+        if let Some(d) = check_chaos(tp, &base, &plan) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// Conformance of `other` to the baseline `base` for the same program.
+fn conform(base: &Fingerprint, other: &Fingerprint, states: bool) -> Option<String> {
+    if let Some(d) = diff_lines("memory", &base.memory_all(), &other.memory_all()) {
+        return Some(d);
+    }
+    if let Some(d) = diff_lines("movement", &base.movement, &other.movement) {
+        return Some(d);
+    }
+    if states {
+        if let Some(d) = diff_lines("states", &base.states, &other.states) {
+            return Some(d);
+        }
+    }
+    if base.messages != other.messages {
+        return Some(format!("messages: {} vs {}", base.messages, other.messages));
+    }
+    None
+}
+
+/// Check every prefix of `passes` against the unoptimized baseline
+/// (`base` must be the baseline fingerprint of `tp.program`). Observable
+/// memory only: optimizations legitimately change movement and scratch.
+pub fn check_passes(
+    tp: &TestProgram,
+    passes: &[(&'static str, Box<dyn Pass>)],
+    base: &Fingerprint,
+) -> Option<Divergence> {
+    let base_mem = base.memory_of(&tp.observable);
+    let mut cur = tp.program.clone();
+    for (name, pass) in passes {
+        let out = catch_unwind(AssertUnwindSafe(|| pass.run(&cur).program));
+        cur = match out {
+            Ok(p) => p,
+            Err(e) => {
+                return Some(Divergence::PassMismatch {
+                    pass: name.to_string(),
+                    detail: panic_text(e),
+                })
+            }
+        };
+        let fp = match run_sim(&Arc::new(cur.clone()), tp.nprocs, None) {
+            Ok(fp) => fp,
+            Err(e) => {
+                return Some(Divergence::PassMismatch {
+                    pass: name.to_string(),
+                    detail: format!("run after prefix failed: {e}"),
+                })
+            }
+        };
+        if let Some(d) = diff_lines(
+            "observable memory",
+            &base_mem,
+            &fp.memory_of(&tp.observable),
+        ) {
+            return Some(Divergence::PassMismatch {
+                pass: name.to_string(),
+                detail: d,
+            });
+        }
+    }
+    None
+}
+
+/// Baseline-only convenience used by pass-bug hunts (no thread/chaos):
+/// runs the simulator baseline, then the pass prefixes.
+pub fn check_passes_only(
+    tp: &TestProgram,
+    passes: &[(&'static str, Box<dyn Pass>)],
+) -> Option<Divergence> {
+    let base = match run_sim(&Arc::new(tp.program.clone()), tp.nprocs, None) {
+        Ok(fp) => fp,
+        Err(e) => {
+            return Some(Divergence::RunError {
+                stage: "sim".into(),
+                detail: e,
+            })
+        }
+    };
+    check_passes(tp, passes, &base)
+}
+
+/// The faulty run must reconstruct the lossless memory image and message
+/// count. A `MessageLost` diagnosis is only acceptable when the plan
+/// itself contains permanent kills.
+pub fn check_chaos(tp: &TestProgram, base: &Fingerprint, plan: &FaultPlan) -> Option<Divergence> {
+    match run_sim(&Arc::new(tp.program.clone()), tp.nprocs, Some(plan)) {
+        Ok(fp) => {
+            if let Some(d) = diff_lines("memory", &base.memory_all(), &fp.memory_all()) {
+                return Some(Divergence::ChaosMismatch { detail: d });
+            }
+            if base.messages != fp.messages {
+                return Some(Divergence::ChaosMismatch {
+                    detail: format!(
+                        "messages: {} lossless vs {} faulty (dedup must not double-count)",
+                        base.messages, fp.messages
+                    ),
+                });
+            }
+            None
+        }
+        Err(e) => {
+            if !plan.kill.is_empty() && e.contains("permanently lost") {
+                // An injected permanent kill was correctly diagnosed.
+                return None;
+            }
+            Some(Divergence::ChaosMismatch {
+                detail: format!("faulty run failed: {e}"),
+            })
+        }
+    }
+}
+
+/// Re-run only the stage a divergence key implicates (the shrinker calls
+/// this hundreds of times; skipping unrelated stages keeps it fast).
+pub fn recheck_key(tp: &TestProgram, key: &str) -> Option<Divergence> {
+    let cfg = CheckConfig {
+        thread: key == "executor:thread" || key == "run-error:thread",
+        chaos: key == "chaos",
+        faults: None,
+        passes: key.starts_with("pass:"),
+    };
+    check_with(tp, &cfg).filter(|d| d.key() == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::executable_program;
+
+    #[test]
+    fn default_passes_match_paper_pipeline_names() {
+        let names: Vec<&str> = default_passes().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "elide-same-owner-comm",
+                "vectorize-messages",
+                "localize-bounds",
+                "bind-communication",
+                "elide-accessible-checks"
+            ]
+        );
+        for (claimed, pass) in default_passes() {
+            assert_eq!(claimed, pass.name());
+        }
+    }
+
+    #[test]
+    fn a_generated_program_passes_all_checks() {
+        let tp = executable_program(7);
+        assert!(check_program(&tp).is_none());
+    }
+
+    #[test]
+    fn divergence_keys_are_stable() {
+        let d = Divergence::PassMismatch {
+            pass: "vectorize-messages".into(),
+            detail: "x".into(),
+        };
+        assert_eq!(d.key(), "pass:vectorize-messages");
+        assert!(d.to_string().contains("pass:vectorize-messages"));
+        let d = Divergence::ExecutorMismatch {
+            backend: "thread".into(),
+            detail: "y".into(),
+        };
+        assert_eq!(d.key(), "executor:thread");
+    }
+}

@@ -1,0 +1,149 @@
+//! The execution fingerprint oracle.
+//!
+//! A fingerprint renders everything observable about a run as sorted
+//! line multisets, so "two executions agree" reduces to string equality
+//! and the first differing line names the disagreement:
+//!
+//! * **memory** — the final global contents of each declared array as
+//!   gathered from the owning processors (`name[index] p<owner> = value`),
+//!   grouped per declaration so comparisons can be restricted to the
+//!   observable arrays;
+//! * **movement** — [`xdp_trace::Trace::movement_multiset`]: every
+//!   `SendInit`/`RecvPost`/`RecvComplete`/`WireTransit` event, stripped of
+//!   timing;
+//! * **states** — the section-state instants (`transitional`/`accessible`)
+//!   each processor observed.
+//!
+//! All generated programs compute dyadic-exact `f64` values, so memory
+//! lines compare bit-for-bit (`{:?}` on `f64` is shortest-roundtrip).
+
+use std::collections::BTreeMap;
+use xdp_core::Gathered;
+use xdp_trace::{Trace, TraceKind};
+
+/// One run's observable outcome.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Fingerprint {
+    /// Per-declaration memory image lines, keyed by declared name.
+    pub memory: BTreeMap<String, Vec<String>>,
+    /// Sorted movement multiset.
+    pub movement: Vec<String>,
+    /// Sorted section-state digest.
+    pub states: Vec<String>,
+    /// Wire messages (multicast copies counted individually).
+    pub messages: u64,
+}
+
+impl Fingerprint {
+    /// Memory lines for the given declarations, in declaration order.
+    pub fn record_memory(&mut self, name: &str, g: &Gathered) {
+        let lines = g
+            .values
+            .iter()
+            .map(|(idx, (owner, val))| format!("{name}{idx:?} p{owner} = {val:?}"))
+            .collect();
+        self.memory.insert(name.to_string(), lines);
+    }
+
+    /// Capture the movement multiset and state digest from a trace.
+    pub fn record_trace(&mut self, trace: &Trace) {
+        self.movement = trace.movement_multiset();
+        self.states = state_digest(trace);
+    }
+
+    /// Memory restricted to `names` (pass-equivalence ignores scratch).
+    pub fn memory_of(&self, names: &[String]) -> Vec<String> {
+        let mut out = Vec::new();
+        for n in names {
+            if let Some(lines) = self.memory.get(n) {
+                out.extend(lines.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// All memory lines.
+    pub fn memory_all(&self) -> Vec<String> {
+        self.memory.values().flatten().cloned().collect()
+    }
+}
+
+/// Sorted multiset of section-state instants.
+pub fn state_digest(trace: &Trace) -> Vec<String> {
+    let mut keys: Vec<String> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TraceKind::SectionState)
+        .map(|e| {
+            format!(
+                "state p{} var={} sec={} {}",
+                e.pid,
+                e.var.as_deref().unwrap_or("-"),
+                e.sec.as_deref().unwrap_or("-"),
+                e.detail.as_deref().unwrap_or("-"),
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Compare two line multisets; `None` if equal, otherwise a short report
+/// naming the first divergence.
+pub fn diff_lines(what: &str, a: &[String], b: &[String]) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    for (k, (la, lb)) in a.iter().zip(b.iter()).enumerate() {
+        if la != lb {
+            return Some(format!(
+                "{what}: line {k} differs\n  left:  {la}\n  right: {lb}"
+            ));
+        }
+    }
+    Some(format!(
+        "{what}: {} vs {} lines (first extra: {})",
+        a.len(),
+        b.len(),
+        if a.len() > b.len() {
+            &a[b.len()]
+        } else {
+            &b[a.len()]
+        }
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_lines_reports_first_difference() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["x".to_string(), "z".to_string()];
+        let d = diff_lines("mem", &a, &b).unwrap();
+        assert!(d.contains("line 1"), "{d}");
+        assert!(d.contains("y") && d.contains("z"), "{d}");
+        assert!(diff_lines("mem", &a, &a).is_none());
+    }
+
+    #[test]
+    fn diff_lines_reports_length_mismatch() {
+        let a = vec!["x".to_string()];
+        let b = vec!["x".to_string(), "extra".to_string()];
+        let d = diff_lines("mov", &a, &b).unwrap();
+        assert!(d.contains("1 vs 2"), "{d}");
+        assert!(d.contains("extra"), "{d}");
+    }
+
+    #[test]
+    fn memory_of_filters_by_name() {
+        let mut fp = Fingerprint::default();
+        fp.memory
+            .insert("A".into(), vec!["A[1] p0 = F64(1.0)".into()]);
+        fp.memory
+            .insert("T0".into(), vec!["T0[0] p0 = F64(2.0)".into()]);
+        assert_eq!(fp.memory_of(&["A".to_string()]).len(), 1);
+        assert_eq!(fp.memory_all().len(), 2);
+    }
+}

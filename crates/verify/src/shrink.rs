@@ -1,0 +1,510 @@
+//! Greedy structural shrinking.
+//!
+//! Given a failing [`TestProgram`] and a predicate that re-checks the
+//! failure, [`shrink`] repeatedly applies reductions and keeps every one
+//! the predicate survives, until a fixpoint (or the evaluation budget)
+//! is reached:
+//!
+//! * **delete** a statement subtree (largest first);
+//! * **splice** a `Guarded` block or a single-iteration `DoLoop` inline
+//!   (loop variables are substituted with the lower bound);
+//! * **reduce** a constant loop bound `hi` toward `lo` (jump straight to
+//!   one iteration, else halve);
+//! * **prune** trailing declarations no surviving statement references
+//!   (earlier unused declarations are kept — `VarId`s are ordinals, so
+//!   removing one would renumber every later reference).
+//!
+//! The predicate should pin the failure *kind* (e.g. the
+//! [`crate::diff::Divergence::key`]) so shrinking cannot wander onto a
+//! different bug: deleting a send but not its receive typically turns a
+//! pass miscompile into a deadlock, which must count as "fixed".
+
+use crate::gen::TestProgram;
+use xdp_ir::{Block, BoolExpr, IntExpr, SectionRef, Stmt, VarId};
+
+/// Default evaluation budget: each evaluation re-executes the program on
+/// at least one backend, so keep this in the hundreds.
+pub const DEFAULT_MAX_EVALS: usize = 400;
+
+/// What [`shrink`] did.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The smallest still-failing program found.
+    pub program: TestProgram,
+    /// Predicate evaluations spent.
+    pub evals: usize,
+    /// Statement count (preorder, all nesting levels) of the result.
+    pub stmts: usize,
+}
+
+/// Total statement count of a block, all nesting levels.
+pub fn stmt_count(body: &Block) -> usize {
+    body.iter().map(|s| s.subtree_size()).sum()
+}
+
+/// Greedily minimize `tp` while `still_fails` holds. `still_fails` is
+/// never called on `tp` itself — the caller asserts it is failing.
+pub fn shrink(
+    tp: &TestProgram,
+    max_evals: usize,
+    still_fails: &dyn Fn(&TestProgram) -> bool,
+) -> ShrinkResult {
+    let mut best = tp.clone();
+    let mut evals = 0usize;
+
+    // One reduction kind per round-robin sweep; repeat until a full
+    // cycle of sweeps makes no progress.
+    loop {
+        let mut progress = false;
+        progress |= sweep_delete(&mut best, max_evals, &mut evals, still_fails);
+        progress |= sweep_loops(&mut best, max_evals, &mut evals, still_fails);
+        progress |= sweep_splice(&mut best, max_evals, &mut evals, still_fails);
+        if !progress || evals >= max_evals {
+            break;
+        }
+    }
+    prune_trailing_decls(&mut best.program);
+    let stmts = stmt_count(&best.program.body);
+    ShrinkResult {
+        program: best,
+        evals,
+        stmts,
+    }
+}
+
+/// A path into the nested statement tree: successive child indices,
+/// descending through `Guarded`/`DoLoop` bodies.
+type Path = Vec<usize>;
+
+fn collect_paths(block: &Block, prefix: &mut Path, out: &mut Vec<(Path, usize)>) {
+    for (i, s) in block.iter().enumerate() {
+        prefix.push(i);
+        out.push((prefix.clone(), s.subtree_size()));
+        match s {
+            Stmt::Guarded { body, .. } | Stmt::DoLoop { body, .. } => {
+                collect_paths(body, prefix, out)
+            }
+            _ => {}
+        }
+        prefix.pop();
+    }
+}
+
+/// All paths, largest subtree first (so whole templates go in one step).
+fn paths_by_size(block: &Block) -> Vec<Path> {
+    let mut out = Vec::new();
+    collect_paths(block, &mut Vec::new(), &mut out);
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.into_iter().map(|(p, _)| p).collect()
+}
+
+fn accept(
+    best: &mut TestProgram,
+    candidate: TestProgram,
+    evals: &mut usize,
+    still_fails: &dyn Fn(&TestProgram) -> bool,
+) -> bool {
+    *evals += 1;
+    if still_fails(&candidate) {
+        *best = candidate;
+        true
+    } else {
+        false
+    }
+}
+
+/// Try deleting each statement subtree, restarting after every success.
+fn sweep_delete(
+    best: &mut TestProgram,
+    max_evals: usize,
+    evals: &mut usize,
+    still_fails: &dyn Fn(&TestProgram) -> bool,
+) -> bool {
+    let mut progress = false;
+    'restart: loop {
+        if *evals >= max_evals {
+            return progress;
+        }
+        for path in paths_by_size(&best.program.body) {
+            if *evals >= max_evals {
+                return progress;
+            }
+            let mut cand = best.clone();
+            if !remove_at(&mut cand.program.body, &path) {
+                continue;
+            }
+            if accept(best, cand, evals, still_fails) {
+                progress = true;
+                continue 'restart;
+            }
+        }
+        return progress;
+    }
+}
+
+/// Try reducing every constant-bound loop: first to one iteration, then
+/// by halving the trip count.
+fn sweep_loops(
+    best: &mut TestProgram,
+    max_evals: usize,
+    evals: &mut usize,
+    still_fails: &dyn Fn(&TestProgram) -> bool,
+) -> bool {
+    let mut progress = false;
+    'restart: loop {
+        if *evals >= max_evals {
+            return progress;
+        }
+        for path in paths_by_size(&best.program.body) {
+            let Some((lo, hi)) = const_loop_bounds(&best.program.body, &path) else {
+                continue;
+            };
+            if hi <= lo {
+                continue;
+            }
+            for new_hi in [lo, lo + (hi - lo) / 2] {
+                if new_hi >= hi || *evals >= max_evals {
+                    continue;
+                }
+                let mut cand = best.clone();
+                set_loop_hi(&mut cand.program.body, &path, new_hi);
+                if accept(best, cand, evals, still_fails) {
+                    progress = true;
+                    continue 'restart;
+                }
+            }
+        }
+        return progress;
+    }
+}
+
+/// Try replacing compounds with their bodies: any `Guarded`, and any
+/// `DoLoop` whose bounds pin a single iteration.
+fn sweep_splice(
+    best: &mut TestProgram,
+    max_evals: usize,
+    evals: &mut usize,
+    still_fails: &dyn Fn(&TestProgram) -> bool,
+) -> bool {
+    let mut progress = false;
+    'restart: loop {
+        if *evals >= max_evals {
+            return progress;
+        }
+        for path in paths_by_size(&best.program.body) {
+            if *evals >= max_evals {
+                return progress;
+            }
+            let mut cand = best.clone();
+            if !splice_at(&mut cand.program.body, &path) {
+                continue;
+            }
+            if accept(best, cand, evals, still_fails) {
+                progress = true;
+                continue 'restart;
+            }
+        }
+        return progress;
+    }
+}
+
+fn remove_at(block: &mut Block, path: &[usize]) -> bool {
+    let i = path[0];
+    if i >= block.len() {
+        return false;
+    }
+    if path.len() == 1 {
+        block.remove(i);
+        return true;
+    }
+    match &mut block[i] {
+        Stmt::Guarded { body, .. } | Stmt::DoLoop { body, .. } => remove_at(body, &path[1..]),
+        _ => false,
+    }
+}
+
+fn const_loop_bounds(block: &Block, path: &[usize]) -> Option<(i64, i64)> {
+    let i = path[0];
+    match block.get(i)? {
+        Stmt::DoLoop { lo, hi, body, .. } => {
+            if path.len() == 1 {
+                match (lo, hi) {
+                    (IntExpr::Const(l), IntExpr::Const(h)) => Some((*l, *h)),
+                    _ => None,
+                }
+            } else {
+                const_loop_bounds(body, &path[1..])
+            }
+        }
+        Stmt::Guarded { body, .. } if path.len() > 1 => const_loop_bounds(body, &path[1..]),
+        _ => None,
+    }
+}
+
+fn set_loop_hi(block: &mut Block, path: &[usize], new_hi: i64) {
+    let i = path[0];
+    let Some(s) = block.get_mut(i) else { return };
+    match s {
+        Stmt::DoLoop { hi, body, .. } => {
+            if path.len() == 1 {
+                *hi = IntExpr::Const(new_hi);
+            } else {
+                set_loop_hi(body, &path[1..], new_hi);
+            }
+        }
+        Stmt::Guarded { body, .. } if path.len() > 1 => set_loop_hi(body, &path[1..], new_hi),
+        _ => {}
+    }
+}
+
+fn splice_at(block: &mut Block, path: &[usize]) -> bool {
+    let i = path[0];
+    if i >= block.len() {
+        return false;
+    }
+    if path.len() > 1 {
+        return match &mut block[i] {
+            Stmt::Guarded { body, .. } | Stmt::DoLoop { body, .. } => splice_at(body, &path[1..]),
+            _ => false,
+        };
+    }
+    let inner: Block = match &block[i] {
+        Stmt::Guarded { body, .. } => body.clone(),
+        Stmt::DoLoop {
+            var,
+            lo: IntExpr::Const(l),
+            hi: IntExpr::Const(h),
+            step: IntExpr::Const(1),
+            body,
+        } if l == h => {
+            let lo = IntExpr::Const(*l);
+            body.iter().map(|s| subst_stmt(s, var, &lo)).collect()
+        }
+        _ => return false,
+    };
+    block.splice(i..i + 1, inner);
+    true
+}
+
+/// Substitute an integer variable throughout a statement subtree
+/// (stopping at an inner loop that rebinds the same name).
+pub fn subst_stmt(s: &Stmt, name: &str, repl: &IntExpr) -> Stmt {
+    match s {
+        Stmt::Assign { target, rhs } => Stmt::Assign {
+            target: target.subst(name, repl),
+            rhs: rhs.subst(name, repl),
+        },
+        Stmt::ScalarAssign { var, value } => Stmt::ScalarAssign {
+            var: var.clone(),
+            value: value.subst(name, repl),
+        },
+        Stmt::Kernel {
+            name: kname,
+            args,
+            int_args,
+        } => Stmt::Kernel {
+            name: kname.clone(),
+            args: args.iter().map(|a| a.subst(name, repl)).collect(),
+            int_args: int_args.iter().map(|a| a.subst(name, repl)).collect(),
+        },
+        Stmt::Send {
+            sec,
+            kind,
+            dest,
+            salt,
+        } => Stmt::Send {
+            sec: sec.subst(name, repl),
+            kind: *kind,
+            dest: match dest {
+                xdp_ir::DestSet::Unspecified => xdp_ir::DestSet::Unspecified,
+                xdp_ir::DestSet::Pids(ps) => {
+                    xdp_ir::DestSet::Pids(ps.iter().map(|p| p.subst(name, repl)).collect())
+                }
+            },
+            salt: salt.as_ref().map(|e| e.subst(name, repl)),
+        },
+        Stmt::Recv {
+            target,
+            kind,
+            name: rname,
+            salt,
+        } => Stmt::Recv {
+            target: target.subst(name, repl),
+            kind: *kind,
+            name: rname.as_ref().map(|n| n.subst(name, repl)),
+            salt: salt.as_ref().map(|e| e.subst(name, repl)),
+        },
+        Stmt::Guarded { rule, body } => Stmt::Guarded {
+            rule: rule.subst(name, repl),
+            body: body.iter().map(|c| subst_stmt(c, name, repl)).collect(),
+        },
+        Stmt::DoLoop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            // Bounds are evaluated in the enclosing scope; the body sees
+            // the inner binding if the loop shadows `name`.
+            let body = if var == name {
+                body.clone()
+            } else {
+                body.iter().map(|c| subst_stmt(c, name, repl)).collect()
+            };
+            Stmt::DoLoop {
+                var: var.clone(),
+                lo: lo.subst(name, repl),
+                hi: hi.subst(name, repl),
+                step: step.subst(name, repl),
+                body,
+            }
+        }
+        Stmt::Barrier | Stmt::Redistribute { .. } => s.clone(),
+    }
+}
+
+/// Drop declarations from the end of the declaration list that no
+/// statement references. Only trailing ones: `VarId`s are ordinals.
+pub fn prune_trailing_decls(p: &mut xdp_ir::Program) {
+    let mut touched: Vec<VarId> = Vec::new();
+    p.visit(&mut |s| {
+        let mut mark = |r: &SectionRef| touched.push(r.var);
+        match s {
+            Stmt::Assign { target, rhs } => {
+                mark(target);
+                for r in rhs.refs() {
+                    mark(r);
+                }
+            }
+            Stmt::Kernel { args, .. } => args.iter().for_each(mark),
+            Stmt::Send { sec, .. } => mark(sec),
+            Stmt::Recv { target, name, .. } => {
+                mark(target);
+                if let Some(n) = name {
+                    mark(n);
+                }
+            }
+            Stmt::Guarded { rule, .. } => {
+                let mut stack = vec![rule];
+                while let Some(r) = stack.pop() {
+                    match r {
+                        BoolExpr::Iown(x) | BoolExpr::Accessible(x) | BoolExpr::Await(x) => mark(x),
+                        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                            stack.push(a);
+                            stack.push(b);
+                        }
+                        BoolExpr::Not(a) => stack.push(a),
+                        _ => {}
+                    }
+                }
+            }
+            Stmt::Redistribute { var, .. } => touched.push(*var),
+            _ => {}
+        }
+    });
+    let mut used = vec![false; p.decls.len()];
+    for v in touched {
+        if let Some(u) = used.get_mut(v.0 as usize) {
+            *u = true;
+        }
+    }
+    while let Some(last) = used.last() {
+        if *last {
+            break;
+        }
+        used.pop();
+        p.decls.pop();
+    }
+    // Keep VarId invariants honest in debug builds.
+    debug_assert!(p
+        .decls
+        .iter()
+        .enumerate()
+        .all(|(i, _)| VarId(i as u32).0 as usize == i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::executable_program;
+    use xdp_ir::build as b;
+
+    /// Shrinking with a syntactic predicate ("contains a send with salt
+    /// 777") must strip everything else away.
+    #[test]
+    fn shrinks_to_the_marked_statement() {
+        let mut tp = executable_program(3);
+        let marker = b::send_salted(b::sref(VarId(0), vec![b::at(b::c(1))]), b::c(777));
+        tp.program.body.insert(2, marker);
+        let has_marker = |t: &TestProgram| {
+            let mut found = false;
+            t.program.visit(&mut |s| {
+                if let Stmt::Send {
+                    salt: Some(IntExpr::Const(777)),
+                    ..
+                } = s
+                {
+                    found = true;
+                }
+            });
+            found
+        };
+        assert!(has_marker(&tp));
+        let out = shrink(&tp, DEFAULT_MAX_EVALS, &has_marker);
+        assert!(has_marker(&out.program));
+        assert_eq!(
+            out.stmts,
+            1,
+            "got:\n{}",
+            xdp_ir::pretty::program(&out.program.program)
+        );
+        assert_eq!(out.program.program.decls.len(), 1);
+    }
+
+    #[test]
+    fn splice_substitutes_single_iteration_loops() {
+        let xi = b::sref(VarId(0), vec![b::at(b::iv("i"))]);
+        let mut block = vec![b::do_loop(
+            "i",
+            b::c(3),
+            b::c(3),
+            vec![b::assign(xi.clone(), b::val(xi))],
+        )];
+        assert!(splice_at(&mut block, &[0]));
+        assert_eq!(block.len(), 1);
+        match &block[0] {
+            Stmt::Assign { target, .. } => {
+                assert_eq!(target.subs.len(), 1);
+                let txt = format!("{target:?}");
+                assert!(txt.contains("Const(3)"), "{txt}");
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prune_drops_only_trailing_unused_decls() {
+        let tp = executable_program(9);
+        let mut p = tp.program.clone();
+        let before = p.decls.len();
+        p.body.clear();
+        prune_trailing_decls(&mut p);
+        assert!(p.decls.is_empty(), "{} of {before} left", p.decls.len());
+    }
+
+    #[test]
+    fn stmt_count_counts_nested() {
+        let xi = b::sref(VarId(0), vec![b::at(b::iv("i"))]);
+        let body = vec![b::do_loop(
+            "i",
+            b::c(1),
+            b::c(2),
+            vec![b::guarded(
+                b::iown(xi.clone()),
+                vec![b::assign(xi.clone(), b::val(xi))],
+            )],
+        )];
+        assert_eq!(stmt_count(&body), 3);
+    }
+}

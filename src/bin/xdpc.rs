@@ -27,6 +27,18 @@
 //!   --max-dims N     most array dimensions distributed at once (default 2)
 //!   --emit           print the rewritten program (valid xdpc input)
 //!
+//! fuzz options (no input file; programs are generated):
+//!   --count N        programs to check                     (default 200)
+//!   --seed N         first seed; program k uses seed+k     (default 1)
+//!   --procs N        processors per generated program      (default 4)
+//!   --faults SPEC    fault plan for the chaos oracle (syntax as for run);
+//!                    default: a seed-derived lossy plan
+//!   --repro PATH     where to write the minimized repro    (default fuzz-repro.xdp)
+//!   --sim-only       skip the threaded executor and chaos oracles
+//!
+//! On a divergence, fuzz shrinks the program, writes the `.xdp` repro,
+//! and exits 1; a malformed --faults spec exits 2.
+//!
 //! pass names: elide-same-owner-comm, vectorize-messages, localize-bounds,
 //! bind-communication, elide-accessible-checks, fuse-loops, sink-await,
 //! migrate-ownership, auto-place
@@ -67,56 +79,73 @@ use xdp_ir::pretty;
 struct Command {
     name: &'static str,
     summary: &'static str,
-    run: fn(&Program, &[String]) -> ExitCode,
+    run: Runner,
+}
+
+/// Most subcommands operate on a parsed `.xdp` file; a few (like `fuzz`)
+/// generate their own programs and take only options.
+enum Runner {
+    /// `xdpc <cmd> <file.xdp> [options]`.
+    File(fn(&Program, &[String]) -> ExitCode),
+    /// `xdpc <cmd> [options]`.
+    Bare(fn(&[String]) -> ExitCode),
 }
 
 const COMMANDS: &[Command] = &[
     Command {
         name: "check",
         summary: "parse, validate, and pretty-print",
-        run: cmd_check,
+        run: Runner::File(cmd_check),
     },
     Command {
         name: "lower",
         summary: "sequential source -> naive owner-computes IL+XDP [--explain]",
-        run: cmd_lower,
+        run: Runner::File(cmd_lower),
     },
     Command {
         name: "opt",
         summary: "optimize and print [--passes LIST] [--explain]",
-        run: cmd_opt,
+        run: Runner::File(cmd_opt),
     },
     Command {
         name: "run",
         summary: "execute on the simulated machine [--procs N] [--timeline] ...",
-        run: cmd_run,
+        run: Runner::File(cmd_run),
     },
     Command {
         name: "trace",
         summary: "execute with full tracing: Chrome JSON + critical path [--out PATH]",
-        run: cmd_trace,
+        run: Runner::File(cmd_trace),
     },
     Command {
         name: "tune",
         summary: "pick the fastest segment shape --array NAME --segments 1,2,4x1,...",
-        run: cmd_tune,
+        run: Runner::File(cmd_tune),
     },
     Command {
         name: "plan",
         summary: "show schedule + predicted cost of every `redistribute`",
-        run: cmd_plan,
+        run: Runner::File(cmd_plan),
     },
     Command {
         name: "place",
         summary: "search per-phase distributions with the cost model [--emit]",
-        run: cmd_place,
+        run: Runner::File(cmd_place),
+    },
+    Command {
+        name: "fuzz",
+        summary: "differentially test executors and passes on generated programs",
+        run: Runner::Bare(cmd_fuzz),
     },
 ];
 
 /// Usage text generated from [`COMMANDS`].
 fn usage_text() -> String {
     let names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
-    let mut s = format!("usage: xdpc <{}> <file.xdp> [options]\n", names.join("|"));
+    let mut s = format!(
+        "usage: xdpc <{}> <file.xdp> [options]\n       xdpc fuzz [options]\n",
+        names.join("|")
+    );
     for c in COMMANDS {
         s.push_str(&format!("  {:<7} {}\n", c.name, c.summary));
     }
@@ -131,28 +160,35 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, file) = match (args.first(), args.get(1)) {
-        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
-        _ => return usage(),
-    };
-    let Some(command) = COMMANDS.iter().find(|c| c.name == cmd) else {
+    let Some(cmd) = args.first() else {
         return usage();
     };
-    let src = match std::fs::read_to_string(file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("xdpc: cannot read {file}: {e}");
-            return ExitCode::FAILURE;
-        }
+    let Some(command) = COMMANDS.iter().find(|c| c.name == cmd.as_str()) else {
+        return usage();
     };
-    let program = match xdp_lang::parse_program(&src) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("xdpc: {file}: {e}");
-            return ExitCode::FAILURE;
+    match command.run {
+        Runner::Bare(f) => f(&args[1..]),
+        Runner::File(f) => {
+            let Some(file) = args.get(1) else {
+                return usage();
+            };
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xdpc: cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match xdp_lang::parse_program(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("xdpc: {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            f(&program, &args[2..])
         }
-    };
-    (command.run)(&program, &args[2..])
+    }
 }
 
 fn cmd_check(program: &Program, _rest: &[String]) -> ExitCode {
@@ -809,6 +845,106 @@ fn cmd_trace(program: &Program, rest: &[String]) -> ExitCode {
     }
     outp!("{}", cp.render(top));
     out!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+/// `xdpc fuzz`: differential testing on generated programs. Each seed's
+/// program is executed on the simulator, the lockstep executor, and the
+/// threaded executor, re-executed after every prefix of the default pass
+/// pipeline, and re-executed under a lossy fault plan; any disagreement
+/// is shrunk to a minimal repro and written to `--repro`.
+fn cmd_fuzz(rest: &[String]) -> ExitCode {
+    use xdp_verify::fuzz::{run_fuzz, FuzzConfig};
+
+    let parse_num = |name: &str, default: u64| -> Result<u64, ExitCode> {
+        match opt_val(rest, name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                eprintln!("xdpc: bad {name} value `{v}`");
+                ExitCode::from(2)
+            }),
+        }
+    };
+    let (count, seed, procs) = match (
+        parse_num("--count", 200),
+        parse_num("--seed", 1),
+        parse_num("--procs", 4),
+    ) {
+        (Ok(c), Ok(s), Ok(p)) => (c as usize, s, p as usize),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return e,
+    };
+    if procs < 2 {
+        eprintln!("xdpc: fuzz needs --procs >= 2");
+        return ExitCode::from(2);
+    }
+    let faults = match opt_val(rest, "--faults") {
+        None => None,
+        Some(spec) => match xdp_fault::FaultPlan::parse(spec) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("xdpc: bad --faults spec: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let sim_only = flag(rest, "--sim-only");
+    let repro_path = opt_val(rest, "--repro").unwrap_or("fuzz-repro.xdp");
+
+    let cfg = FuzzConfig {
+        count,
+        seed,
+        gen: xdp_verify::GenConfig {
+            nprocs: procs,
+            ..xdp_verify::GenConfig::default()
+        },
+        check: xdp_verify::CheckConfig {
+            thread: !sim_only,
+            chaos: !sim_only,
+            faults,
+            passes: true,
+        },
+        ..FuzzConfig::default()
+    };
+
+    // Divergence panics are caught and reported by the driver; keep the
+    // default hook from spraying backtraces mid-sweep.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_fuzz(&cfg, &mut |checked, failure| {
+        if failure.is_none() && (checked % 50 == 0 || checked == count) {
+            eprintln!("xdpc: fuzz: {checked}/{count} ok");
+        }
+    });
+    let _ = std::panic::take_hook();
+
+    if let Some(f) = report.failures.first() {
+        if let Err(e) = std::fs::write(repro_path, &f.repro) {
+            eprintln!("xdpc: cannot write {repro_path}: {e}");
+        }
+        out!(
+            "FAIL seed {} [{}] after {} programs\n  {}\n  shrunk {} -> {} statements ({} evaluations)\n  repro: {repro_path}",
+            f.seed,
+            f.key,
+            report.checked,
+            f.detail.replace('\n', "\n  "),
+            f.original_stmts,
+            f.shrunk_stmts,
+            f.shrink_evals,
+        );
+        return ExitCode::FAILURE;
+    }
+    out!(
+        "ok: {} programs (seeds {}..{}), {} procs, executors {} + per-pass equivalence{}",
+        report.checked,
+        seed,
+        seed + count as u64 - 1,
+        procs,
+        if sim_only {
+            "sim+lockstep".to_string()
+        } else {
+            "sim+lockstep+thread".to_string()
+        },
+        if sim_only { "" } else { " + chaos" },
+    );
     ExitCode::SUCCESS
 }
 

@@ -171,3 +171,117 @@ fn tune_picks_a_middle_segment_shape() {
         }
     }
 }
+
+/// Like [`xdpc`] but returns the raw exit code for tests that
+/// distinguish usage errors (2) from failures (1).
+fn xdpc_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xdpc"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn xdpc");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("exit code"),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage_naming_every_command() {
+    let (_, stderr, code) = xdpc_code(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.starts_with("usage: xdpc <"), "{stderr}");
+    for cmd in [
+        "check", "lower", "opt", "run", "trace", "tune", "plan", "place", "fuzz",
+    ] {
+        assert!(
+            stderr.lines().any(|l| l.trim_start().starts_with(cmd)),
+            "usage missing `{cmd}`:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_command_and_missing_file_are_usage_errors() {
+    let (_, stderr, code) = xdpc_code(&["frobnicate", "x.xdp"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    // File-taking command without a file: usage, not a crash.
+    let (_, stderr, code) = xdpc_code(&["run"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn bad_fault_specs_exit_2_everywhere() {
+    for cmd in ["run", "trace"] {
+        let (_, stderr, code) =
+            xdpc_code(&[cmd, "xdp-programs/simple.xdp", "--faults", "drop=banana"]);
+        assert_eq!(code, 2, "{cmd}: {stderr}");
+        assert!(stderr.contains("bad --faults spec"), "{cmd}: {stderr}");
+    }
+    // `fuzz` takes no file but the same spec syntax.
+    let (_, stderr, code) = xdpc_code(&["fuzz", "--count", "1", "--faults", "nope=1"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("bad --faults spec"), "{stderr}");
+}
+
+#[test]
+fn run_with_faults_delivers_exactly_once() {
+    let (stdout, stderr, code) = xdpc_code(&[
+        "run",
+        "xdp-programs/simple.xdp",
+        "--faults",
+        "drop=0.2,dup=0.2,seed=5",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    // Same message count as the lossless run: dedup + retry hide faults.
+    assert!(stdout.contains("messages 16"), "{stdout}");
+    assert!(stdout.contains("faults:"), "{stdout}");
+}
+
+#[test]
+fn trace_writes_chrome_json_and_critical_path() {
+    let dir = std::env::temp_dir().join("xdpc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("cli_trace.json");
+    let (stdout, stderr, code) = xdpc_code(&[
+        "trace",
+        "xdp-programs/simple.xdp",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("virtual time"), "{stdout}");
+    let json = std::fs::read_to_string(&out).unwrap();
+    assert!(json.trim_start().starts_with('{'), "{json}");
+}
+
+#[test]
+fn fuzz_smoke_passes_and_reports_oracles() {
+    let (stdout, stderr, code) = xdpc_code(&["fuzz", "--count", "5", "--seed", "7"]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("ok: 5 programs"), "{stdout}");
+    assert!(stdout.contains("sim+lockstep+thread"), "{stdout}");
+    assert!(stdout.contains("per-pass equivalence"), "{stdout}");
+}
+
+#[test]
+fn fuzz_sim_only_skips_thread_and_chaos() {
+    let (stdout, _, code) = xdpc_code(&["fuzz", "--count", "3", "--seed", "1", "--sim-only"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("sim+lockstep"), "{stdout}");
+    assert!(!stdout.contains("thread"), "{stdout}");
+    assert!(!stdout.contains("chaos"), "{stdout}");
+}
+
+#[test]
+fn fuzz_rejects_bad_options() {
+    let (_, stderr, code) = xdpc_code(&["fuzz", "--count", "three"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("bad --count"), "{stderr}");
+    let (_, stderr, code) = xdpc_code(&["fuzz", "--procs", "1"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--procs >= 2"), "{stderr}");
+}
