@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 fuzz
+.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 fuzz serve
 
 all: test
 
@@ -28,6 +28,8 @@ experiments:
 	done
 	@echo "==== e12_fuzz ===="
 	@cargo run -q --release -p xdp-verify --bin e12_fuzz
+	@echo "==== e13_serve ===="
+	@cargo run -q --release -p xdp-serve --bin e13_serve
 
 # The automatic-placement experiment on its own (EXPERIMENTS.md E10).
 e10:
@@ -41,9 +43,19 @@ e11:
 e12:
 	cargo run -q --release -p xdp-verify --bin e12_fuzz
 
+# The serving load replay on its own (EXPERIMENTS.md E13); writes
+# BENCH_serve.json.
+e13:
+	cargo run -q --release -p xdp-serve --bin e13_serve
+
 # A longer differential fuzz sweep via the CLI (CI runs --count 200).
 fuzz:
 	cargo run -q --release --bin xdpc -- fuzz --count 500 --seed 7
+
+# Serve the corpus interactively: registry listing + a repeated run.
+serve:
+	cargo run -q --release --bin xdpd -- list
+	cargo run -q --release --bin xdpd -- run xdp-programs/fft3d.xdp --repeat 5
 
 examples:
 	@for e in quickstart fft3d paper_listings load_balance redistribute \

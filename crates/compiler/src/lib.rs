@@ -14,7 +14,11 @@
 //!   communication elision, message vectorization, loop fusion with
 //!   ownership-transfer legality checking, await sinking, the
 //!   ownership-migration strategy, delayed communication binding, and
-//!   accessibility-check elimination.
+//!   accessibility-check elimination;
+//! * the **end-to-end pipeline** ([`pipeline`]): [`compile`] assembles
+//!   parse → lower → optimize → place behind one entry point with per-pass
+//!   provenance — the shared compile path of every `xdpc` subcommand and
+//!   the `xdpd` serving daemon's content-hashed compile cache.
 //!
 //! All static reasoning exploits the paper's stated compilation model — "a
 //! fixed, known processor grid and partitioning as allowed in HPF" (§3):
@@ -29,9 +33,11 @@ pub mod analysis {
 }
 pub mod frontend;
 pub mod passes;
+pub mod pipeline;
 pub mod seq;
 
 pub use frontend::{lower_owner_computes, machine_size, FrontendError, FrontendOptions};
 pub use passes::{Pass, PassManager, PassResult};
+pub use pipeline::{compile, compile_program, CompileError, CompileOptions, Compiled, SeqMode};
 pub use seq::{from_program, SeqProgram, SeqStmt};
 pub use xdp_trace::{CompileTrace, PassTrace};

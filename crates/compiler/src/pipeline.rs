@@ -1,0 +1,279 @@
+//! The end-to-end compile pipeline: parse → lower → optimize → place.
+//!
+//! Every consumer of the compiler used to assemble this sequence by hand —
+//! each `xdpc` subcommand, the experiment binaries, and now the `xdpd`
+//! serving daemon all need "source text in, runnable program out". This
+//! module is the one assembly: [`compile`] takes source text and a
+//! [`CompileOptions`] and returns a [`Compiled`] program together with the
+//! [`CompileTrace`] provenance of every pass that ran, so callers (and the
+//! serve layer's compile cache) can prove what work was — or, on a cache
+//! hit, was not — done.
+//!
+//! ```
+//! use xdp_compiler::{compile, CompileOptions};
+//!
+//! let src = "real A[1:8] distribute (BLOCK) onto 4\n\
+//!            do i = 1, 8\n  iown(A[i]) : { A[i] = A[i] + 1.0 }\nenddo\n";
+//! let c = compile(src, &CompileOptions::default()).unwrap();
+//! assert_eq!(c.nprocs, 4);
+//! assert!(!c.lowered);
+//! let o = compile(src, &CompileOptions::default().optimized()).unwrap();
+//! assert_eq!(o.trace.passes.len(), 5); // the paper pipeline ran
+//! ```
+
+use crate::frontend::{lower_owner_computes, FrontendOptions};
+use crate::passes::{AutoPlace, PassManager};
+use crate::seq::from_program;
+use std::sync::Arc;
+use xdp_ir::Program;
+use xdp_trace::CompileTrace;
+
+/// How source that parses as a *sequential* program (no XDP transfer or
+/// guard constructs) is treated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SeqMode {
+    /// Treat the source as IL+XDP and execute it as written. This is what
+    /// `xdpc run` has always done; plain compute loops are valid IL+XDP.
+    AsIs,
+    /// Require a sequential program and lower it owner-computes (§2.2);
+    /// XDP constructs in the source are an error. `xdpc lower`.
+    Lower,
+    /// Lower when the whole program is sequential, otherwise compile it
+    /// as IL+XDP. The serving layer uses this so a mixed corpus
+    /// (`seq_sum.xdp` next to `fft3d.xdp`) is uniformly runnable.
+    Auto,
+}
+
+/// Options for [`compile`]. Every field participates in the serve layer's
+/// cache key: two option sets that could compile differently must hash
+/// differently.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CompileOptions {
+    /// Machine size override; `None` takes the largest declared grid.
+    pub procs: Option<usize>,
+    /// Run the paper's §2.2 optimization pipeline.
+    pub optimize: bool,
+    /// Run the automatic-placement search ([`AutoPlace`]) after the
+    /// optimization pipeline.
+    pub place: bool,
+    /// Sequential-source handling.
+    pub seq: SeqMode,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            procs: None,
+            optimize: false,
+            place: false,
+            seq: SeqMode::AsIs,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Builder shorthand: enable the paper pipeline.
+    pub fn optimized(mut self) -> CompileOptions {
+        self.optimize = true;
+        self
+    }
+
+    /// Builder shorthand: enable automatic placement.
+    pub fn placed(mut self) -> CompileOptions {
+        self.place = true;
+        self
+    }
+
+    /// Builder shorthand: set the machine-size override.
+    pub fn with_procs(mut self, n: usize) -> CompileOptions {
+        self.procs = Some(n);
+        self
+    }
+
+    /// Builder shorthand: set the sequential-source mode.
+    pub fn with_seq(mut self, seq: SeqMode) -> CompileOptions {
+        self.seq = seq;
+        self
+    }
+}
+
+/// Why a compile failed, by stage.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// The source did not parse.
+    Parse(String),
+    /// `SeqMode::Lower` was requested but the source uses XDP constructs.
+    NotSequential(String),
+    /// The owner-computes frontend rejected the sequential program.
+    Frontend(String),
+    /// The (possibly lowered) program failed IR validation.
+    Invalid(Vec<String>),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse: {e}"),
+            CompileError::NotSequential(e) => write!(f, "{e}"),
+            CompileError::Frontend(e) => write!(f, "frontend: {e}"),
+            CompileError::Invalid(diags) => {
+                write!(f, "invalid program: {}", diags.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A fully compiled, ready-to-run program.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The final program, after lowering and every requested pass.
+    pub program: Arc<Program>,
+    /// Machine size: the `procs` override or the largest declared grid.
+    pub nprocs: usize,
+    /// Was the source lowered from sequential form?
+    pub lowered: bool,
+    /// Per-pass provenance of everything that ran (wall time, node
+    /// deltas, statement rewrites). Empty when no passes were requested —
+    /// which is exactly what a serve-cache hit looks like.
+    pub trace: CompileTrace,
+}
+
+impl Compiled {
+    /// Total compile-side pass wall time in milliseconds. A cache hit
+    /// returns the *stored* provenance, so this reports the cost that was
+    /// paid once, not per run.
+    pub fn pass_wall_ms(&self) -> f64 {
+        self.trace.passes.iter().map(|p| p.wall_ms).sum()
+    }
+}
+
+/// Compile source text end to end: parse, then [`compile_program`].
+pub fn compile(source: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    let program =
+        xdp_lang::parse_program(source).map_err(|e| CompileError::Parse(e.to_string()))?;
+    compile_program(&program, opts)
+}
+
+/// Compile an already-parsed program: lower (per [`SeqMode`]), validate,
+/// then run the requested passes. `xdpc` parses centrally (one diagnostic
+/// for unreadable files, one for parse errors) and enters here.
+pub fn compile_program(program: &Program, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    let (program, lowered) = match opts.seq {
+        SeqMode::AsIs => (program.clone(), false),
+        SeqMode::Lower => (lower_seq(program)?, true),
+        SeqMode::Auto => match from_program(program) {
+            Ok(seq) => (
+                lower_owner_computes(&seq, &FrontendOptions::default())
+                    .map_err(|e| CompileError::Frontend(e.to_string()))?,
+                true,
+            ),
+            Err(_) => (program.clone(), false),
+        },
+    };
+    let diags = xdp_ir::validate(&program);
+    if !diags.is_empty() {
+        return Err(CompileError::Invalid(diags));
+    }
+    let mut mgr = PassManager::new();
+    if opts.optimize {
+        mgr = PassManager::paper_pipeline();
+    }
+    if opts.place {
+        mgr = mgr.add(AutoPlace::new());
+    }
+    let (program, trace) = mgr.run_traced(&program);
+    Ok(Compiled {
+        nprocs: opts
+            .procs
+            .or_else(|| machine_size_of(&program))
+            .unwrap_or(1),
+        program: Arc::new(program),
+        lowered,
+        trace,
+    })
+}
+
+fn lower_seq(program: &Program) -> Result<Program, CompileError> {
+    let seq = from_program(program).map_err(CompileError::NotSequential)?;
+    lower_owner_computes(&seq, &FrontendOptions::default())
+        .map_err(|e| CompileError::Frontend(e.to_string()))
+}
+
+/// The largest processor grid any declaration distributes onto.
+pub fn machine_size_of(program: &Program) -> Option<usize> {
+    program
+        .decls
+        .iter()
+        .filter_map(|d| d.dist.as_ref().map(|x| x.nprocs()))
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XDP_SRC: &str = "real A[1:16] distribute (BLOCK) onto 4\n\
+        real B[1:16] distribute (CYCLIC) onto 4\n\
+        real T[0:3] distribute (BLOCK) onto 4 segment (1)\n\
+        do i = 1, 16\n\
+          iown(B[i]) : { B[i] -> }\n\
+          iown(A[i]) : {\n\
+            T[mypid] <- B[i]\n\
+            await(T[mypid]) : { A[i] = A[i] + T[mypid] }\n\
+          }\n\
+        enddo\n";
+
+    const SEQ_SRC: &str = "real A[1:16] distribute (BLOCK) onto 4\n\
+        real B[1:16] distribute (CYCLIC) onto 4\n\
+        do i = 1, 16\n  A[i] = A[i] + B[i]\nenddo\n";
+
+    #[test]
+    fn compile_xdp_source_as_is() {
+        let c = compile(XDP_SRC, &CompileOptions::default()).unwrap();
+        assert_eq!(c.nprocs, 4);
+        assert!(!c.lowered);
+        assert!(c.trace.passes.is_empty());
+    }
+
+    #[test]
+    fn optimize_runs_the_paper_pipeline_with_provenance() {
+        let c = compile(XDP_SRC, &CompileOptions::default().optimized()).unwrap();
+        assert_eq!(c.trace.passes.len(), 5);
+        assert!(c.trace.passes.iter().any(|p| p.changed));
+        assert!(c.pass_wall_ms() > 0.0);
+    }
+
+    #[test]
+    fn lower_mode_requires_sequential_source() {
+        let c = compile(SEQ_SRC, &CompileOptions::default().with_seq(SeqMode::Lower)).unwrap();
+        assert!(c.lowered);
+        let e = compile(XDP_SRC, &CompileOptions::default().with_seq(SeqMode::Lower)).unwrap_err();
+        assert!(matches!(e, CompileError::NotSequential(_)), "{e}");
+    }
+
+    #[test]
+    fn auto_mode_lowers_seq_and_keeps_xdp() {
+        let auto = CompileOptions::default().with_seq(SeqMode::Auto);
+        assert!(compile(SEQ_SRC, &auto).unwrap().lowered);
+        assert!(!compile(XDP_SRC, &auto).unwrap().lowered);
+    }
+
+    #[test]
+    fn procs_override_wins() {
+        let c = compile(XDP_SRC, &CompileOptions::default().with_procs(8)).unwrap();
+        assert_eq!(c.nprocs, 8);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let e = compile(
+            "real A[1:4] distribute (WAT) onto 2\n",
+            &CompileOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CompileError::Parse(_)), "{e}");
+        assert!(e.to_string().contains("unknown distribution"), "{e}");
+    }
+}

@@ -1,0 +1,144 @@
+//! E13 — the serving-layer load replay.
+//!
+//! Replays a seeded, weighted mix of requests (every `xdp-programs/`
+//! file, plain and optimized, plus `xdp_verify`-generated programs)
+//! through a [`ServePool`] and checks the compile-once/run-many
+//! contract:
+//!
+//! * every distinct program compiles **exactly once** (compiles ==
+//!   distinct corpus size);
+//! * the warm hit rate clears 90% — with ~20 distinct programs over
+//!   1000 requests the cache should serve almost everything warm;
+//! * resubmitting every distinct request after the replay moves the
+//!   compile counter by **zero** (a hit provably skips recompilation);
+//! * no request errors.
+//!
+//! Writes the full report to `BENCH_serve.json` (override with `--out`).
+
+use std::process::ExitCode;
+use xdp_bench::table::{j, Table};
+use xdp_serve::{replay, ReplayConfig};
+
+fn opt_val<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn num<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> T {
+    opt_val(rest, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ReplayConfig::new(opt_val(&args, "--programs").unwrap_or("xdp-programs"));
+    cfg.requests = num(&args, "--requests", 1000);
+    cfg.workers = num(&args, "--workers", 4);
+    cfg.batch = num(&args, "--batch", 64);
+    cfg.capacity = num(&args, "--capacity", 64);
+    cfg.seed = num(&args, "--seed", 1993);
+    cfg.gen_count = num(&args, "--gen", 6);
+    let out_path = opt_val(&args, "--out").unwrap_or("BENCH_serve.json");
+
+    let (report, _pool) = match replay(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("e13_serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut summary = Table::new(
+        "e13-serve",
+        &[
+            "requests",
+            "distinct",
+            "requested",
+            "errors",
+            "wall_s",
+            "runs_per_sec",
+            "p50_us",
+            "p99_us",
+            "mean_us",
+            "hit_rate",
+            "compiles",
+            "warm_recompiles",
+        ],
+    );
+    summary.row(&[
+        j::u(report.requests as u64),
+        j::u(report.distinct as u64),
+        j::u(report.distinct_requested as u64),
+        j::u(report.errors as u64),
+        j::f(report.wall_s),
+        j::f(report.runs_per_sec),
+        j::u(report.p50_us),
+        j::u(report.p99_us),
+        j::f(report.mean_us),
+        j::f(report.hit_rate),
+        j::u(report.stats.compiles),
+        j::u(report.warm_recompiles),
+    ]);
+    summary.print();
+
+    let mut per = Table::new(
+        "e13-serve-programs",
+        &["program", "runs", "hits", "mean_latency_us"],
+    );
+    for row in &report.per_program {
+        per.row(&[
+            j::s(&row.name),
+            j::u(row.runs),
+            j::u(row.hits),
+            j::f(row.mean_latency_us),
+        ]);
+    }
+    per.print();
+
+    if let Err(e) = std::fs::write(out_path, format!("{}\n", report.to_json())) {
+        eprintln!("e13_serve: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    // The compile-once/run-many contract.
+    let mut failures = 0;
+    let mut check = |ok: bool, what: String| {
+        if ok {
+            println!("OK    {what}");
+        } else {
+            println!("FAIL  {what}");
+            failures += 1;
+        }
+    };
+    check(
+        report.errors == 0,
+        format!("no request errors ({} errors)", report.errors),
+    );
+    check(
+        report.stats.compiles == report.distinct_requested as u64,
+        format!(
+            "every requested program compiles exactly once ({} compiles / {} requested)",
+            report.stats.compiles, report.distinct_requested
+        ),
+    );
+    check(
+        report.hit_rate >= 0.90,
+        format!("warm hit rate >= 90% (got {:.1}%)", report.hit_rate * 100.0),
+    );
+    check(
+        report.warm_recompiles == 0,
+        format!(
+            "warm resubmission of all {} served programs recompiles nothing ({} recompiles)",
+            report.distinct_requested, report.warm_recompiles
+        ),
+    );
+    if failures > 0 {
+        eprintln!("e13_serve: {failures} contract violation(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

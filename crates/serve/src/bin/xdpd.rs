@@ -1,0 +1,227 @@
+//! `xdpd` — the XDP serving daemon, driven in one-shot mode.
+//!
+//! Where `xdpc` compiles a program every time it runs one, `xdpd` is the
+//! compile-once/run-many side of the toolchain: requests resolve through
+//! a content-hashed compile cache and execute on a bounded worker pool.
+//!
+//! ```text
+//! xdpd run FILE [--repeat N] [--optimize] [--procs N] [--faults SPEC] [--workers N]
+//! xdpd list [--programs DIR] [--gen N]
+//! xdpd bench [--requests N] [--workers N] [--batch N] [--capacity N]
+//!            [--seed N] [--gen N] [--programs DIR] [--out FILE]
+//! ```
+
+use std::process::ExitCode;
+use xdp_bench::table::{j, Table};
+use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_serve::{load_corpus, replay, ReplayConfig, RequestSpec, ServePool};
+
+const USAGE: &str = "\
+xdpd — XDP serving daemon (compile-once/run-many)
+
+USAGE:
+    xdpd run FILE [--repeat N] [--optimize] [--procs N] [--faults SPEC] [--workers N]
+    xdpd list [--programs DIR] [--gen N]
+    xdpd bench [--requests N] [--workers N] [--batch N] [--capacity N]
+               [--seed N] [--gen N] [--programs DIR] [--out FILE]
+
+`run` serves one program repeatedly through the compile cache (the first
+request compiles, the rest hit). `list` registers a corpus and prints the
+registry. `bench` replays a seeded weighted request mix and writes the
+report JSON (default BENCH_serve.json).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(|s| s.as_str()) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    match cmd {
+        "run" => cmd_run(rest),
+        "list" => cmd_list(rest),
+        "bench" => cmd_bench(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("xdpd: unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt_val<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn num<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> T {
+    opt_val(rest, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_run(rest: &[String]) -> ExitCode {
+    let Some(file) = rest.iter().find(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("xdpd: run needs a program file");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            // Same diagnostic contract as xdpc: exit 2 on unreadable input.
+            eprintln!("xdpd: error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut opts = CompileOptions::default().with_seq(SeqMode::Auto);
+    opts.optimize = flag(rest, "--optimize");
+    opts.procs = opt_val(rest, "--procs").and_then(|v| v.parse().ok());
+    let mut spec = RequestSpec::new(source).with_opts(opts);
+    if let Some(f) = opt_val(rest, "--faults") {
+        spec = spec.with_faults(f);
+    }
+    let repeat: usize = num(rest, "--repeat", 3);
+    let workers: usize = num(rest, "--workers", 2);
+
+    let pool = ServePool::new(workers, 8);
+    let specs = vec![spec; repeat.max(1)];
+    let mut t = Table::new(
+        "xdpd-run",
+        &[
+            "request",
+            "cache",
+            "compile_us",
+            "latency_us",
+            "vtime",
+            "messages",
+        ],
+    );
+    for (i, result) in pool.run_batch(&specs).iter().enumerate() {
+        match result {
+            Ok(out) => t.row(&[
+                j::u(i as u64),
+                j::s(if out.cache_hit { "hit" } else { "miss" }),
+                j::u(out.compile_us),
+                j::u(out.latency_us),
+                j::f(out.virtual_time),
+                j::u(out.messages),
+            ]),
+            Err(e) => {
+                eprintln!("xdpd: error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    t.print();
+    let stats = pool.cache_stats();
+    println!(
+        "cache: {} compiles, {} hits / {} lookups ({:.0}% hit rate)",
+        stats.compiles,
+        stats.hits,
+        stats.hits + stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_list(rest: &[String]) -> ExitCode {
+    let mut cfg = ReplayConfig::new(opt_val(rest, "--programs").unwrap_or("xdp-programs"));
+    cfg.gen_count = num(rest, "--gen", 0);
+    let corpus = match load_corpus(&cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xdpd: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let pool = ServePool::new(1, corpus.len().max(1));
+    for item in &corpus {
+        let registered = pool.with_registry(|reg, cache| {
+            reg.register(&item.name, item.spec.clone(), cache)
+                .map(|_| ())
+        });
+        if let Err(e) = registered {
+            eprintln!("xdpd: error: {}: {e}", item.name);
+            return ExitCode::FAILURE;
+        }
+    }
+    let rows = pool.with_registry(|reg, cache| reg.list(cache));
+    let mut t = Table::new(
+        "xdpd-registry",
+        &["name", "key", "nprocs", "stmts", "passes", "cached"],
+    );
+    for r in rows {
+        t.row(&[
+            j::s(&r.name),
+            j::s(&format!("{:016x}", r.key)),
+            j::u(r.nprocs as u64),
+            j::u(r.stmts as u64),
+            j::u(r.passes as u64),
+            j::s(if r.cached { "yes" } else { "no" }),
+        ]);
+    }
+    t.print();
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(rest: &[String]) -> ExitCode {
+    let mut cfg = ReplayConfig::new(opt_val(rest, "--programs").unwrap_or("xdp-programs"));
+    cfg.requests = num(rest, "--requests", cfg.requests);
+    cfg.workers = num(rest, "--workers", cfg.workers);
+    cfg.batch = num(rest, "--batch", cfg.batch);
+    cfg.capacity = num(rest, "--capacity", cfg.capacity);
+    cfg.seed = num(rest, "--seed", cfg.seed);
+    cfg.gen_count = num(rest, "--gen", cfg.gen_count);
+    let out_path = opt_val(rest, "--out").unwrap_or("BENCH_serve.json");
+
+    let (report, _pool) = match replay(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xdpd: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut t = Table::new(
+        "xdpd-bench",
+        &[
+            "requests",
+            "distinct",
+            "errors",
+            "runs_per_sec",
+            "p50_us",
+            "p99_us",
+            "hit_rate",
+            "compiles",
+            "warm_recompiles",
+        ],
+    );
+    t.row(&[
+        j::u(report.requests as u64),
+        j::u(report.distinct as u64),
+        j::u(report.errors as u64),
+        j::f(report.runs_per_sec),
+        j::u(report.p50_us),
+        j::u(report.p99_us),
+        j::f(report.hit_rate),
+        j::u(report.stats.compiles),
+        j::u(report.warm_recompiles),
+    ]);
+    t.print();
+    if let Err(e) = std::fs::write(out_path, format!("{}\n", report.to_json())) {
+        eprintln!("xdpd: error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

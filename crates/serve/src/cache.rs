@@ -1,0 +1,291 @@
+//! The content-hashed compile cache.
+//!
+//! `xdpd` exists because production traffic runs *few distinct programs
+//! very many times*: the parse→lower→opt→place pipeline is paid once per
+//! distinct [`RequestSpec`] and amortized over every subsequent run. The
+//! cache is a bounded LRU keyed by [`RequestSpec::content_hash`]; each
+//! entry stores the full spec (collision safety), the [`Compiled`]
+//! artifact, its parsed [`FaultPlan`], and the `run_traced` provenance of
+//! every pass that ran — so "this hit skipped recompilation" is not an
+//! inference but a checkable fact: the stored [`CompileTrace`] is the one
+//! recorded at miss time, and [`CacheStats::compiles`] does not move on a
+//! hit.
+
+use crate::spec::RequestSpec;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xdp_compiler::{compile, CompileError, Compiled};
+use xdp_fault::FaultPlan;
+
+/// Why a serve-layer operation failed.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// The compile pipeline rejected the program.
+    Compile(CompileError),
+    /// The request's fault spec did not parse.
+    BadFaults(String),
+    /// A run failed at execution time.
+    Run(String),
+    /// A named program was not found in the registry.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Compile(e) => write!(f, "compile: {e}"),
+            ServeError::BadFaults(e) => write!(f, "bad fault spec: {e}"),
+            ServeError::Run(e) => write!(f, "run: {e}"),
+            ServeError::Unknown(name) => write!(f, "no program named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Cache observability counters. `hits + misses` equals lookups;
+/// `compiles` moves only on a miss (a hit provably skips the pipeline);
+/// `evictions` counts LRU displacements, not explicit removals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub compiles: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached compile: the artifact plus everything needed to run it and
+/// to explain where it came from.
+#[derive(Debug)]
+pub struct CachedProgram {
+    /// Content hash the entry is keyed by.
+    pub key: u64,
+    /// The full spec (compared on lookup; a 64-bit collision is a miss,
+    /// never a wrong answer).
+    pub spec: RequestSpec,
+    /// The compiled program, machine size, and pass provenance.
+    pub compiled: Compiled,
+    /// The fault plan parsed once at compile time.
+    pub faults: FaultPlan,
+}
+
+struct Entry {
+    last_used: u64,
+    cached: Arc<CachedProgram>,
+}
+
+/// A bounded LRU compile cache. Not internally synchronized — the serve
+/// pool wraps it in a `Mutex` (compiles are rare by design; runs, the
+/// hot path, never hold the lock).
+pub struct CompileCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u64, Entry>,
+    stats: CacheStats,
+}
+
+impl CompileCache {
+    /// A cache holding at most `capacity` compiled programs (min 1).
+    pub fn new(capacity: usize) -> CompileCache {
+        CompileCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up and touch an entry; counts a hit or a miss.
+    pub fn lookup(&mut self, spec: &RequestSpec) -> Option<Arc<CachedProgram>> {
+        self.tick += 1;
+        let key = spec.content_hash();
+        match self.map.get_mut(&key) {
+            Some(e) if e.cached.spec == *spec => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(e.cached.clone())
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The cache's one write path: compile `spec` and insert the result,
+    /// evicting the least-recently-used entry if the cache is full.
+    /// Returns the cached artifact. Does **not** count a hit or miss —
+    /// callers pair it with [`lookup`](Self::lookup) (see
+    /// [`get_or_compile`](Self::get_or_compile)).
+    pub fn compile_into(&mut self, spec: &RequestSpec) -> Result<Arc<CachedProgram>, ServeError> {
+        let faults = spec.fault_plan().map_err(ServeError::BadFaults)?;
+        let compiled = compile(&spec.source, &spec.opts).map_err(ServeError::Compile)?;
+        self.stats.compiles += 1;
+        let key = spec.content_hash();
+        let cached = Arc::new(CachedProgram {
+            key,
+            spec: spec.clone(),
+            compiled,
+            faults,
+        });
+        // A hash collision with a *different* spec overwrites the old
+        // entry: correctness is preserved (lookup compares specs), and
+        // with 64-bit keys this path is effectively unreachable.
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            Entry {
+                last_used: self.tick,
+                cached: cached.clone(),
+            },
+        );
+        Ok(cached)
+    }
+
+    /// Serve `spec` from cache, compiling at most once. The `bool` is
+    /// true on a cache hit (compilation skipped).
+    pub fn get_or_compile(
+        &mut self,
+        spec: &RequestSpec,
+    ) -> Result<(Arc<CachedProgram>, bool), ServeError> {
+        if let Some(hit) = self.lookup(spec) {
+            return Ok((hit, true));
+        }
+        Ok((self.compile_into(spec)?, false))
+    }
+
+    /// Drop the least-recently-used entry.
+    fn evict_lru(&mut self) {
+        if let Some(&key) = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k)
+        {
+            self.map.remove(&key);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Explicitly remove an entry (registry eviction; not counted as an
+    /// LRU eviction). Returns whether it was resident.
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.map.remove(&key).is_some()
+    }
+
+    /// Is the given key resident?
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Read an entry without touching LRU order or counters (listings).
+    pub fn peek(&self, key: u64) -> Option<Arc<CachedProgram>> {
+        self.map.get(&key).map(|e| e.cached.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_compiler::CompileOptions;
+
+    fn spec(n: i64) -> RequestSpec {
+        RequestSpec::new(format!(
+            "real A[1:{n}] distribute (BLOCK) onto 2\n\
+             do i = 1, {n}\n  iown(A[i]) : {{ A[i] = A[i] + 1.0 }}\nenddo\n"
+        ))
+    }
+
+    #[test]
+    fn hit_skips_recompilation() {
+        let mut c = CompileCache::new(4);
+        let (a, hit) = c.get_or_compile(&spec(8)).unwrap();
+        assert!(!hit);
+        assert_eq!(c.stats().compiles, 1);
+        let (b, hit) = c.get_or_compile(&spec(8)).unwrap();
+        assert!(hit);
+        assert_eq!(c.stats().compiles, 1, "hit must not recompile");
+        assert!(Arc::ptr_eq(&a, &b), "hit serves the same artifact");
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                compiles: 1
+            }
+        );
+    }
+
+    #[test]
+    fn lru_capacity_is_respected() {
+        let mut c = CompileCache::new(2);
+        c.get_or_compile(&spec(4)).unwrap();
+        c.get_or_compile(&spec(8)).unwrap();
+        // Touch 4 so 8 becomes the LRU victim.
+        c.get_or_compile(&spec(4)).unwrap();
+        c.get_or_compile(&spec(12)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.contains(spec(4).content_hash()), "recently used survives");
+        assert!(!c.contains(spec(8).content_hash()), "LRU entry evicted");
+    }
+
+    #[test]
+    fn bad_programs_and_fault_specs_are_reported() {
+        let mut c = CompileCache::new(2);
+        let e = c
+            .get_or_compile(&RequestSpec::new("real A[1:4] distribute (WAT) onto 2\n"))
+            .unwrap_err();
+        assert!(matches!(e, ServeError::Compile(_)), "{e}");
+        let e = c
+            .get_or_compile(&spec(4).with_faults("drop=banana"))
+            .unwrap_err();
+        assert!(matches!(e, ServeError::BadFaults(_)), "{e}");
+        assert_eq!(c.stats().compiles, 0);
+    }
+
+    #[test]
+    fn option_variants_occupy_distinct_entries() {
+        let mut c = CompileCache::new(8);
+        c.get_or_compile(&spec(8)).unwrap();
+        c.get_or_compile(&spec(8).with_opts(CompileOptions::default().optimized()))
+            .unwrap();
+        c.get_or_compile(&spec(8).with_faults("drop=0.1,seed=1"))
+            .unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().compiles, 3);
+    }
+}

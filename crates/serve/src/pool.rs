@@ -1,0 +1,277 @@
+//! The batched concurrent executor.
+//!
+//! A [`ServePool`] owns the compile cache and a fixed worker count.
+//! [`run_batch`](ServePool::run_batch) fans a slice of requests across a
+//! scoped thread pool: workers claim requests through an atomic cursor,
+//! resolve each through the shared cache (the only lock in the system,
+//! held just long enough to look up or compile), then execute on a
+//! **private** [`SimExec`] instance. Per-run isolation is structural —
+//! nothing but the immutable `Arc<Program>` is shared between runs — so
+//! a request's [`Fingerprint`] is bit-identical whether it ran solo,
+//! sequentially, or interleaved with the rest of a batch. The
+//! conformance tests assert exactly that equality.
+
+use crate::cache::{CachedProgram, CompileCache, ServeError};
+use crate::registry::Registry;
+use crate::spec::RequestSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use xdp_core::{SimConfig, SimExec};
+use xdp_ir::VarId;
+use xdp_runtime::Value;
+use xdp_trace::TraceConfig;
+use xdp_verify::Fingerprint;
+
+/// One executed request's observable outcome.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Content hash of the request spec.
+    pub key: u64,
+    /// Did the compile cache serve this request without recompiling?
+    pub cache_hit: bool,
+    /// Simulated completion time of the run.
+    pub virtual_time: f64,
+    /// Wire messages during the run.
+    pub messages: u64,
+    /// The full observable fingerprint (memory + movement + states).
+    pub fingerprint: Fingerprint,
+    /// End-to-end wall latency of the request, microseconds.
+    pub latency_us: u64,
+    /// Wall time spent inside the compile pipeline (0 on a hit).
+    pub compile_us: u64,
+}
+
+/// The serving pool: shared cache + registry behind one lock each, and a
+/// worker count for batch fan-out.
+pub struct ServePool {
+    workers: usize,
+    cache: Mutex<CompileCache>,
+    registry: Mutex<Registry>,
+}
+
+impl ServePool {
+    /// A pool with `workers` batch threads (min 1) and a compile cache
+    /// bounded to `capacity` programs.
+    pub fn new(workers: usize, capacity: usize) -> ServePool {
+        ServePool {
+            workers: workers.max(1),
+            cache: Mutex::new(CompileCache::new(capacity)),
+            registry: Mutex::new(Registry::new()),
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    /// Run one closure with the cache locked (registration, listings).
+    pub fn with_cache<T>(&self, f: impl FnOnce(&mut CompileCache) -> T) -> T {
+        f(&mut self.cache.lock().unwrap())
+    }
+
+    /// Run one closure with the registry and cache locked together.
+    pub fn with_registry<T>(&self, f: impl FnOnce(&mut Registry, &mut CompileCache) -> T) -> T {
+        let mut reg = self.registry.lock().unwrap();
+        let mut cache = self.cache.lock().unwrap();
+        f(&mut reg, &mut cache)
+    }
+
+    /// Serve one request: resolve through the cache, execute in
+    /// isolation.
+    pub fn run_one(&self, spec: &RequestSpec) -> Result<RunOutcome, ServeError> {
+        let start = Instant::now();
+        let compile_start = Instant::now();
+        let (cached, hit) = self.cache.lock().unwrap().get_or_compile(spec)?;
+        let compile_us = if hit {
+            0
+        } else {
+            compile_start.elapsed().as_micros() as u64
+        };
+        let mut outcome = execute(&cached)?;
+        outcome.cache_hit = hit;
+        outcome.compile_us = compile_us;
+        outcome.latency_us = start.elapsed().as_micros() as u64;
+        Ok(outcome)
+    }
+
+    /// Serve a registered program by name.
+    pub fn run_named(&self, name: &str) -> Result<RunOutcome, ServeError> {
+        let start = Instant::now();
+        let (cached, hit) = {
+            let reg = self.registry.lock().unwrap();
+            let mut cache = self.cache.lock().unwrap();
+            reg.resolve(name, &mut cache)?
+        };
+        let mut outcome = execute(&cached)?;
+        outcome.cache_hit = hit;
+        outcome.latency_us = start.elapsed().as_micros() as u64;
+        Ok(outcome)
+    }
+
+    /// Run a whole batch concurrently over the worker pool. Results come
+    /// back in request order regardless of which worker served which
+    /// request or in what interleaving.
+    pub fn run_batch(&self, specs: &[RequestSpec]) -> Vec<Result<RunOutcome, ServeError>> {
+        let mut slots: Vec<Option<Result<RunOutcome, ServeError>>> = Vec::new();
+        slots.resize_with(specs.len(), || None);
+        let slots = Mutex::new(slots);
+        let cursor = AtomicUsize::new(0);
+        let nworkers = self.workers.min(specs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..nworkers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let result = self.run_one(&specs[i]);
+                    slots.lock().unwrap()[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot is filled"))
+            .collect()
+    }
+}
+
+/// Deterministic initial value for declaration ordinal `o` at `idx` —
+/// the same convention as `xdp_verify`'s differential driver: integer-
+/// valued (dyadic-exact arithmetic downstream) and index-dependent
+/// (permutations are observable).
+fn init_value(o: usize, idx: &[i64]) -> Value {
+    let mut v = (o as i64 + 1) * 1000;
+    for (k, x) in idx.iter().enumerate() {
+        v += x * (k as i64 + 1);
+    }
+    Value::F64(v as f64)
+}
+
+/// Execute a cached program on a fresh, private simulator instance.
+fn execute(cached: &Arc<CachedProgram>) -> Result<RunOutcome, ServeError> {
+    let compiled = &cached.compiled;
+    let mut cfg = SimConfig::new(compiled.nprocs).with_trace(TraceConfig::full());
+    if cached.faults.is_active() {
+        cfg = cfg.with_faults(cached.faults.clone());
+    }
+    let mut exec = SimExec::new(compiled.program.clone(), xdp_apps::app_kernels(), cfg);
+    let decls: Vec<(usize, String)> = compiled
+        .program
+        .decls
+        .iter()
+        .enumerate()
+        .map(|(o, d)| (o, d.name.clone()))
+        .collect();
+    for (o, _) in &decls {
+        let o = *o;
+        exec.init_exclusive(VarId(o as u32), move |idx| init_value(o, idx));
+    }
+    let report = exec.run().map_err(|e| ServeError::Run(e.to_string()))?;
+    let mut fp = Fingerprint::default();
+    for (o, name) in &decls {
+        fp.record_memory(name, &exec.gather(VarId(*o as u32)));
+    }
+    fp.record_trace(&report.trace);
+    fp.messages = report.net.messages;
+    Ok(RunOutcome {
+        key: cached.key,
+        cache_hit: false,
+        virtual_time: report.virtual_time,
+        messages: report.net.messages,
+        fingerprint: fp,
+        latency_us: 0,
+        compile_us: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdp_compiler::CompileOptions;
+
+    fn spec(n: i64) -> RequestSpec {
+        RequestSpec::new(format!(
+            "real A[1:{n}] distribute (BLOCK) onto 2\n\
+             do i = 1, {n}\n  iown(A[i]) : {{ A[i] = A[i] + 1.0 }}\nenddo\n"
+        ))
+    }
+
+    #[test]
+    fn run_one_hits_after_first_miss() {
+        let pool = ServePool::new(2, 8);
+        let a = pool.run_one(&spec(8)).unwrap();
+        assert!(!a.cache_hit);
+        let b = pool.run_one(&spec(8)).unwrap();
+        assert!(b.cache_hit);
+        assert_eq!(b.compile_us, 0, "hit spends no compile time");
+        assert_eq!(a.fingerprint, b.fingerprint, "same program, same outcome");
+        assert_eq!(pool.cache_stats().compiles, 1);
+    }
+
+    #[test]
+    fn batch_results_keep_request_order_and_match_solo() {
+        let pool = ServePool::new(4, 8);
+        let specs: Vec<RequestSpec> = vec![
+            spec(8),
+            spec(12),
+            spec(8).with_opts(CompileOptions::default().optimized()),
+            spec(8),
+            spec(12),
+        ];
+        let solo: Vec<RunOutcome> = specs
+            .iter()
+            .map(|s| ServePool::new(1, 8).run_one(s).unwrap())
+            .collect();
+        let batch = pool.run_batch(&specs);
+        assert_eq!(batch.len(), specs.len());
+        for (i, (b, s)) in batch.iter().zip(&solo).enumerate() {
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.key, specs[i].content_hash(), "slot {i} keeps its spec");
+            assert_eq!(
+                b.fingerprint, s.fingerprint,
+                "slot {i}: batch must match solo"
+            );
+            assert_eq!(b.virtual_time, s.virtual_time);
+        }
+        // 3 distinct specs compiled once each, 2 served warm.
+        assert_eq!(pool.cache_stats().compiles, 3);
+        assert_eq!(pool.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn batch_reports_bad_requests_in_place() {
+        let pool = ServePool::new(2, 8);
+        let specs = vec![
+            spec(8),
+            RequestSpec::new("real A[1:4] distribute (WAT) onto 2\n"),
+        ];
+        let out = pool.run_batch(&specs);
+        assert!(out[0].is_ok());
+        assert!(matches!(
+            out[1].as_ref().unwrap_err(),
+            ServeError::Compile(_)
+        ));
+    }
+
+    #[test]
+    fn named_runs_resolve_through_registry() {
+        let pool = ServePool::new(2, 8);
+        pool.with_registry(|reg, cache| reg.register("adder", spec(8), cache))
+            .unwrap();
+        let out = pool.run_named("adder").unwrap();
+        assert!(out.cache_hit, "registration pre-warms the cache");
+        assert!(matches!(
+            pool.run_named("nope"),
+            Err(ServeError::Unknown(_))
+        ));
+    }
+}

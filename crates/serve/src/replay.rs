@@ -1,0 +1,392 @@
+//! The load-replay driver behind `xdpd bench` and `e13_serve`.
+//!
+//! Replay builds a request corpus — every `.xdp` program in a directory
+//! (plain and optimized variants), plus `xdp_verify`-generated programs
+//! rendered back to source — then fires a seeded, weighted stream of
+//! requests at a [`ServePool`] in batches and reports what a serving
+//! operator would watch: latency percentiles, throughput, cache hit
+//! rate, and the **warm-recompile count** (resubmitting every distinct
+//! corpus item after the replay must not move the compile counter; a
+//! nonzero value means a hit recompiled, which is the one thing a
+//! compile cache must never do).
+
+use crate::cache::CacheStats;
+use crate::pool::ServePool;
+use crate::spec::RequestSpec;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::{Map, Value as Json};
+use std::path::PathBuf;
+use std::time::Instant;
+use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_verify::GenConfig;
+
+/// One weighted corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusItem {
+    /// Display name (`file.xdp`, `file.xdp+opt`, `gen-3`, ...).
+    pub name: String,
+    pub spec: RequestSpec,
+    /// Sampling weight in the request mix.
+    pub weight: u32,
+}
+
+/// Replay shape: how many requests, over how many workers, from which
+/// corpus.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// Total requests to replay.
+    pub requests: usize,
+    /// Pool worker threads.
+    pub workers: usize,
+    /// Requests per `run_batch` call.
+    pub batch: usize,
+    /// Compile-cache capacity (programs).
+    pub capacity: usize,
+    /// RNG seed for the request mix (and generated-program seeds).
+    pub seed: u64,
+    /// Number of `xdp_verify`-generated programs to add to the corpus.
+    pub gen_count: usize,
+    /// Directory of `.xdp` sources; empty name disables file loading.
+    pub programs_dir: PathBuf,
+}
+
+impl ReplayConfig {
+    /// The `xdpd bench` defaults over a program directory.
+    pub fn new(programs_dir: impl Into<PathBuf>) -> ReplayConfig {
+        ReplayConfig {
+            requests: 1000,
+            workers: 4,
+            batch: 64,
+            capacity: 64,
+            seed: 1993,
+            gen_count: 6,
+            programs_dir: programs_dir.into(),
+        }
+    }
+}
+
+/// Per-corpus-item replay counters.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramRow {
+    pub name: String,
+    pub runs: u64,
+    pub hits: u64,
+    pub mean_latency_us: f64,
+}
+
+/// Everything the replay measured.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    pub requests: usize,
+    pub errors: usize,
+    pub distinct: usize,
+    /// Corpus items the seeded mix actually requested at least once
+    /// (short replays may never draw a low-weight item).
+    pub distinct_requested: usize,
+    pub wall_s: f64,
+    pub runs_per_sec: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub mean_us: f64,
+    /// Hit rate over the replay phase only (excludes the warm check).
+    pub hit_rate: f64,
+    /// Cache counters after the replay phase.
+    pub stats: CacheStats,
+    /// Compiles triggered by resubmitting every *requested* item once,
+    /// post-replay. Must be 0 when `capacity >= distinct`: every one of
+    /// these specs was compiled during the replay, so a nonzero count
+    /// means a hit recompiled.
+    pub warm_recompiles: u64,
+    pub per_program: Vec<ProgramRow>,
+}
+
+impl ReplayReport {
+    /// The report as one JSON object (the `BENCH_serve.json` payload).
+    pub fn to_json(&self) -> Json {
+        let mut latency = Map::new();
+        latency.insert("p50".into(), Json::from(self.p50_us));
+        latency.insert("p99".into(), Json::from(self.p99_us));
+        latency.insert("mean".into(), Json::from(self.mean_us));
+        let mut cache = Map::new();
+        cache.insert("hit_rate".into(), Json::from(self.hit_rate));
+        cache.insert("hits".into(), Json::from(self.stats.hits));
+        cache.insert("misses".into(), Json::from(self.stats.misses));
+        cache.insert("compiles".into(), Json::from(self.stats.compiles));
+        cache.insert("evictions".into(), Json::from(self.stats.evictions));
+        cache.insert("warm_recompiles".into(), Json::from(self.warm_recompiles));
+        let per: Vec<Json> = self
+            .per_program
+            .iter()
+            .map(|r| {
+                let mut row = Map::new();
+                row.insert("name".into(), Json::from(r.name.clone()));
+                row.insert("runs".into(), Json::from(r.runs));
+                row.insert("hits".into(), Json::from(r.hits));
+                row.insert("mean_latency_us".into(), Json::from(r.mean_latency_us));
+                Json::Object(row)
+            })
+            .collect();
+        let mut root = Map::new();
+        root.insert("experiment".into(), Json::from("e13-serve"));
+        root.insert("requests".into(), Json::from(self.requests));
+        root.insert("errors".into(), Json::from(self.errors));
+        root.insert("distinct_programs".into(), Json::from(self.distinct));
+        root.insert(
+            "distinct_requested".into(),
+            Json::from(self.distinct_requested),
+        );
+        root.insert("wall_s".into(), Json::from(self.wall_s));
+        root.insert("runs_per_sec".into(), Json::from(self.runs_per_sec));
+        root.insert("latency_us".into(), Json::Object(latency));
+        root.insert("cache".into(), Json::Object(cache));
+        root.insert("per_program".into(), Json::Array(per));
+        Json::Object(root)
+    }
+}
+
+/// Build the replay corpus: directory programs (plain weight 8,
+/// optimized weight 4) plus generated programs (weight 1). Files load in
+/// sorted name order so the corpus — and therefore the seeded request
+/// mix — is reproducible.
+pub fn load_corpus(cfg: &ReplayConfig) -> Result<Vec<CorpusItem>, String> {
+    let mut corpus = Vec::new();
+    if !cfg.programs_dir.as_os_str().is_empty() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&cfg.programs_dir)
+            .map_err(|e| format!("cannot read {}: {e}", cfg.programs_dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "xdp"))
+            .collect();
+        files.sort();
+        for path in files {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            // Auto handles both notations: sequential sources (e.g.
+            // seq_sum.xdp) lower through owner-computes, parallel
+            // sources run as written.
+            let auto = CompileOptions::default().with_seq(SeqMode::Auto);
+            corpus.push(CorpusItem {
+                name: name.clone(),
+                spec: RequestSpec::new(source.clone()).with_opts(auto.clone()),
+                weight: 8,
+            });
+            corpus.push(CorpusItem {
+                name: format!("{name}+opt"),
+                spec: RequestSpec::new(source).with_opts(auto.optimized()),
+                weight: 4,
+            });
+        }
+    }
+    for k in 0..cfg.gen_count {
+        let tp = xdp_verify::gen::executable_program_with(
+            &GenConfig::default(),
+            cfg.seed.wrapping_add(k as u64),
+        );
+        corpus.push(CorpusItem {
+            name: format!("gen-{k}"),
+            spec: RequestSpec::new(xdp_ir::pretty::program(&tp.program)),
+            weight: 1,
+        });
+    }
+    if corpus.is_empty() {
+        return Err("replay corpus is empty".to_string());
+    }
+    Ok(corpus)
+}
+
+/// Draw a seeded, weighted request mix of `n` corpus indices.
+pub fn request_mix(corpus: &[CorpusItem], n: usize, seed: u64) -> Vec<usize> {
+    let total: u64 = corpus.iter().map(|c| u64::from(c.weight)).sum();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut pick = rng.gen_range(0..total);
+            for (i, item) in corpus.iter().enumerate() {
+                let w = u64::from(item.weight);
+                if pick < w {
+                    return i;
+                }
+                pick -= w;
+            }
+            corpus.len() - 1
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run the full replay: corpus → request mix → batched execution →
+/// warm-recompile check. Returns the report and the pool (still warm,
+/// for follow-up queries).
+pub fn replay(cfg: &ReplayConfig) -> Result<(ReplayReport, ServePool), String> {
+    let corpus = load_corpus(cfg)?;
+    let mix = request_mix(&corpus, cfg.requests, cfg.seed);
+    let pool = ServePool::new(cfg.workers, cfg.capacity);
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);
+    let mut per: Vec<(u64, u64, u64)> = vec![(0, 0, 0); corpus.len()]; // runs, hits, total us
+    let mut errors = 0usize;
+    let started = Instant::now();
+    for chunk in mix.chunks(cfg.batch.max(1)) {
+        let specs: Vec<RequestSpec> = chunk.iter().map(|&i| corpus[i].spec.clone()).collect();
+        for (&i, result) in chunk.iter().zip(pool.run_batch(&specs)) {
+            match result {
+                Ok(out) => {
+                    latencies.push(out.latency_us);
+                    per[i].0 += 1;
+                    per[i].1 += u64::from(out.cache_hit);
+                    per[i].2 += out.latency_us;
+                }
+                Err(e) => {
+                    errors += 1;
+                    eprintln!("replay: {}: {e}", corpus[i].name);
+                }
+            }
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let stats = pool.cache_stats();
+
+    // Warm check: every item the replay actually served, one more time.
+    // The cache already compiled each of these specs, so the compile
+    // counter must not move (when the cache is big enough to hold the
+    // whole corpus). Items the mix never drew are skipped — compiling
+    // them now would be a first compile, not a recompile.
+    let before = pool.cache_stats().compiles;
+    for (item, &(runs, _, _)) in corpus.iter().zip(&per) {
+        if runs == 0 {
+            continue;
+        }
+        if let Err(e) = pool.run_one(&item.spec) {
+            return Err(format!("warm check: {}: {e}", item.name));
+        }
+    }
+    let warm_recompiles = pool.cache_stats().compiles - before;
+
+    latencies.sort_unstable();
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let report = ReplayReport {
+        requests: cfg.requests,
+        errors,
+        distinct: corpus.len(),
+        distinct_requested: per.iter().filter(|&&(runs, _, _)| runs > 0).count(),
+        wall_s,
+        runs_per_sec: if wall_s > 0.0 {
+            (cfg.requests - errors) as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        mean_us,
+        hit_rate: stats.hit_rate(),
+        stats,
+        warm_recompiles,
+        per_program: corpus
+            .iter()
+            .zip(&per)
+            .map(|(item, &(runs, hits, total))| ProgramRow {
+                name: item.name.clone(),
+                runs,
+                hits,
+                mean_latency_us: if runs > 0 {
+                    total as f64 / runs as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect(),
+    };
+    Ok((report, pool))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_only(requests: usize) -> ReplayConfig {
+        ReplayConfig {
+            requests,
+            workers: 2,
+            batch: 16,
+            capacity: 16,
+            seed: 7,
+            gen_count: 3,
+            programs_dir: PathBuf::new(),
+        }
+    }
+
+    #[test]
+    fn corpus_from_generated_programs_only() {
+        let corpus = load_corpus(&gen_only(10)).unwrap();
+        assert_eq!(corpus.len(), 3);
+        assert!(corpus.iter().all(|c| c.name.starts_with("gen-")));
+        // Same config, same corpus (generation is seeded).
+        let again = load_corpus(&gen_only(10)).unwrap();
+        for (a, b) in corpus.iter().zip(&again) {
+            assert_eq!(a.spec.content_hash(), b.spec.content_hash());
+        }
+    }
+
+    #[test]
+    fn request_mix_is_seeded_and_weighted() {
+        let corpus = vec![
+            CorpusItem {
+                name: "heavy".into(),
+                spec: RequestSpec::new("x"),
+                weight: 9,
+            },
+            CorpusItem {
+                name: "light".into(),
+                spec: RequestSpec::new("y"),
+                weight: 1,
+            },
+        ];
+        let mix = request_mix(&corpus, 1000, 42);
+        assert_eq!(mix, request_mix(&corpus, 1000, 42), "seeded = reproducible");
+        let heavy = mix.iter().filter(|&&i| i == 0).count();
+        assert!(heavy > 800 && heavy < 980, "got {heavy}/1000 heavy");
+    }
+
+    #[test]
+    fn replay_over_generated_corpus_hits_warm() {
+        let (report, _pool) = replay(&gen_only(60)).unwrap();
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.distinct, 3);
+        assert_eq!(report.distinct_requested, 3, "equal weights, 60 draws");
+        assert_eq!(
+            report.warm_recompiles, 0,
+            "warm resubmission must not compile"
+        );
+        assert_eq!(report.stats.compiles, 3, "one compile per distinct program");
+        assert!(report.hit_rate > 0.9, "hit rate {}", report.hit_rate);
+        assert_eq!(report.per_program.iter().map(|r| r.runs).sum::<u64>(), 60);
+        let j = report.to_json();
+        let warm = j.get("cache").and_then(|c| c.get("warm_recompiles"));
+        assert_eq!(warm.and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(j.get("requests").and_then(|v| v.as_u64()), Some(60));
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = vec![1, 2, 3, 4, 100];
+        assert_eq!(percentile(&v, 0.5), 3);
+        assert_eq!(percentile(&v, 0.99), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Request specifications and their content hash — the compile-cache key.
+//!
+//! A [`RequestSpec`] is everything that can influence what the compile
+//! pipeline produces and how the program will be executed: the source
+//! text itself, the [`CompileOptions`] (machine size, optimization,
+//! placement, sequential handling), and the transport-fault spec. Two
+//! requests with equal specs are *provably* served by the same compiled
+//! artifact; any field changing changes the [content hash](RequestSpec::content_hash).
+//!
+//! The hash is 64-bit FNV-1a over a tagged, length-prefixed encoding of
+//! the fields (so `("ab", "c")` and `("a", "bc")` cannot collide), which
+//! keeps the key stable across processes and runs — unlike
+//! `std::hash::Hasher`, whose output is explicitly unspecified between
+//! releases. The cache additionally stores the full spec per entry and
+//! compares it on lookup, so even a 64-bit collision degrades to a miss,
+//! never to serving the wrong program.
+
+use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_fault::FaultPlan;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher over tagged fields.
+#[derive(Clone, Debug)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl ContentHasher {
+    pub fn new() -> ContentHasher {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.state ^= u64::from(x);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mix one field: a tag byte, the length, then the payload. The
+    /// prefix makes field boundaries unambiguous.
+    pub fn field(&mut self, tag: u8, payload: &[u8]) {
+        self.bytes(&[tag]);
+        self.bytes(&(payload.len() as u64).to_le_bytes());
+        self.bytes(payload);
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> ContentHasher {
+        ContentHasher::new()
+    }
+}
+
+/// One serveable unit of work: a program source plus everything that
+/// parameterizes its compilation and execution.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RequestSpec {
+    /// The program source text (the `.xdp` notation).
+    pub source: String,
+    /// Compile-pipeline options (machine size, optimize, place, seq).
+    pub opts: CompileOptions,
+    /// Transport-fault spec in `FaultPlan::parse` syntax; empty = none.
+    /// Kept as the canonical string so the key is reproducible from the
+    /// request as received.
+    pub faults: String,
+}
+
+impl RequestSpec {
+    /// A spec with default options and no faults.
+    pub fn new(source: impl Into<String>) -> RequestSpec {
+        RequestSpec {
+            source: source.into(),
+            opts: CompileOptions::default(),
+            faults: String::new(),
+        }
+    }
+
+    /// Builder shorthand: replace the compile options.
+    pub fn with_opts(mut self, opts: CompileOptions) -> RequestSpec {
+        self.opts = opts;
+        self
+    }
+
+    /// Builder shorthand: set the fault spec.
+    pub fn with_faults(mut self, spec: impl Into<String>) -> RequestSpec {
+        self.faults = spec.into();
+        self
+    }
+
+    /// The 64-bit content hash identifying this spec in the cache.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = ContentHasher::new();
+        h.field(b'S', self.source.as_bytes());
+        match self.opts.procs {
+            None => h.field(b'P', b""),
+            Some(n) => h.field(b'P', &(n as u64).to_le_bytes()),
+        }
+        h.field(b'O', &[u8::from(self.opts.optimize)]);
+        h.field(b'A', &[u8::from(self.opts.place)]);
+        let seq = match self.opts.seq {
+            SeqMode::AsIs => 0u8,
+            SeqMode::Lower => 1,
+            SeqMode::Auto => 2,
+        };
+        h.field(b'Q', &[seq]);
+        h.field(b'F', self.faults.as_bytes());
+        h.finish()
+    }
+
+    /// Parse the fault spec (empty = [`FaultPlan::none`]).
+    pub fn fault_plan(&self) -> Result<FaultPlan, String> {
+        if self.faults.is_empty() {
+            return Ok(FaultPlan::none());
+        }
+        FaultPlan::parse(&self.faults).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_field_sensitive() {
+        let s = RequestSpec::new("real A[1:4] distribute (BLOCK) onto 2\n");
+        let k = s.content_hash();
+        assert_eq!(k, s.clone().content_hash(), "same spec, same key");
+
+        let variants = [
+            RequestSpec::new("real A[1:4] distribute (BLOCK) onto 2\n ")
+                .with_opts(CompileOptions::default()),
+            s.clone().with_opts(CompileOptions::default().with_procs(2)),
+            s.clone().with_opts(CompileOptions::default().optimized()),
+            s.clone().with_opts(CompileOptions::default().placed()),
+            s.clone()
+                .with_opts(CompileOptions::default().with_seq(SeqMode::Auto)),
+            s.clone().with_faults("drop=0.1,seed=3"),
+        ];
+        for v in variants {
+            assert_ne!(k, v.content_hash(), "{v:?} must key differently");
+        }
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        // Same concatenated bytes, different field split.
+        let mut a = ContentHasher::new();
+        a.field(1, b"ab");
+        a.field(2, b"c");
+        let mut b = ContentHasher::new();
+        b.field(1, b"a");
+        b.field(2, b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fault_plans_parse_lazily() {
+        assert!(!RequestSpec::new("x").fault_plan().unwrap().is_active());
+        assert!(RequestSpec::new("x")
+            .with_faults("drop=0.2,seed=1")
+            .fault_plan()
+            .unwrap()
+            .is_active());
+        assert!(RequestSpec::new("x")
+            .with_faults("drop=banana")
+            .fault_plan()
+            .is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the compile-cache key and the LRU bound.
+//!
+//! The cache key must be **stable** (a pure function of the spec — the
+//! whole point of a content hash is that the same request always lands
+//! on the same entry, across processes and runs) and **sensitive**
+//! (any field that can change what the pipeline produces changes the
+//! key). The cache itself must never exceed its capacity and must keep
+//! its counters consistent under arbitrary request sequences.
+
+use proptest::prelude::*;
+use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_serve::{CompileCache, RequestSpec};
+
+fn arb_seq() -> impl Strategy<Value = SeqMode> {
+    (0u8..3).prop_map(|k| match k {
+        0 => SeqMode::AsIs,
+        1 => SeqMode::Lower,
+        _ => SeqMode::Auto,
+    })
+}
+
+fn arb_opts() -> impl Strategy<Value = CompileOptions> {
+    (
+        prop::option::of(1usize..16),
+        any::<bool>(),
+        any::<bool>(),
+        arb_seq(),
+    )
+        .prop_map(|(procs, optimize, place, seq)| CompileOptions {
+            procs,
+            optimize,
+            place,
+            seq,
+        })
+}
+
+/// Printable-ASCII strings (the vendored proptest has no regex strategies).
+fn arb_text(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..max)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn arb_spec() -> impl Strategy<Value = RequestSpec> {
+    (arb_text(64), arb_opts(), arb_text(16)).prop_map(|(source, opts, faults)| {
+        RequestSpec::new(source).with_opts(opts).with_faults(faults)
+    })
+}
+
+/// A small family of *valid* programs for exercising the LRU: extent and
+/// grid size pick the program, the optimize flag doubles the key space.
+fn valid_spec(n: i64, p: usize, optimize: bool) -> RequestSpec {
+    let opts = CompileOptions {
+        optimize,
+        ..Default::default()
+    };
+    RequestSpec::new(format!(
+        "real A[1:{n}] distribute (BLOCK) onto {p}\n\
+         do i = 1, {n}\n  iown(A[i]) : {{ A[i] = A[i] + 1.0 }}\nenddo\n"
+    ))
+    .with_opts(opts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Stability: the key is a pure function of the spec.
+    #[test]
+    fn key_is_stable(spec in arb_spec()) {
+        prop_assert_eq!(spec.content_hash(), spec.clone().content_hash());
+    }
+
+    // Sensitivity: every field perturbation moves the key.
+    #[test]
+    fn key_is_field_sensitive(spec in arb_spec()) {
+        let k = spec.content_hash();
+        let mut source = spec.clone();
+        source.source.push('x');
+        prop_assert_ne!(k, source.content_hash(), "source text must key");
+
+        let mut procs = spec.clone();
+        procs.opts.procs = Some(procs.opts.procs.map_or(1, |p| p + 1));
+        prop_assert_ne!(k, procs.content_hash(), "machine size must key");
+
+        let mut optimize = spec.clone();
+        optimize.opts.optimize = !optimize.opts.optimize;
+        prop_assert_ne!(k, optimize.content_hash(), "opt flag must key");
+
+        let mut place = spec.clone();
+        place.opts.place = !place.opts.place;
+        prop_assert_ne!(k, place.content_hash(), "placement mode must key");
+
+        let mut seq = spec.clone();
+        seq.opts.seq = match seq.opts.seq {
+            SeqMode::AsIs => SeqMode::Lower,
+            SeqMode::Lower => SeqMode::Auto,
+            SeqMode::Auto => SeqMode::AsIs,
+        };
+        prop_assert_ne!(k, seq.content_hash(), "seq mode must key");
+
+        let mut faults = spec.clone();
+        faults.faults.push('z');
+        prop_assert_ne!(k, faults.content_hash(), "fault spec must key");
+    }
+
+    // Field boundaries are length-prefixed: moving a byte between source
+    // and fault spec never preserves the key.
+    #[test]
+    fn key_does_not_confuse_field_boundaries(
+        source_bytes in prop::collection::vec(97u8..123, 1..12),
+        faults in arb_text(6),
+    ) {
+        let source: String = source_bytes.into_iter().map(char::from).collect();
+        let a = RequestSpec::new(source.clone()).with_faults(faults.clone());
+        let shifted = RequestSpec::new(source[..source.len() - 1].to_string())
+            .with_faults(format!("{}{}", &source[source.len() - 1..], faults));
+        prop_assert_ne!(a.content_hash(), shifted.content_hash());
+    }
+}
+
+proptest! {
+    // Compiling is the expensive part of each case; fewer cases, each
+    // exercising a whole request sequence.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The LRU bound and counter book-keeping hold under any request
+    // sequence drawn from a key space larger than the capacity.
+    #[test]
+    fn lru_bound_and_counters_hold(
+        capacity in 1usize..5,
+        requests in prop::collection::vec((1i64..5, 1usize..3, any::<bool>()), 1..40),
+    ) {
+        let mut cache = CompileCache::new(capacity);
+        let mut compiles_seen = 0u64;
+        for (k, p, optimize) in &requests {
+            let spec = valid_spec(4 * k, *p, *optimize);
+            let key = spec.content_hash();
+            let resident_before = cache.contains(key);
+            let (cached, hit) = cache.get_or_compile(&spec).unwrap();
+            prop_assert_eq!(hit, resident_before, "hit iff already resident");
+            prop_assert_eq!(cached.key, key);
+            if !hit {
+                compiles_seen += 1;
+            }
+            prop_assert!(cache.len() <= capacity, "len {} > capacity {capacity}", cache.len());
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, requests.len() as u64);
+        prop_assert_eq!(stats.compiles, compiles_seen);
+        prop_assert_eq!(stats.compiles, stats.misses, "every miss compiles exactly once");
+        // Everything compiled beyond capacity must have been displaced.
+        prop_assert_eq!(stats.evictions, compiles_seen - cache.len() as u64);
+    }
+
+    // Recency is respected: in a capacity-2 cache, touching A then
+    // inserting C evicts B, never A.
+    #[test]
+    fn lru_evicts_least_recently_used(seed_opt in any::<bool>()) {
+        let mut cache = CompileCache::new(2);
+        let a = valid_spec(4, 1, seed_opt);
+        let b2 = valid_spec(8, 1, seed_opt);
+        let c = valid_spec(12, 1, seed_opt);
+        cache.get_or_compile(&a).unwrap();
+        cache.get_or_compile(&b2).unwrap();
+        cache.get_or_compile(&a).unwrap(); // touch A
+        cache.get_or_compile(&c).unwrap(); // must displace B
+        prop_assert!(cache.contains(a.content_hash()));
+        prop_assert!(!cache.contains(b2.content_hash()));
+        prop_assert!(cache.contains(c.content_hash()));
+    }
+}

@@ -1,0 +1,123 @@
+//! Concurrency conformance: batched execution is bit-identical to solo.
+//!
+//! For every program in `xdp-programs/` (plain and optimized) and a set
+//! of `xdp_verify`-generated programs, N copies run through a concurrent
+//! batch must produce exactly the same [`xdp_verify::Fingerprint`] —
+//! memory image, movement multiset, state digest, and message count — as
+//! a solo run on a fresh pool. Per-run isolation is the serving layer's
+//! core correctness claim; this is the test that owns it.
+
+use std::path::PathBuf;
+use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_serve::{RequestSpec, ServePool};
+
+fn programs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../xdp-programs")
+}
+
+fn program_specs() -> Vec<(String, RequestSpec)> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(programs_dir())
+        .expect("xdp-programs/ exists")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "xdp"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no programs in {:?}", programs_dir());
+    let mut specs = Vec::new();
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).unwrap();
+        let auto = CompileOptions::default().with_seq(SeqMode::Auto);
+        specs.push((
+            name.clone(),
+            RequestSpec::new(source.clone()).with_opts(auto.clone()),
+        ));
+        specs.push((
+            format!("{name}+opt"),
+            RequestSpec::new(source).with_opts(auto.optimized()),
+        ));
+    }
+    specs
+}
+
+/// N concurrent copies of one spec == its solo fingerprint.
+fn assert_batch_matches_solo(name: &str, spec: &RequestSpec, copies: usize) {
+    let solo = ServePool::new(1, 4)
+        .run_one(spec)
+        .unwrap_or_else(|e| panic!("{name}: solo run failed: {e}"));
+    let pool = ServePool::new(4, 4);
+    let specs = vec![spec.clone(); copies];
+    for (i, result) in pool.run_batch(&specs).into_iter().enumerate() {
+        let out = result.unwrap_or_else(|e| panic!("{name}: batch run {i} failed: {e}"));
+        assert_eq!(
+            out.fingerprint, solo.fingerprint,
+            "{name}: concurrent copy {i} diverged from solo"
+        );
+        assert_eq!(out.virtual_time, solo.virtual_time, "{name}: copy {i}");
+        assert_eq!(out.messages, solo.messages, "{name}: copy {i}");
+    }
+}
+
+#[test]
+fn every_program_is_batch_solo_identical() {
+    for (name, spec) in program_specs() {
+        assert_batch_matches_solo(&name, &spec, 3);
+    }
+}
+
+#[test]
+fn mixed_batch_matches_per_spec_sequential_runs() {
+    let specs = program_specs();
+    // Sequential reference: each spec solo on a private pool.
+    let reference: Vec<_> = specs
+        .iter()
+        .map(|(name, spec)| {
+            ServePool::new(1, 4)
+                .run_one(spec)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .fingerprint
+        })
+        .collect();
+    // One interleaved batch over everything, twice per spec, shared cache.
+    let pool = ServePool::new(4, specs.len());
+    let mut batch = Vec::new();
+    for (_, spec) in &specs {
+        batch.push(spec.clone());
+    }
+    for (_, spec) in &specs {
+        batch.push(spec.clone());
+    }
+    let results = pool.run_batch(&batch);
+    for (i, result) in results.into_iter().enumerate() {
+        let (name, _) = &specs[i % specs.len()];
+        let out = result.unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            out.fingerprint,
+            reference[i % specs.len()],
+            "{name}: interleaved run {i} diverged"
+        );
+    }
+    // Second round of every spec was served warm.
+    assert_eq!(pool.cache_stats().compiles, specs.len() as u64);
+    assert_eq!(pool.cache_stats().hits, specs.len() as u64);
+}
+
+#[test]
+fn generated_programs_are_batch_solo_identical() {
+    for seed in [3u64, 11, 42] {
+        let tp = xdp_verify::gen::executable_program_with(&xdp_verify::GenConfig::default(), seed);
+        let spec = RequestSpec::new(xdp_ir::pretty::program(&tp.program));
+        assert_batch_matches_solo(&format!("gen-{seed}"), &spec, 3);
+    }
+}
+
+#[test]
+fn faulty_runs_conform_too() {
+    // Fault injection is seeded per plan, so a faulty run is as
+    // deterministic as a lossless one — batched or not.
+    let source = std::fs::read_to_string(programs_dir().join("simple.xdp")).unwrap();
+    let spec = RequestSpec::new(source)
+        .with_opts(CompileOptions::default().with_seq(SeqMode::Auto))
+        .with_faults("drop=0.2,seed=7");
+    assert_batch_matches_solo("simple.xdp+faults", &spec, 4);
+}

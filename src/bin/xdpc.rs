@@ -71,6 +71,7 @@ use xdp_compiler::passes::{
     AutoPlace, BindCommunication, ElideAccessibleChecks, ElideSameOwnerComm, FuseLoops,
     LocalizeBounds, MigrateOwnership, SinkAwait, VectorizeMessages,
 };
+use xdp_compiler::{compile_program, CompileError, CompileOptions, Compiled, SeqMode};
 use xdp_ir::pretty;
 
 /// One subcommand: name, one-line summary (for usage), and handler. The
@@ -172,11 +173,14 @@ fn main() -> ExitCode {
             let Some(file) = args.get(1) else {
                 return usage();
             };
+            // One diagnostic and one exit code (2, a usage-class error)
+            // for every subcommand pointed at a missing or unreadable
+            // file — asserted for all of them in `tests/cli.rs`.
             let src = match std::fs::read_to_string(file) {
                 Ok(s) => s,
                 Err(e) => {
-                    eprintln!("xdpc: cannot read {file}: {e}");
-                    return ExitCode::FAILURE;
+                    eprintln!("xdpc: error: cannot read {file}: {e}");
+                    return ExitCode::from(2);
                 }
             };
             let program = match xdp_lang::parse_program(&src) {
@@ -205,30 +209,23 @@ fn cmd_check(program: &Program, _rest: &[String]) -> ExitCode {
 }
 
 fn cmd_lower(program: &Program, rest: &[String]) -> ExitCode {
-    match xdp_compiler::from_program(program) {
-        Ok(seq) => {
-            let naive = match lower_owner_computes(&seq, &FrontendOptions::default()) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("xdpc: frontend: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            outp!("{}", pretty::program(&naive));
-            if flag(rest, "--explain") {
-                // Show what the standard pipeline would do to this program:
-                // per-pass wall time, node deltas, statement provenance.
-                let (_, ct) = PassManager::paper_pipeline().run_traced(&naive);
-                eprintln!("\n[paper pipeline on the lowered program]");
-                eprint!("{}", ct.render());
-            }
-            ExitCode::SUCCESS
-        }
+    let opts = CompileOptions::default().with_seq(SeqMode::Lower);
+    let naive = match compile_program(program, &opts) {
+        Ok(c) => c.program,
         Err(e) => {
             eprintln!("xdpc: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    outp!("{}", pretty::program(&naive));
+    if flag(rest, "--explain") {
+        // Show what the standard pipeline would do to this program:
+        // per-pass wall time, node deltas, statement provenance.
+        let (_, ct) = PassManager::paper_pipeline().run_traced(&naive);
+        eprintln!("\n[paper pipeline on the lowered program]");
+        eprint!("{}", ct.render());
     }
+    ExitCode::SUCCESS
 }
 
 fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
@@ -414,13 +411,11 @@ fn parse_topo(rest: &[String]) -> Result<Topology, ExitCode> {
 /// distribution of the next).
 fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
     use xdp_bench::table::j;
-    let diags = xdp_ir::validate(program);
-    if !diags.is_empty() {
-        for d in diags {
-            eprintln!("xdpc: error: {d}");
-        }
-        return ExitCode::FAILURE;
-    }
+    let program = match compiled_for(program, rest, SeqMode::AsIs) {
+        Ok(c) => c.program,
+        Err(code) => return code,
+    };
+    let program = program.as_ref();
     let cost = cost_flags(rest);
     let topo = match parse_topo(rest) {
         Ok(t) => t,
@@ -527,13 +522,11 @@ fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
 /// advisory and only the input program is executed.
 fn cmd_place(program: &Program, rest: &[String]) -> ExitCode {
     use xdp_bench::table::j;
-    let diags = xdp_ir::validate(program);
-    if !diags.is_empty() {
-        for d in diags {
-            eprintln!("xdpc: error: {d}");
-        }
-        return ExitCode::FAILURE;
-    }
+    let compiled = match compiled_for(program, rest, SeqMode::AsIs) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let program = compiled.program.as_ref();
     let topo = match parse_topo(rest) {
         Ok(t) => t,
         Err(code) => return code,
@@ -591,7 +584,10 @@ fn cmd_place(program: &Program, rest: &[String]) -> ExitCode {
     // Predicted vs. simulated: execute on the simulated machine with the
     // same cost model the search scored against.
     let simulate = |p: &Program| -> Result<f64, String> {
-        let (nprocs, _) = machine_cfg(p, rest);
+        let nprocs = opt_val(rest, "--procs")
+            .and_then(|v| v.parse().ok())
+            .or_else(|| xdp_compiler::pipeline::machine_size_of(p))
+            .unwrap_or(1);
         let cfg = SimConfig::new(nprocs).with_cost(opts.model);
         let decls = p.decls.clone();
         let mut exec = SimExec::new(Arc::new(p.clone()), xdp_apps::app_kernels(), cfg);
@@ -653,44 +649,41 @@ fn opt_val<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-/// Apply `--optimize` (paper pipeline) if requested; `--explain` prints
-/// the full pass instrumentation instead of the one-line change log.
-fn maybe_optimize(program: &Program, rest: &[String]) -> Program {
-    if !flag(rest, "--optimize") {
-        return program.clone();
-    }
-    let (opt, ct) = PassManager::paper_pipeline().run_traced(program);
-    if flag(rest, "--explain") {
-        eprint!("{}", ct.render());
-    } else {
-        for p in ct.passes.iter().filter(|p| p.changed) {
-            eprintln!("pass {}: changed", p.name);
+/// The shared parse-free compile path: validate, honour `--procs` and
+/// `--optimize`, and print pass provenance (`--explain` for the full
+/// instrumentation, otherwise a one-line change log). All file-taking
+/// subcommands funnel through `xdp_compiler::compile_program` here — the
+/// same pipeline the `xdpd` daemon's compile cache keys.
+fn compiled_for(program: &Program, rest: &[String], seq: SeqMode) -> Result<Compiled, ExitCode> {
+    let opts = CompileOptions {
+        procs: opt_val(rest, "--procs").and_then(|v| v.parse().ok()),
+        optimize: flag(rest, "--optimize"),
+        place: false,
+        seq,
+    };
+    let compiled = match compile_program(program, &opts) {
+        Ok(c) => c,
+        Err(CompileError::Invalid(diags)) => {
+            for d in diags {
+                eprintln!("xdpc: error: {d}");
+            }
+            return Err(ExitCode::FAILURE);
+        }
+        Err(e) => {
+            eprintln!("xdpc: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    if !compiled.trace.passes.is_empty() {
+        if flag(rest, "--explain") {
+            eprint!("{}", compiled.trace.render());
+        } else {
+            for p in compiled.trace.passes.iter().filter(|p| p.changed) {
+                eprintln!("pass {}: changed", p.name);
+            }
         }
     }
-    opt
-}
-
-/// Machine size (`--procs` or the largest declared grid) and cost model
-/// (`--alpha`/`--beta`) shared by `run` and `trace`.
-fn machine_cfg(program: &Program, rest: &[String]) -> (usize, CostModel) {
-    let nprocs = opt_val(rest, "--procs")
-        .and_then(|v| v.parse().ok())
-        .or_else(|| {
-            program
-                .decls
-                .iter()
-                .filter_map(|d| d.dist.as_ref().map(|x| x.nprocs()))
-                .max()
-        })
-        .unwrap_or(1);
-    let mut cost = CostModel::default_1993();
-    if let Some(a) = opt_val(rest, "--alpha").and_then(|v| v.parse().ok()) {
-        cost.alpha = a;
-    }
-    if let Some(b) = opt_val(rest, "--beta").and_then(|v| v.parse().ok()) {
-        cost.beta = b;
-    }
-    (nprocs, cost)
+    Ok(compiled)
 }
 
 /// Deterministic default initialization: flattened 1-based element ordinal.
@@ -706,20 +699,18 @@ fn init_default(exec: &mut SimExec, decls: &[Decl]) {
 }
 
 fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
-    let diags = xdp_ir::validate(program);
-    if !diags.is_empty() {
-        for d in diags {
-            eprintln!("xdpc: error: {d}");
-        }
-        return ExitCode::FAILURE;
-    }
-    let program = maybe_optimize(program, rest);
+    let compiled = match compiled_for(program, rest, SeqMode::AsIs) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
     let faults = match parse_faults(rest) {
         Ok(p) => p,
         Err(code) => return code,
     };
-    let (nprocs, cost) = machine_cfg(&program, rest);
-    let mut cfg = SimConfig::new(nprocs).with_cost(cost).with_faults(faults);
+    let nprocs = compiled.nprocs;
+    let mut cfg = SimConfig::new(nprocs)
+        .with_cost(cost_flags(rest))
+        .with_faults(faults);
     if flag(rest, "--timeline") {
         cfg = cfg.with_timeline();
     }
@@ -727,8 +718,8 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
         cfg = cfg.unchecked();
     }
 
-    let decls = program.decls.clone();
-    let mut exec = SimExec::new(Arc::new(program), xdp_apps::app_kernels(), cfg);
+    let decls = compiled.program.decls.clone();
+    let mut exec = SimExec::new(compiled.program, xdp_apps::app_kernels(), cfg);
     init_default(&mut exec, &decls);
     let report = match exec.run() {
         Ok(r) => r,
@@ -776,29 +767,25 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
 /// if the run errors, an export cannot be written, or the analyzer cannot
 /// attribute the end-to-end time.
 fn cmd_trace(program: &Program, rest: &[String]) -> ExitCode {
-    let diags = xdp_ir::validate(program);
-    if !diags.is_empty() {
-        for d in diags {
-            eprintln!("xdpc: error: {d}");
-        }
-        return ExitCode::FAILURE;
-    }
-    let program = maybe_optimize(program, rest);
+    let compiled = match compiled_for(program, rest, SeqMode::AsIs) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
     let faults = match parse_faults(rest) {
         Ok(p) => p,
         Err(code) => return code,
     };
-    let (nprocs, cost) = machine_cfg(&program, rest);
+    let nprocs = compiled.nprocs;
     let cfg = SimConfig::new(nprocs)
-        .with_cost(cost)
+        .with_cost(cost_flags(rest))
         .with_faults(faults)
         .with_trace(TraceConfig::full());
 
     // Statement labels for the per-statement cost ranking.
     let labels: std::collections::HashMap<u32, String> =
-        pretty::stmt_table(&program).into_iter().collect();
-    let decls = program.decls.clone();
-    let mut exec = SimExec::new(Arc::new(program), xdp_apps::app_kernels(), cfg);
+        pretty::stmt_table(&compiled.program).into_iter().collect();
+    let decls = compiled.program.decls.clone();
+    let mut exec = SimExec::new(compiled.program, xdp_apps::app_kernels(), cfg);
     init_default(&mut exec, &decls);
     let report = match exec.run() {
         Ok(r) => r,

@@ -81,6 +81,7 @@ pub use xdp_lang as lang;
 pub use xdp_machine as machine;
 pub use xdp_place as place;
 pub use xdp_runtime as runtime;
+pub use xdp_serve as serve;
 pub use xdp_trace as trace;
 
 /// One-stop imports for examples and downstream users.

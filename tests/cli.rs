@@ -66,9 +66,6 @@ fn run_fft_listing() {
 
 #[test]
 fn errors_are_reported() {
-    let (_, stderr, ok) = xdpc(&["run", "xdp-programs/does-not-exist.xdp"]);
-    assert!(!ok);
-    assert!(stderr.contains("cannot read"), "{stderr}");
     let dir = std::env::temp_dir().join("xdpc_test");
     std::fs::create_dir_all(&dir).unwrap();
     let bad = dir.join("bad.xdp");
@@ -211,6 +208,29 @@ fn unknown_command_and_missing_file_are_usage_errors() {
     let (_, stderr, code) = xdpc_code(&["run"]);
     assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_one_diagnostic_and_exit_2_everywhere() {
+    // Every file-taking subcommand reports a missing or unreadable
+    // program file with the same diagnostic and usage-class exit code 2.
+    for cmd in [
+        "check", "lower", "opt", "run", "trace", "tune", "plan", "place",
+    ] {
+        let (_, stderr, code) = xdpc_code(&[cmd, "xdp-programs/does-not-exist.xdp"]);
+        assert_eq!(code, 2, "{cmd}: {stderr}");
+        assert!(
+            stderr.contains("xdpc: error: cannot read xdp-programs/does-not-exist.xdp"),
+            "{cmd}: {stderr}"
+        );
+    }
+    // Unreadable (a directory, not a file) gets the same treatment.
+    let (_, stderr, code) = xdpc_code(&["run", "xdp-programs"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(
+        stderr.contains("xdpc: error: cannot read xdp-programs"),
+        "{stderr}"
+    );
 }
 
 #[test]
