@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 fuzz serve
+.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 e14 fuzz serve stats
 
 all: test
 
@@ -30,6 +30,10 @@ experiments:
 	@cargo run -q --release -p xdp-verify --bin e12_fuzz
 	@echo "==== e13_serve ===="
 	@cargo run -q --release -p xdp-serve --bin e13_serve
+	@echo "==== e14_metrics ===="
+	@cargo run -q --release -p xdp-serve --bin e14_metrics
+	@echo "==== bench_check ===="
+	@cargo run -q --release -p xdp-bench --bin bench_check
 
 # The automatic-placement experiment on its own (EXPERIMENTS.md E10).
 e10:
@@ -43,10 +47,16 @@ e11:
 e12:
 	cargo run -q --release -p xdp-verify --bin e12_fuzz
 
-# The serving load replay on its own (EXPERIMENTS.md E13); writes
-# BENCH_serve.json.
+# The serving load replay on its own (EXPERIMENTS.md E13); appends a
+# row to the BENCH_serve.json trajectory.
 e13:
 	cargo run -q --release -p xdp-serve --bin e13_serve
+
+# Telemetry validation on its own (EXPERIMENTS.md E14): histogram vs
+# oracle, latency decomposition, flight recorder, regression gate.
+e14:
+	cargo run -q --release -p xdp-serve --bin e14_metrics
+	cargo run -q --release -p xdp-bench --bin bench_check
 
 # A longer differential fuzz sweep via the CLI (CI runs --count 200).
 fuzz:
@@ -56,6 +66,10 @@ fuzz:
 serve:
 	cargo run -q --release --bin xdpd -- list
 	cargo run -q --release --bin xdpd -- run xdp-programs/fft3d.xdp --repeat 5
+
+# Serve a short replay and print the pool's Prometheus exposition.
+stats:
+	cargo run -q --release --bin xdpd -- stats
 
 examples:
 	@for e in quickstart fft3d paper_listings load_balance redistribute \

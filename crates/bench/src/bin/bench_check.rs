@@ -1,0 +1,68 @@
+//! `bench_check` — the trajectory regression gate.
+//!
+//! ```text
+//! bench_check [--file BENCH_serve.json] [--allow 0.25]
+//! ```
+//!
+//! Reads a benchmark trajectory, compares the newest run against the
+//! most recent earlier run of the same experiment, and exits nonzero
+//! when p99 latency or throughput degraded beyond the allowed fraction.
+//! CI runs this right after the serving benchmarks append their rows.
+
+use std::path::PathBuf;
+use xdp_bench::trajectory::{check_last, load, Gate};
+
+fn main() {
+    let mut file = PathBuf::from("BENCH_serve.json");
+    let mut allow = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--file" => {
+                file = PathBuf::from(args.next().unwrap_or_else(|| die("--file needs a path")))
+            }
+            "--allow" => {
+                allow = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--allow needs a fraction, e.g. 0.25"))
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_check [--file BENCH_serve.json] [--allow 0.25]");
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let runs = match load(&file) {
+        Ok(runs) => runs,
+        Err(e) => die(&e),
+    };
+    println!("bench_check: {} run(s) in {}", runs.len(), file.display());
+    let violations = check_last(&runs, Gate { ratio: 1.0 + allow });
+    if violations.is_empty() {
+        if let Some(last) = runs.last() {
+            let exp = last
+                .get("experiment")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?");
+            println!(
+                "bench_check: `{exp}` within {:.0}% of baseline — ok",
+                allow * 100.0
+            );
+        } else {
+            println!("bench_check: empty trajectory — nothing to gate");
+        }
+        return;
+    }
+    for v in &violations {
+        eprintln!("bench_check: REGRESSION: {v}");
+    }
+    std::process::exit(1);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_check: {msg}");
+    std::process::exit(2);
+}

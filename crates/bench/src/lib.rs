@@ -9,5 +9,7 @@
 
 pub mod conformance;
 pub mod table;
+pub mod trajectory;
 
 pub use table::{json_enabled, Table, JSON_SCHEMA_VERSION};
+pub use trajectory::{Gate, TRAJECTORY_VERSION};

@@ -1,0 +1,220 @@
+//! Benchmark trajectories: append-only run history with a regression
+//! gate.
+//!
+//! `BENCH_serve.json` used to be overwritten with the latest run, which
+//! made "did serving get slower?" unanswerable from the repo itself. A
+//! trajectory file is a versioned document holding every recorded run in
+//! order:
+//!
+//! ```json
+//! {"xdp_bench_trajectory_version": 1, "runs": [ {...}, {...} ]}
+//! ```
+//!
+//! [`append`] migrates transparently: a missing file starts an empty
+//! trajectory, and a legacy file holding one bare report object becomes
+//! that trajectory's first run. Each run row is expected to carry
+//! `experiment`, `runs_per_sec`, and `latency_us.p99` (the shape of
+//! [`ReplayReport::to_json`](../../xdp_serve/replay/struct.ReplayReport.html));
+//! rows are never rewritten once appended.
+//!
+//! [`check_last`] is the regression gate `xdp-bench`'s `bench_check`
+//! binary (and CI) runs after appending: the newest row is compared
+//! against the most recent *earlier* row of the same experiment, and the
+//! gate fails when p99 latency grew or throughput shrank by more than
+//! the allowed factor (25% by default). Cross-experiment rows are never
+//! compared — an `e14-metrics` run is not a regression baseline for an
+//! `e13-serve` run.
+
+use serde_json::{from_str, Map, Value as Json};
+use std::path::Path;
+
+/// Version stamp of the trajectory document.
+pub const TRAJECTORY_VERSION: u64 = 1;
+
+/// Allowed degradation before the gate fails: the new row may have at
+/// most `ratio`× the previous p99 and at least `1/ratio`× the previous
+/// throughput.
+#[derive(Clone, Copy, Debug)]
+pub struct Gate {
+    pub ratio: f64,
+}
+
+impl Default for Gate {
+    fn default() -> Gate {
+        Gate { ratio: 1.25 }
+    }
+}
+
+/// Load a trajectory's runs. Missing file → empty. A legacy single
+/// report object is wrapped as a one-run trajectory.
+pub fn load(path: &Path) -> Result<Vec<Json>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    if text.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    let doc = from_str(&text).map_err(|e| format!("cannot parse {}: {e:?}", path.display()))?;
+    match &doc {
+        Json::Object(o) if o.get("xdp_bench_trajectory_version").is_some() => {
+            let runs = o
+                .get("runs")
+                .and_then(|r| r.as_array())
+                .ok_or_else(|| format!("{}: trajectory has no runs array", path.display()))?;
+            Ok(runs.clone())
+        }
+        // Legacy layout: the file is one bare report object.
+        Json::Object(_) => Ok(vec![doc]),
+        Json::Array(runs) => Ok(runs.clone()),
+        _ => Err(format!("{}: not a trajectory document", path.display())),
+    }
+}
+
+/// Append one run row and write the versioned document back. Returns
+/// the new run count.
+pub fn append(path: &Path, row: Json) -> Result<usize, String> {
+    let mut runs = load(path)?;
+    runs.push(row);
+    let mut doc = Map::new();
+    doc.insert(
+        "xdp_bench_trajectory_version".into(),
+        Json::from(TRAJECTORY_VERSION),
+    );
+    doc.insert("runs".into(), Json::Array(runs.clone()));
+    std::fs::write(path, format!("{}\n", Json::Object(doc)))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(runs.len())
+}
+
+fn experiment(row: &Json) -> &str {
+    row.get("experiment").and_then(|v| v.as_str()).unwrap_or("")
+}
+
+fn p99_us(row: &Json) -> Option<f64> {
+    row.get("latency_us").and_then(|l| l.get("p99"))?.as_f64()
+}
+
+fn runs_per_sec(row: &Json) -> Option<f64> {
+    row.get("runs_per_sec")?.as_f64()
+}
+
+/// Gate the newest run against the most recent earlier run of the same
+/// experiment. Returns violations (empty = pass). A trajectory with no
+/// comparable baseline passes trivially.
+pub fn check_last(runs: &[Json], gate: Gate) -> Vec<String> {
+    let Some(cur) = runs.last() else {
+        return Vec::new();
+    };
+    let exp = experiment(cur);
+    let Some(prev) = runs[..runs.len() - 1]
+        .iter()
+        .rev()
+        .find(|r| experiment(r) == exp)
+    else {
+        return Vec::new();
+    };
+    let mut violations = Vec::new();
+    if let (Some(now), Some(was)) = (p99_us(cur), p99_us(prev)) {
+        if was > 0.0 && now > was * gate.ratio {
+            violations.push(format!(
+                "{exp}: p99 latency regressed {was:.0}us -> {now:.0}us (>{:.0}% slower)",
+                (gate.ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    if let (Some(now), Some(was)) = (runs_per_sec(cur), runs_per_sec(prev)) {
+        if was > 0.0 && now < was / gate.ratio {
+            violations.push(format!(
+                "{exp}: throughput regressed {was:.1} -> {now:.1} runs/sec (>{:.0}% drop)",
+                (1.0 - 1.0 / gate.ratio) * 100.0
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn row(exp: &str, p99: u64, rps: f64) -> Json {
+        let mut lat = Map::new();
+        lat.insert("p99".into(), Json::from(p99));
+        let mut o = Map::new();
+        o.insert("experiment".into(), Json::from(exp));
+        o.insert("runs_per_sec".into(), Json::from(rps));
+        o.insert("latency_us".into(), Json::Object(lat));
+        Json::Object(o)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("xdp-traj-{}-{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn append_migrates_legacy_single_object() {
+        let path = tmp("legacy");
+        std::fs::write(&path, format!("{}", row("e13-serve", 100, 50.0))).unwrap();
+        let n = append(&path, row("e13-serve", 110, 52.0)).unwrap();
+        assert_eq!(n, 2, "legacy object becomes the first run");
+        let runs = load(&path).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(experiment(&runs[0]), "e13-serve");
+        // The document is now versioned.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("xdp_bench_trajectory_version"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_trajectory() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load(&path).unwrap().len(), 0);
+        let n = append(&path, row("e13-serve", 100, 50.0)).unwrap();
+        assert_eq!(n, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gate_passes_within_bounds_and_fails_beyond() {
+        let ok = vec![row("e13-serve", 100, 50.0), row("e13-serve", 120, 45.0)];
+        assert!(check_last(&ok, Gate::default()).is_empty(), "within 25%");
+
+        let slow = vec![row("e13-serve", 100, 50.0), row("e13-serve", 130, 50.0)];
+        let v = check_last(&slow, Gate::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("p99"));
+
+        let cold = vec![row("e13-serve", 100, 50.0), row("e13-serve", 100, 30.0)];
+        let v = check_last(&cold, Gate::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("throughput"));
+    }
+
+    #[test]
+    fn gate_never_compares_across_experiments() {
+        let runs = vec![
+            row("e13-serve", 100, 50.0),
+            row("e14-metrics", 900, 5.0), // different experiment: not a regression
+        ];
+        assert!(check_last(&runs, Gate::default()).is_empty());
+        // But a matching earlier row is found past interleaved rows.
+        let runs = vec![
+            row("e14-metrics", 100, 50.0),
+            row("e13-serve", 100, 50.0),
+            row("e14-metrics", 500, 5.0),
+        ];
+        let v = check_last(&runs, Gate::default());
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn first_run_of_an_experiment_passes() {
+        assert!(check_last(&[], Gate::default()).is_empty());
+        assert!(check_last(&[row("e13-serve", 1, 1.0)], Gate::default()).is_empty());
+    }
+}

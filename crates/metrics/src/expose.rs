@@ -1,0 +1,211 @@
+//! Exposition formats: Prometheus text and a versioned JSON snapshot.
+//!
+//! Both render a [`MetricsSnapshot`], so a scrape is always a consistent
+//! point-in-time view. The Prometheus form follows the text exposition
+//! format (`# TYPE` comments, `{label="value"}` series, histograms as
+//! cumulative `_bucket{le=...}` series plus `_sum`/`_count`); the JSON
+//! form is the machine-readable sibling, stamped with
+//! [`JSON_SNAPSHOT_VERSION`] so downstream consumers can detect schema
+//! drift.
+
+use crate::registry::{MetricRow, MetricValue, MetricsSnapshot};
+use serde_json::{Map, Value as Json};
+
+/// Version stamp of the JSON snapshot schema.
+pub const JSON_SNAPSHOT_VERSION: u64 = 1;
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape(&v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn prom_row(out: &mut String, row: &MetricRow) {
+    match &row.value {
+        MetricValue::Counter(v) => {
+            out.push_str(&format!(
+                "{}{} {v}\n",
+                row.name,
+                label_block(&row.labels, None)
+            ));
+        }
+        MetricValue::Gauge(v) => {
+            out.push_str(&format!(
+                "{}{} {v}\n",
+                row.name,
+                label_block(&row.labels, None)
+            ));
+        }
+        MetricValue::Histogram(h) => {
+            let mut cum = 0u64;
+            for (_, hi, c) in h.nonempty() {
+                cum += c;
+                out.push_str(&format!(
+                    "{}_bucket{} {cum}\n",
+                    row.name,
+                    label_block(&row.labels, Some(("le", hi.to_string())))
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                row.name,
+                label_block(&row.labels, Some(("le", "+Inf".to_string()))),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                row.name,
+                label_block(&row.labels, None),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                row.name,
+                label_block(&row.labels, None),
+                h.count
+            ));
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Prometheus text exposition of the whole snapshot.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for row in &self.rows {
+            if last_name != Some(row.name.as_str()) {
+                out.push_str(&format!("# TYPE {} {}\n", row.name, row.value.kind()));
+                last_name = Some(row.name.as_str());
+            }
+            prom_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Versioned JSON snapshot: `{"xdp_metrics_version": 1, "metrics":
+    /// [...]}` with one object per series.
+    pub fn to_json(&self) -> Json {
+        let metrics: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = Map::new();
+                m.insert("name".into(), Json::from(row.name.clone()));
+                let mut labels = Map::new();
+                for (k, v) in &row.labels {
+                    labels.insert(k.clone(), Json::from(v.clone()));
+                }
+                m.insert("labels".into(), Json::Object(labels));
+                m.insert("type".into(), Json::from(row.value.kind()));
+                match &row.value {
+                    MetricValue::Counter(v) => {
+                        m.insert("value".into(), Json::from(*v));
+                    }
+                    MetricValue::Gauge(v) => {
+                        m.insert("value".into(), Json::from(*v));
+                    }
+                    MetricValue::Histogram(h) => {
+                        m.insert("value".into(), h.to_json());
+                    }
+                }
+                Json::Object(m)
+            })
+            .collect();
+        let mut root = Map::new();
+        root.insert(
+            "xdp_metrics_version".into(),
+            Json::from(JSON_SNAPSHOT_VERSION),
+        );
+        root.insert("metrics".into(), Json::Array(metrics));
+        Json::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    fn sample() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("xdp_requests_total", &[("outcome", "ok")])
+            .add(42);
+        reg.counter("xdp_requests_total", &[("outcome", "error")])
+            .inc();
+        reg.gauge("xdp_pool_in_flight", &[]).set(3);
+        let h = reg.histogram("xdp_request_latency_us", &[]);
+        for v in [100u64, 200, 300, 40_000] {
+            h.observe(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_has_types_series_and_cumulative_buckets() {
+        let text = sample().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE xdp_requests_total counter"), "{text}");
+        assert!(text.contains("xdp_requests_total{outcome=\"ok\"} 42"));
+        assert!(text.contains("xdp_requests_total{outcome=\"error\"} 1"));
+        assert!(text.contains("# TYPE xdp_pool_in_flight gauge"));
+        assert!(text.contains("xdp_pool_in_flight 3"));
+        assert!(text.contains("# TYPE xdp_request_latency_us histogram"));
+        assert!(text.contains("xdp_request_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("xdp_request_latency_us_sum 40600"));
+        assert!(text.contains("xdp_request_latency_us_count 4"));
+        // Bucket series are cumulative: the +Inf count is the largest.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("xdp_request_latency_us_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+        // Each name gets exactly one TYPE line.
+        assert_eq!(
+            text.matches("# TYPE xdp_requests_total").count(),
+            1,
+            "one TYPE line per family"
+        );
+    }
+
+    #[test]
+    fn json_snapshot_is_versioned_and_parseable() {
+        let j = sample().snapshot().to_json();
+        let parsed = serde_json::from_str(&j.to_string()).expect("snapshot JSON parses");
+        assert_eq!(
+            parsed.get("xdp_metrics_version").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        let metrics = parsed.get("metrics").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(metrics.len(), 4);
+        let hist = metrics
+            .iter()
+            .find(|m| m.get("type").and_then(|t| t.as_str()) == Some("histogram"))
+            .unwrap();
+        let value = hist.get("value").unwrap();
+        assert_eq!(value.get("count").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(value.get("max").and_then(|v| v.as_u64()), Some(40_000));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[("p", "a\"b\\c")]).inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("m{p=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # xdp-metrics — production telemetry for the serving layer
+//!
+//! Everything the repo measures was, until this crate, computed after the
+//! fact: the replay driver sorted a `Vec` of latencies, `NetStats` was
+//! read once at the end of a run, and nothing was observable *while*
+//! `xdpd` served traffic. This crate is the observability backbone the
+//! scale arc reports through:
+//!
+//! * [`registry`] — a label-aware [`MetricsRegistry`] mapping
+//!   `(name, labels)` to shared handles. Handle acquisition locks once at
+//!   wiring time; every update is a relaxed atomic, so the serving hot
+//!   path counts requests and records latencies lock-free;
+//! * [`hist`] — log-bucketed [`Histogram`]s (4 sub-buckets per octave,
+//!   ≤25% bucket width) with mergeable shard snapshots and quantile
+//!   extraction that lands in the exact bucket of the rank-ordered
+//!   observation, property-tested against a sorted-vector oracle;
+//! * [`expose`] — two exposition formats over one consistent snapshot:
+//!   Prometheus text (`# TYPE`, cumulative `_bucket{le=...}` series) and
+//!   a versioned JSON document;
+//! * [`flight`] — a [`FlightRecorder`]: bounded per-worker rings of
+//!   recent requests (metadata + the run's trace), dumped as JSONL plus a
+//!   replayable Chrome trace whenever a request errors or exceeds the
+//!   armed latency threshold — post-hoc diagnosis without always-on
+//!   trace-export cost.
+//!
+//! ```
+//! use xdp_metrics::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let ok = reg.counter("xdp_requests_total", &[("outcome", "ok")]);
+//! let lat = reg.histogram("xdp_request_latency_us", &[]);
+//! ok.inc();
+//! lat.observe(1234);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("xdp_requests_total", &[("outcome", "ok")]), Some(1));
+//! assert!(snap.to_prometheus().contains("xdp_request_latency_us_count 1"));
+//! ```
+
+pub mod expose;
+pub mod flight;
+pub mod hist;
+pub mod registry;
+
+pub use expose::JSON_SNAPSHOT_VERSION;
+pub use flight::{FlightConfig, FlightRecord, FlightRecorder, FLIGHT_DUMP_VERSION};
+pub use hist::{bucket_bounds, bucket_index, HistSnapshot, Histogram, NBUCKETS, SUBS};
+pub use registry::{
+    Counter, Gauge, Metric, MetricRow, MetricValue, MetricsRegistry, MetricsSnapshot,
+};

@@ -1,0 +1,278 @@
+//! The label-aware metrics registry.
+//!
+//! A [`MetricsRegistry`] maps `(name, labels)` to a shared metric handle.
+//! Handle *acquisition* takes a short registry lock (it happens once per
+//! metric, at wiring time); every *update* through an acquired handle is a
+//! relaxed atomic operation — the hot path of the serving layer never
+//! touches a lock to count a request or record a latency.
+
+use crate::hist::{HistSnapshot, Histogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, in-flight runs).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// `(name, sorted labels)` — the registry key.
+pub type MetricKey = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut ls: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    ls.sort();
+    (name.to_string(), ls)
+}
+
+/// The registry. Cheap to clone an `Arc` of; intended to be shared by
+/// every layer of one serving process.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<MetricKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn get_or_insert(&self, k: MetricKey, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(m) = self.metrics.read().unwrap().get(&k) {
+            return m.clone();
+        }
+        let mut map = self.metrics.write().unwrap();
+        map.entry(k).or_insert_with(make).clone()
+    }
+
+    /// Counter handle for `(name, labels)`, registering on first use.
+    ///
+    /// # Panics
+    /// If the same key is already registered as a different metric type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(key(name, labels), || {
+            Metric::Counter(Arc::new(Counter::default()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Gauge handle for `(name, labels)`, registering on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(key(name, labels), || {
+            Metric::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Histogram handle for `(name, labels)`, registering on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.get_or_insert(key(name, labels), || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Point-in-time values of every registered metric, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let rows = self
+            .metrics
+            .read()
+            .unwrap()
+            .iter()
+            .map(|((name, labels), metric)| MetricRow {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { rows }
+    }
+}
+
+/// One metric's snapshotted value.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistSnapshot),
+}
+
+impl MetricValue {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One `(name, labels, value)` row of a snapshot.
+#[derive(Clone, Debug)]
+pub struct MetricRow {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// Everything the registry held at snapshot time, ready for exposition
+/// (see [`crate::expose`]).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub rows: Vec<MetricRow>,
+}
+
+impl MetricsSnapshot {
+    /// Find one row by name and exact (order-insensitive) label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricRow> {
+        let (_, want) = key(name, labels);
+        self.rows
+            .iter()
+            .find(|r| r.name == name && r.labels == want)
+    }
+
+    /// Counter value by key; `None` if absent or not a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels).map(|r| &r.value) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by key; `None` if absent or not a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.get(name, labels).map(|r| &r.value) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot by key; `None` if absent or not a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistSnapshot> {
+        match self.get(name, labels).map(|r| &r.value) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_the_same_handle() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("requests_total", &[("outcome", "ok")]);
+        let b = reg.counter("requests_total", &[("outcome", "ok")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3, "both handles hit one counter");
+        // Label order does not matter.
+        let c = reg.counter("x", &[("a", "1"), ("b", "2")]);
+        let d = reg.counter("x", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(d.get(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("req", &[("outcome", "ok")]).add(5);
+        reg.counter("req", &[("outcome", "error")]).add(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("req", &[("outcome", "ok")]), Some(5));
+        assert_eq!(snap.counter("req", &[("outcome", "error")]), Some(1));
+        assert_eq!(snap.counter("req", &[("outcome", "nope")]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflicts_panic() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[]);
+        reg.gauge("m", &[]);
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_histograms_record() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth", &[]);
+        g.add(10);
+        g.sub(3);
+        let h = reg.histogram("lat", &[]);
+        h.observe(100);
+        h.observe(200);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("depth", &[]), Some(7));
+        let hs = snap.histogram("lat", &[]).unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.max_exact(), 200);
+    }
+}

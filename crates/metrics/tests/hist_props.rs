@@ -1,0 +1,160 @@
+//! Property tests for the histogram and registry: quantile error bounds
+//! against a sorted-vector oracle, shard-merge algebra, and counter /
+//! gauge / histogram atomicity under concurrent writers.
+
+use proptest::prelude::*;
+use xdp_metrics::{bucket_index, HistSnapshot, Histogram, MetricsRegistry};
+
+/// The sorted-vector oracle the replay driver used before this crate:
+/// nearest-rank, `round((n-1) * q)`.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..100,              // tiny latencies
+            100u64..100_000,        // the realistic µs range
+            100_000u64..10_000_000, // outliers
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The histogram's p50/p90/p99 land in the same log-bucket as the
+    /// sorted-vector oracle (same rank convention), and min/max/mean are
+    /// exact.
+    #[test]
+    fn quantiles_within_one_bucket_of_oracle(vs in values()) {
+        let h = Histogram::new();
+        for &v in &vs {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+
+        for q in [0.5, 0.9, 0.99] {
+            let got = snap.quantile(q);
+            let want = oracle(&sorted, q);
+            let db = bucket_index(got) as i64 - bucket_index(want) as i64;
+            prop_assert!(
+                db.abs() <= 1,
+                "q={q}: histogram {got} (bucket {}) vs oracle {want} (bucket {})",
+                bucket_index(got), bucket_index(want)
+            );
+        }
+        prop_assert_eq!(snap.quantile(0.0), sorted[0], "min is exact");
+        prop_assert_eq!(snap.quantile(1.0), *sorted.last().unwrap(), "max is exact");
+        let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+        prop_assert!((snap.mean() - mean).abs() < 1e-6);
+    }
+
+    /// Shard merging is associative and commutative, and merging shards
+    /// is observationally identical to one histogram seeing every value.
+    #[test]
+    fn shard_merge_is_assoc_commutative_and_lossless(
+        a in values(), b in values(), c in values()
+    ) {
+        let shard = |vs: &[u64]| {
+            let h = Histogram::new();
+            for &v in vs {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (shard(&a), shard(&b), shard(&c));
+
+        // Commutativity.
+        prop_assert_eq!(
+            sa.clone().merged(&sb),
+            sb.clone().merged(&sa),
+            "a+b == b+a"
+        );
+        // Associativity.
+        prop_assert_eq!(
+            sa.clone().merged(&sb).merged(&sc),
+            sa.clone().merged(&sb.clone().merged(&sc)),
+            "(a+b)+c == a+(b+c)"
+        );
+        // Identity.
+        prop_assert_eq!(
+            sa.clone().merged(&HistSnapshot::default()),
+            sa.clone(),
+            "a+0 == a"
+        );
+        // Losslessness: shards merged == one histogram over everything.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(sa.merged(&sb).merged(&sc), shard(&all));
+    }
+}
+
+/// Counters, gauges, and histograms are exact under concurrent writers —
+/// no update is lost, no total drifts.
+#[test]
+fn concurrent_writers_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let reg = MetricsRegistry::new();
+    let counter = reg.counter("stress_total", &[]);
+    let gauge = reg.gauge("stress_inflight", &[]);
+    let hist = reg.histogram("stress_lat", &[]);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (counter, gauge, hist) = (counter.clone(), gauge.clone(), hist.clone());
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(1);
+                    hist.observe(t as u64 * PER_THREAD + i);
+                    gauge.sub(1);
+                }
+            });
+        }
+    });
+
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(gauge.get(), 0, "every add paired with a sub");
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    let want_sum: u64 = (0..THREADS as u64 * PER_THREAD).sum();
+    assert_eq!(snap.sum, want_sum, "per-value sums survive interleaving");
+    assert_eq!(snap.min_exact(), 0);
+    assert_eq!(snap.max_exact(), THREADS as u64 * PER_THREAD - 1);
+    assert_eq!(
+        snap.buckets.iter().sum::<u64>(),
+        snap.count,
+        "bucket totals agree with the count"
+    );
+}
+
+/// Concurrent handle acquisition for the same key converges on one
+/// metric: total equals the sum of every thread's increments.
+#[test]
+fn concurrent_registration_is_single_series() {
+    let reg = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let reg = &reg;
+            scope.spawn(move || {
+                for _ in 0..1000 {
+                    reg.counter("race_total", &[("shared", "yes")]).inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        reg.snapshot().counter("race_total", &[("shared", "yes")]),
+        Some(8000)
+    );
+}

@@ -13,10 +13,16 @@
 //!   compile counter by **zero** (a hit provably skips recompilation);
 //! * no request errors.
 //!
-//! Writes the full report to `BENCH_serve.json` (override with `--out`).
+//! The contract itself lives in
+//! [`ReplayReport::contract_violations`](xdp_serve::ReplayReport::contract_violations)
+//! — `xdpd bench` enforces the identical checks. Appends the full report
+//! as one row of the `BENCH_serve.json` trajectory (override with
+//! `--out`).
 
+use std::path::Path;
 use std::process::ExitCode;
 use xdp_bench::table::{j, Table};
+use xdp_bench::trajectory;
 use xdp_serve::{replay, ReplayConfig};
 
 fn opt_val<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
@@ -98,47 +104,23 @@ fn main() -> ExitCode {
     }
     per.print();
 
-    if let Err(e) = std::fs::write(out_path, format!("{}\n", report.to_json())) {
-        eprintln!("e13_serve: cannot write {out_path}: {e}");
-        return ExitCode::FAILURE;
-    }
-    println!("wrote {out_path}");
-
-    // The compile-once/run-many contract.
-    let mut failures = 0;
-    let mut check = |ok: bool, what: String| {
-        if ok {
-            println!("OK    {what}");
-        } else {
-            println!("FAIL  {what}");
-            failures += 1;
+    match trajectory::append(Path::new(out_path), report.to_json("e13-serve")) {
+        Ok(n) => println!("appended run {n} to {out_path}"),
+        Err(e) => {
+            eprintln!("e13_serve: {e}");
+            return ExitCode::FAILURE;
         }
-    };
-    check(
-        report.errors == 0,
-        format!("no request errors ({} errors)", report.errors),
-    );
-    check(
-        report.stats.compiles == report.distinct_requested as u64,
-        format!(
-            "every requested program compiles exactly once ({} compiles / {} requested)",
-            report.stats.compiles, report.distinct_requested
-        ),
-    );
-    check(
-        report.hit_rate >= 0.90,
-        format!("warm hit rate >= 90% (got {:.1}%)", report.hit_rate * 100.0),
-    );
-    check(
-        report.warm_recompiles == 0,
-        format!(
-            "warm resubmission of all {} served programs recompiles nothing ({} recompiles)",
-            report.distinct_requested, report.warm_recompiles
-        ),
-    );
-    if failures > 0 {
-        eprintln!("e13_serve: {failures} contract violation(s)");
-        return ExitCode::FAILURE;
     }
-    ExitCode::SUCCESS
+
+    // The compile-once/run-many contract, shared with `xdpd bench`.
+    let violations = report.contract_violations();
+    if violations.is_empty() {
+        println!("OK    serving contract holds (errors, compiles, hit rate, warm recompiles)");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("FAIL  {v}");
+    }
+    eprintln!("e13_serve: {} contract violation(s)", violations.len());
+    ExitCode::FAILURE
 }

@@ -9,10 +9,14 @@
 //! xdpd list [--programs DIR] [--gen N]
 //! xdpd bench [--requests N] [--workers N] [--batch N] [--capacity N]
 //!            [--seed N] [--gen N] [--programs DIR] [--out FILE]
+//!            [--metrics-out FILE] [--slow-ms N] [--flight-dir DIR]
+//! xdpd stats [--requests N] [--programs DIR] [--gen N] [--format prom|json]
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use xdp_bench::table::{j, Table};
+use xdp_bench::trajectory;
 use xdp_compiler::{CompileOptions, SeqMode};
 use xdp_serve::{load_corpus, replay, ReplayConfig, RequestSpec, ServePool};
 
@@ -24,11 +28,18 @@ USAGE:
     xdpd list [--programs DIR] [--gen N]
     xdpd bench [--requests N] [--workers N] [--batch N] [--capacity N]
                [--seed N] [--gen N] [--programs DIR] [--out FILE]
+               [--metrics-out FILE] [--slow-ms N] [--flight-dir DIR]
+    xdpd stats [--requests N] [--workers N] [--programs DIR] [--gen N]
+               [--format prom|json]
 
 `run` serves one program repeatedly through the compile cache (the first
 request compiles, the rest hit). `list` registers a corpus and prints the
-registry. `bench` replays a seeded weighted request mix and writes the
-report JSON (default BENCH_serve.json).
+registry. `bench` replays a seeded weighted request mix, appends the
+report to the benchmark trajectory (default BENCH_serve.json), and fails
+on serving-contract violations; `--metrics-out` additionally writes the
+pool's full metrics snapshot, and `--slow-ms`/`--flight-dir` arm the
+flight recorder. `stats` serves a short replay and prints the resulting
+telemetry in Prometheus text (default) or JSON exposition.
 ";
 
 fn main() -> ExitCode {
@@ -42,6 +53,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "list" => cmd_list(rest),
         "bench" => cmd_bench(rest),
+        "stats" => cmd_stats(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -183,9 +195,16 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
     cfg.capacity = num(rest, "--capacity", cfg.capacity);
     cfg.seed = num(rest, "--seed", cfg.seed);
     cfg.gen_count = num(rest, "--gen", cfg.gen_count);
+    cfg.flight_dir = opt_val(rest, "--flight-dir").map(PathBuf::from);
+    if let Some(ms) = opt_val(rest, "--slow-ms").and_then(|v| v.parse::<u64>().ok()) {
+        cfg.slow_us = Some(ms.saturating_mul(1000));
+        if cfg.flight_dir.is_none() {
+            cfg.flight_dir = Some(PathBuf::from("flight-dumps"));
+        }
+    }
     let out_path = opt_val(rest, "--out").unwrap_or("BENCH_serve.json");
 
-    let (report, _pool) = match replay(&cfg) {
+    let (report, pool) = match replay(&cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xdpd: error: {e}");
@@ -204,6 +223,7 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
             "hit_rate",
             "compiles",
             "warm_recompiles",
+            "flight_dumps",
         ],
     );
     t.row(&[
@@ -216,12 +236,61 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
         j::f(report.hit_rate),
         j::u(report.stats.compiles),
         j::u(report.warm_recompiles),
+        j::u(report.flight_dumps),
     ]);
     t.print();
-    if let Err(e) = std::fs::write(out_path, format!("{}\n", report.to_json())) {
-        eprintln!("xdpd: error: cannot write {out_path}: {e}");
+    match trajectory::append(Path::new(out_path), report.to_json("xdpd-bench")) {
+        Ok(n) => println!("appended run {n} to {out_path}"),
+        Err(e) => {
+            eprintln!("xdpd: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(metrics_path) = opt_val(rest, "--metrics-out") {
+        let snapshot = pool.metrics_snapshot();
+        if let Err(e) = std::fs::write(metrics_path, format!("{}\n", snapshot.to_json())) {
+            eprintln!("xdpd: error: cannot write {metrics_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {metrics_path}");
+    }
+    // The same serving contract e13_serve enforces: a bench run that
+    // errored, recompiled warm hits, or fell off the hit-rate floor
+    // fails loudly instead of writing a healthy-looking report.
+    let violations = report.contract_violations();
+    for v in &violations {
+        eprintln!("xdpd: contract violation: {v}");
+    }
+    if !violations.is_empty() {
         return ExitCode::FAILURE;
     }
-    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(rest: &[String]) -> ExitCode {
+    let mut cfg = ReplayConfig::new(opt_val(rest, "--programs").unwrap_or("xdp-programs"));
+    cfg.requests = num(rest, "--requests", 120);
+    cfg.workers = num(rest, "--workers", 2);
+    cfg.batch = num(rest, "--batch", 32);
+    cfg.gen_count = num(rest, "--gen", cfg.gen_count);
+    cfg.seed = num(rest, "--seed", cfg.seed);
+    let format = opt_val(rest, "--format").unwrap_or("prom");
+
+    let (_, pool) = match replay(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xdpd: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = pool.metrics_snapshot();
+    match format {
+        "prom" => print!("{}", snapshot.to_prometheus()),
+        "json" => println!("{}", snapshot.to_json()),
+        other => {
+            eprintln!("xdpd: unknown stats format `{other}` (want prom or json)");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -79,6 +79,9 @@ pub struct CachedProgram {
     pub compiled: Compiled,
     /// The fault plan parsed once at compile time.
     pub faults: FaultPlan,
+    /// Wall time the compile pipeline took, microseconds. Recorded at
+    /// miss time; a hit reuses the artifact and spends none.
+    pub compile_us: u64,
 }
 
 struct Entry {
@@ -147,8 +150,12 @@ impl CompileCache {
     /// callers pair it with [`lookup`](Self::lookup) (see
     /// [`get_or_compile`](Self::get_or_compile)).
     pub fn compile_into(&mut self, spec: &RequestSpec) -> Result<Arc<CachedProgram>, ServeError> {
+        let started = std::time::Instant::now();
         let faults = spec.fault_plan().map_err(ServeError::BadFaults)?;
         let compiled = compile(&spec.source, &spec.opts).map_err(ServeError::Compile)?;
+        // `as_micros` floors; a sub-microsecond compile still counts as
+        // time spent (`compile_us == 0` is reserved for cache hits).
+        let compile_us = (started.elapsed().as_micros() as u64).max(1);
         self.stats.compiles += 1;
         let key = spec.content_hash();
         let cached = Arc::new(CachedProgram {
@@ -156,6 +163,7 @@ impl CompileCache {
             spec: spec.clone(),
             compiled,
             faults,
+            compile_us,
         });
         // A hash collision with a *different* spec overwrites the old
         // entry: correctness is preserved (lookup compares specs), and

@@ -23,7 +23,12 @@
 //!   tests);
 //! * [`replay`] — the seeded load-replay driver behind `xdpd bench` and
 //!   the `e13_serve` experiment (latency percentiles, throughput, hit
-//!   rate, warm-recompile check).
+//!   rate, warm-recompile check, shared contract checks);
+//! * [`metrics_view`] — the pool's telemetry: pre-registered
+//!   [`xdp_metrics`] handles for the request path (latency decomposition,
+//!   cache counters, queue depth) plus folds of every run's network and
+//!   fault totals and every compile's per-pass provenance. An optional
+//!   flight recorder dumps recent-request rings on errors or slow runs.
 //!
 //! ```
 //! use xdp_serve::{RequestSpec, ServePool};
@@ -41,12 +46,14 @@
 //! ```
 
 pub mod cache;
+pub mod metrics_view;
 pub mod pool;
 pub mod registry;
 pub mod replay;
 pub mod spec;
 
 pub use cache::{CacheStats, CachedProgram, CompileCache, ServeError};
+pub use metrics_view::ServeMetrics;
 pub use pool::{RunOutcome, ServePool};
 pub use registry::{RegisteredInfo, Registry};
 pub use replay::{load_corpus, replay, request_mix, CorpusItem, ReplayConfig, ReplayReport};

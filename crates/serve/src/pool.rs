@@ -10,17 +10,27 @@
 //! a request's [`Fingerprint`] is bit-identical whether it ran solo,
 //! sequentially, or interleaved with the rest of a batch. The
 //! conformance tests assert exactly that equality.
+//!
+//! Every pool also owns a [`MetricsRegistry`]: each request stamps its
+//! latency decomposition (queue → resolve → execute), the cache counters
+//! are mirrored as metric counters, and run reports fold their network
+//! and fault totals in (see [`crate::metrics_view`]). An optional
+//! [`FlightRecorder`] keeps bounded per-worker rings of recent requests
+//! and dumps them when a request errors or crosses the armed slow
+//! threshold.
 
 use crate::cache::{CachedProgram, CompileCache, ServeError};
+use crate::metrics_view::ServeMetrics;
 use crate::registry::Registry;
 use crate::spec::RequestSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use xdp_core::{SimConfig, SimExec};
+use xdp_core::{ExecReport, SimConfig, SimExec};
 use xdp_ir::VarId;
+use xdp_metrics::{FlightConfig, FlightRecord, FlightRecorder, MetricsRegistry, MetricsSnapshot};
 use xdp_runtime::Value;
-use xdp_trace::TraceConfig;
+use xdp_trace::{Trace, TraceConfig};
 use xdp_verify::Fingerprint;
 
 /// One executed request's observable outcome.
@@ -36,18 +46,29 @@ pub struct RunOutcome {
     pub messages: u64,
     /// The full observable fingerprint (memory + movement + states).
     pub fingerprint: Fingerprint,
-    /// End-to-end wall latency of the request, microseconds.
+    /// End-to-end wall latency of the request, microseconds (measured
+    /// from enqueue when the request came through a batch).
     pub latency_us: u64,
     /// Wall time spent inside the compile pipeline (0 on a hit).
     pub compile_us: u64,
+    /// Time spent queued before a worker claimed the request (0 outside
+    /// `run_batch`).
+    pub queue_us: u64,
+    /// Time spent resolving through the cache — lock wait plus lookup,
+    /// plus the compile itself on a miss.
+    pub resolve_us: u64,
+    /// Time spent executing on the private simulator.
+    pub execute_us: u64,
 }
 
-/// The serving pool: shared cache + registry behind one lock each, and a
-/// worker count for batch fan-out.
+/// The serving pool: shared cache + registry behind one lock each, a
+/// worker count for batch fan-out, and the pool's telemetry.
 pub struct ServePool {
     workers: usize,
     cache: Mutex<CompileCache>,
     registry: Mutex<Registry>,
+    metrics: ServeMetrics,
+    flight: Option<FlightRecorder>,
 }
 
 impl ServePool {
@@ -58,11 +79,42 @@ impl ServePool {
             workers: workers.max(1),
             cache: Mutex::new(CompileCache::new(capacity)),
             registry: Mutex::new(Registry::new()),
+            metrics: ServeMetrics::new(Arc::new(MetricsRegistry::new())),
+            flight: None,
         }
+    }
+
+    /// Attach a flight recorder (builder style).
+    pub fn with_flight(mut self, cfg: FlightConfig) -> ServePool {
+        self.flight = Some(FlightRecorder::new(cfg));
+        self
     }
 
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The pool's metrics registry (shared; snapshot or export at will).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.metrics.registry()
+    }
+
+    /// One consistent snapshot of every pool metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.registry().snapshot()
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// (Re)arm or disarm the flight recorder's slow-request trigger.
+    /// No-op when no recorder is attached.
+    pub fn set_slow_us(&self, us: Option<u64>) {
+        if let Some(fr) = &self.flight {
+            fr.set_slow_us(us);
+        }
     }
 
     /// Snapshot of the cache counters.
@@ -85,33 +137,19 @@ impl ServePool {
     /// Serve one request: resolve through the cache, execute in
     /// isolation.
     pub fn run_one(&self, spec: &RequestSpec) -> Result<RunOutcome, ServeError> {
-        let start = Instant::now();
-        let compile_start = Instant::now();
-        let (cached, hit) = self.cache.lock().unwrap().get_or_compile(spec)?;
-        let compile_us = if hit {
-            0
-        } else {
-            compile_start.elapsed().as_micros() as u64
-        };
-        let mut outcome = execute(&cached)?;
-        outcome.cache_hit = hit;
-        outcome.compile_us = compile_us;
-        outcome.latency_us = start.elapsed().as_micros() as u64;
-        Ok(outcome)
+        self.serve(spec, None, 0, Instant::now(), 0)
     }
 
     /// Serve a registered program by name.
     pub fn run_named(&self, name: &str) -> Result<RunOutcome, ServeError> {
-        let start = Instant::now();
-        let (cached, hit) = {
-            let reg = self.registry.lock().unwrap();
-            let mut cache = self.cache.lock().unwrap();
-            reg.resolve(name, &mut cache)?
-        };
-        let mut outcome = execute(&cached)?;
-        outcome.cache_hit = hit;
-        outcome.latency_us = start.elapsed().as_micros() as u64;
-        Ok(outcome)
+        let spec = self
+            .registry
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::Unknown(name.to_string()))?;
+        self.serve(&spec, Some(name), 0, Instant::now(), 0)
     }
 
     /// Run a whole batch concurrently over the worker pool. Results come
@@ -123,24 +161,170 @@ impl ServePool {
         let slots = Mutex::new(slots);
         let cursor = AtomicUsize::new(0);
         let nworkers = self.workers.min(specs.len().max(1));
+        let enqueued = Instant::now();
+        self.metrics.queue_depth.set(specs.len() as i64);
         std::thread::scope(|scope| {
-            for _ in 0..nworkers {
-                scope.spawn(|| loop {
+            for w in 0..nworkers {
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= specs.len() {
                         break;
                     }
-                    let result = self.run_one(&specs[i]);
+                    let queue_us = enqueued.elapsed().as_micros() as u64;
+                    self.metrics.queue_depth.sub(1);
+                    let result = self.serve(&specs[i], None, w, enqueued, queue_us);
                     slots.lock().unwrap()[i] = Some(result);
                 });
             }
         });
+        self.metrics.queue_depth.set(0);
         slots
             .into_inner()
             .unwrap()
             .into_iter()
             .map(|slot| slot.expect("every batch slot is filled"))
             .collect()
+    }
+
+    /// The one serving path behind `run_one`, `run_named`, and every
+    /// batch worker: resolve, execute, stamp the latency decomposition,
+    /// fold telemetry, feed the flight recorder.
+    fn serve(
+        &self,
+        spec: &RequestSpec,
+        name: Option<&str>,
+        worker: usize,
+        enqueued: Instant,
+        queue_us: u64,
+    ) -> Result<RunOutcome, ServeError> {
+        let resolve_start = Instant::now();
+        let resolved = {
+            let mut cache = self.cache.lock().unwrap();
+            let before = cache.stats();
+            let resolved = cache.get_or_compile(spec);
+            self.metrics.fold_cache_delta(before, cache.stats());
+            resolved
+        };
+        let resolve_us = resolve_start.elapsed().as_micros() as u64;
+        let (cached, hit) = match resolved {
+            Ok(pair) => pair,
+            Err(e) => {
+                return Err(self.fail(e, spec, name, worker, queue_us, resolve_us, 0, enqueued))
+            }
+        };
+        let compile_us = if hit { 0 } else { cached.compile_us };
+        if !hit {
+            self.metrics.compile_time.observe(compile_us);
+            self.metrics.fold_compile(&cached.compiled.trace);
+        }
+
+        let exec_start = Instant::now();
+        self.metrics.in_flight.add(1);
+        let executed = execute(&cached);
+        self.metrics.in_flight.sub(1);
+        let execute_us = exec_start.elapsed().as_micros() as u64;
+        let (mut outcome, report) = match executed {
+            Ok(pair) => pair,
+            Err(e) => {
+                return Err(self.fail(
+                    e, spec, name, worker, queue_us, resolve_us, execute_us, enqueued,
+                ))
+            }
+        };
+        outcome.cache_hit = hit;
+        outcome.compile_us = compile_us;
+        outcome.queue_us = queue_us;
+        outcome.resolve_us = resolve_us;
+        outcome.execute_us = execute_us;
+        outcome.latency_us = enqueued.elapsed().as_micros() as u64;
+
+        self.metrics.req_ok.inc();
+        self.metrics.latency.observe(outcome.latency_us);
+        self.metrics.queue.observe(queue_us);
+        self.metrics.resolve.observe(resolve_us);
+        self.metrics.execute.observe(execute_us);
+        self.metrics.fold_report(&report);
+        self.record_flight(
+            outcome.key,
+            name,
+            worker,
+            queue_us,
+            resolve_us,
+            execute_us,
+            outcome.latency_us,
+            None,
+            report.trace,
+        );
+        Ok(outcome)
+    }
+
+    /// Failure path: count the error, feed the recorder, hand the error
+    /// back.
+    #[allow(clippy::too_many_arguments)]
+    fn fail(
+        &self,
+        e: ServeError,
+        spec: &RequestSpec,
+        name: Option<&str>,
+        worker: usize,
+        queue_us: u64,
+        resolve_us: u64,
+        execute_us: u64,
+        enqueued: Instant,
+    ) -> ServeError {
+        self.metrics.req_err.inc();
+        self.record_flight(
+            spec.content_hash(),
+            name,
+            worker,
+            queue_us,
+            resolve_us,
+            execute_us,
+            enqueued.elapsed().as_micros() as u64,
+            Some(e.to_string()),
+            Trace::default(),
+        );
+        e
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_flight(
+        &self,
+        key: u64,
+        name: Option<&str>,
+        worker: usize,
+        queue_us: u64,
+        compile_us: u64,
+        execute_us: u64,
+        latency_us: u64,
+        error: Option<String>,
+        trace: Trace,
+    ) {
+        let Some(fr) = &self.flight else { return };
+        let before = fr.dumps();
+        match fr.observe(FlightRecord {
+            worker,
+            key,
+            name: name.map(str::to_string),
+            queue_us,
+            compile_us,
+            execute_us,
+            latency_us,
+            error,
+            trace,
+        }) {
+            Ok(_) => {
+                self.metrics.flight_dumps.add(fr.dumps() - before);
+            }
+            Err(e) => eprintln!("flight recorder: {e}"),
+        }
+        let suppressed = fr.suppressed();
+        let seen = self.metrics.flight_suppressed.get();
+        if suppressed > seen {
+            self.metrics.flight_suppressed.add(suppressed - seen);
+        }
     }
 }
 
@@ -157,7 +341,10 @@ fn init_value(o: usize, idx: &[i64]) -> Value {
 }
 
 /// Execute a cached program on a fresh, private simulator instance.
-fn execute(cached: &Arc<CachedProgram>) -> Result<RunOutcome, ServeError> {
+/// Returns the outcome plus the full run report (the caller folds its
+/// network/fault counters into metrics and may hand its trace to the
+/// flight recorder without cloning).
+fn execute(cached: &Arc<CachedProgram>) -> Result<(RunOutcome, ExecReport), ServeError> {
     let compiled = &cached.compiled;
     let mut cfg = SimConfig::new(compiled.nprocs).with_trace(TraceConfig::full());
     if cached.faults.is_active() {
@@ -182,7 +369,7 @@ fn execute(cached: &Arc<CachedProgram>) -> Result<RunOutcome, ServeError> {
     }
     fp.record_trace(&report.trace);
     fp.messages = report.net.messages;
-    Ok(RunOutcome {
+    let outcome = RunOutcome {
         key: cached.key,
         cache_hit: false,
         virtual_time: report.virtual_time,
@@ -190,7 +377,11 @@ fn execute(cached: &Arc<CachedProgram>) -> Result<RunOutcome, ServeError> {
         fingerprint: fp,
         latency_us: 0,
         compile_us: 0,
-    })
+        queue_us: 0,
+        resolve_us: 0,
+        execute_us: 0,
+    };
+    Ok((outcome, report))
 }
 
 #[cfg(test)]
@@ -210,6 +401,7 @@ mod tests {
         let pool = ServePool::new(2, 8);
         let a = pool.run_one(&spec(8)).unwrap();
         assert!(!a.cache_hit);
+        assert!(a.compile_us > 0, "miss records real compile time");
         let b = pool.run_one(&spec(8)).unwrap();
         assert!(b.cache_hit);
         assert_eq!(b.compile_us, 0, "hit spends no compile time");
@@ -260,6 +452,15 @@ mod tests {
             out[1].as_ref().unwrap_err(),
             ServeError::Compile(_)
         ));
+        let snap = pool.metrics_snapshot();
+        assert_eq!(
+            snap.counter("xdp_requests_total", &[("outcome", "ok")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("xdp_requests_total", &[("outcome", "error")]),
+            Some(1)
+        );
     }
 
     #[test]
@@ -273,5 +474,82 @@ mod tests {
             pool.run_named("nope"),
             Err(ServeError::Unknown(_))
         ));
+    }
+
+    #[test]
+    fn metrics_mirror_the_serving_path() {
+        let pool = ServePool::new(2, 2);
+        pool.run_one(&spec(8)).unwrap();
+        pool.run_one(&spec(8)).unwrap();
+        pool.run_one(&spec(12)).unwrap();
+        pool.run_one(&spec(16)).unwrap(); // capacity 2: evicts the LRU
+        let snap = pool.metrics_snapshot();
+        let stats = pool.cache_stats();
+        assert_eq!(
+            snap.counter("xdp_cache_hits_total", &[]),
+            Some(stats.hits),
+            "metric counters mirror cache stats"
+        );
+        assert_eq!(
+            snap.counter("xdp_cache_misses_total", &[]),
+            Some(stats.misses)
+        );
+        assert_eq!(
+            snap.counter("xdp_cache_evictions_total", &[]),
+            Some(stats.evictions)
+        );
+        assert!(stats.evictions > 0, "capacity 2 with 3 distinct must evict");
+        assert_eq!(
+            snap.counter("xdp_cache_compiles_total", &[]),
+            Some(stats.compiles)
+        );
+        let lat = snap.histogram("xdp_request_latency_us", &[]).unwrap();
+        assert_eq!(lat.count, 4, "one latency observation per ok request");
+        let compile = snap.histogram("xdp_compile_us", &[]).unwrap();
+        assert_eq!(compile.count, 3, "one compile-time observation per miss");
+        // The corpus program is owner-local, so the net view exists but
+        // may legitimately read zero.
+        assert!(snap.counter("xdp_net_messages_total", &[]).is_some());
+        assert_eq!(snap.gauge("xdp_inflight_runs", &[]), Some(0));
+        assert_eq!(snap.gauge("xdp_queue_depth", &[]), Some(0));
+    }
+
+    #[test]
+    fn latency_decomposition_sums_to_wall() {
+        let pool = ServePool::new(2, 8);
+        let specs: Vec<RequestSpec> = (0..12).map(|k| spec(8 + (k % 3))).collect();
+        let out = pool.run_batch(&specs);
+        let mut wall = 0u64;
+        let mut parts = 0u64;
+        for r in out {
+            let r = r.unwrap();
+            wall += r.latency_us;
+            parts += r.queue_us + r.resolve_us + r.execute_us;
+            assert!(r.latency_us >= r.execute_us, "wall covers execution");
+        }
+        assert!(wall > 0);
+        let gap = wall.abs_diff(parts);
+        assert!(
+            gap * 20 <= wall,
+            "queue+resolve+execute ({parts}) within 5% of wall ({wall})"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_dumps_on_error() {
+        let dir = std::env::temp_dir().join(format!("xdp-pool-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pool = ServePool::new(2, 8).with_flight(FlightConfig::new(&dir));
+        pool.run_one(&spec(8)).unwrap();
+        assert_eq!(pool.flight().unwrap().dumps(), 0, "ok request: no dump");
+        let err = pool.run_one(&RequestSpec::new("real A[1:4] distribute (WAT) onto 2\n"));
+        assert!(err.is_err());
+        assert_eq!(pool.flight().unwrap().dumps(), 1, "error dumps the ring");
+        assert_eq!(
+            pool.metrics_snapshot()
+                .counter("xdp_flight_dumps_total", &[]),
+            Some(1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,6 +9,19 @@
 //! corpus item after the replay must not move the compile counter; a
 //! nonzero value means a hit recompiled, which is the one thing a
 //! compile cache must never do).
+//!
+//! Latency statistics come from the pool's own
+//! `xdp_request_latency_us` histogram — the bench path and the live
+//! `xdpd stats` path share one implementation, so a bench percentile and
+//! an operator-facing percentile can never drift apart. The raw latency
+//! vector is still carried on the report: `e14_metrics` uses it as the
+//! sorted-vector oracle the histogram is checked against.
+//!
+//! The serving contract the binaries enforce lives here too
+//! ([`ReplayReport::contract_violations`]): no errors, one compile per
+//! distinct requested program, a warm hit rate, and zero warm
+//! recompiles. Both `xdpd bench` and `e13_serve` fail on violations —
+//! the daemon's exit code means the same thing as the experiment's.
 
 use crate::cache::CacheStats;
 use crate::pool::ServePool;
@@ -20,6 +33,7 @@ use serde_json::{Map, Value as Json};
 use std::path::PathBuf;
 use std::time::Instant;
 use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_metrics::{FlightConfig, HistSnapshot};
 use xdp_verify::GenConfig;
 
 /// One weighted corpus entry.
@@ -50,6 +64,10 @@ pub struct ReplayConfig {
     pub gen_count: usize,
     /// Directory of `.xdp` sources; empty name disables file loading.
     pub programs_dir: PathBuf,
+    /// Flight-recorder output directory; `None` disables recording.
+    pub flight_dir: Option<PathBuf>,
+    /// Slow-request trigger for the recorder, microseconds.
+    pub slow_us: Option<u64>,
 }
 
 impl ReplayConfig {
@@ -63,6 +81,8 @@ impl ReplayConfig {
             seed: 1993,
             gen_count: 6,
             programs_dir: programs_dir.into(),
+            flight_dir: None,
+            slow_us: None,
         }
     }
 }
@@ -90,6 +110,19 @@ pub struct ReplayReport {
     pub p50_us: u64,
     pub p99_us: u64,
     pub mean_us: f64,
+    /// The latency histogram the percentiles above came from — the same
+    /// shard type `xdpd stats` exposes.
+    pub latency_hist: HistSnapshot,
+    /// Raw per-request latencies, unsorted, successful requests only.
+    /// Kept as the oracle the histogram is validated against.
+    pub latencies_us: Vec<u64>,
+    /// Latency decomposition totals over successful requests (µs).
+    pub total_queue_us: u64,
+    pub total_resolve_us: u64,
+    pub total_execute_us: u64,
+    /// Sum of end-to-end wall latencies (µs); the decomposition above
+    /// must account for it to within a few percent.
+    pub total_wall_us: u64,
     /// Hit rate over the replay phase only (excludes the warm check).
     pub hit_rate: f64,
     /// Cache counters after the replay phase.
@@ -99,16 +132,59 @@ pub struct ReplayReport {
     /// these specs was compiled during the replay, so a nonzero count
     /// means a hit recompiled.
     pub warm_recompiles: u64,
+    /// Flight-recorder dump files written during the replay.
+    pub flight_dumps: u64,
     pub per_program: Vec<ProgramRow>,
 }
 
 impl ReplayReport {
-    /// The report as one JSON object (the `BENCH_serve.json` payload).
-    pub fn to_json(&self) -> Json {
+    /// The serving contract both `xdpd bench` and `e13_serve` enforce.
+    /// Empty means the replay is healthy; each entry is one violated
+    /// invariant, human-readable.
+    pub fn contract_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.errors != 0 {
+            v.push(format!("{} requests failed (want 0)", self.errors));
+        }
+        if self.stats.compiles != self.distinct_requested as u64 {
+            v.push(format!(
+                "{} compiles for {} distinct requested programs (want exactly one each)",
+                self.stats.compiles, self.distinct_requested
+            ));
+        }
+        if self.hit_rate < 0.90 {
+            v.push(format!(
+                "hit rate {:.3} below the 0.90 serving floor",
+                self.hit_rate
+            ));
+        }
+        if self.warm_recompiles != 0 {
+            v.push(format!(
+                "{} warm recompiles (a cache hit recompiled)",
+                self.warm_recompiles
+            ));
+        }
+        v
+    }
+
+    /// The report as one JSON object (one `BENCH_serve.json` trajectory
+    /// row). `experiment` names the binary that produced it.
+    pub fn to_json(&self, experiment: &str) -> Json {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
         let mut latency = Map::new();
         latency.insert("p50".into(), Json::from(self.p50_us));
+        latency.insert("p90".into(), Json::from(self.latency_hist.p90()));
         latency.insert("p99".into(), Json::from(self.p99_us));
         latency.insert("mean".into(), Json::from(self.mean_us));
+        latency.insert("max".into(), Json::from(self.latency_hist.max_exact()));
+        let mut split = Map::new();
+        split.insert("queue_us".into(), Json::from(self.total_queue_us));
+        split.insert("resolve_us".into(), Json::from(self.total_resolve_us));
+        split.insert("execute_us".into(), Json::from(self.total_execute_us));
+        split.insert("wall_us".into(), Json::from(self.total_wall_us));
         let mut cache = Map::new();
         cache.insert("hit_rate".into(), Json::from(self.hit_rate));
         cache.insert("hits".into(), Json::from(self.stats.hits));
@@ -129,7 +205,8 @@ impl ReplayReport {
             })
             .collect();
         let mut root = Map::new();
-        root.insert("experiment".into(), Json::from("e13-serve"));
+        root.insert("experiment".into(), Json::from(experiment));
+        root.insert("unix_ms".into(), Json::from(unix_ms));
         root.insert("requests".into(), Json::from(self.requests));
         root.insert("errors".into(), Json::from(self.errors));
         root.insert("distinct_programs".into(), Json::from(self.distinct));
@@ -140,7 +217,9 @@ impl ReplayReport {
         root.insert("wall_s".into(), Json::from(self.wall_s));
         root.insert("runs_per_sec".into(), Json::from(self.runs_per_sec));
         root.insert("latency_us".into(), Json::Object(latency));
+        root.insert("latency_split".into(), Json::Object(split));
         root.insert("cache".into(), Json::Object(cache));
+        root.insert("flight_dumps".into(), Json::from(self.flight_dumps));
         root.insert("per_program".into(), Json::Array(per));
         Json::Object(root)
     }
@@ -218,24 +297,22 @@ pub fn request_mix(corpus: &[CorpusItem], n: usize, seed: u64) -> Vec<usize> {
         .collect()
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 /// Run the full replay: corpus → request mix → batched execution →
 /// warm-recompile check. Returns the report and the pool (still warm,
 /// for follow-up queries).
 pub fn replay(cfg: &ReplayConfig) -> Result<(ReplayReport, ServePool), String> {
     let corpus = load_corpus(cfg)?;
     let mix = request_mix(&corpus, cfg.requests, cfg.seed);
-    let pool = ServePool::new(cfg.workers, cfg.capacity);
+    let mut pool = ServePool::new(cfg.workers, cfg.capacity);
+    if let Some(dir) = &cfg.flight_dir {
+        let mut fcfg = FlightConfig::new(dir);
+        fcfg.slow_us = cfg.slow_us;
+        pool = pool.with_flight(fcfg);
+    }
 
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);
     let mut per: Vec<(u64, u64, u64)> = vec![(0, 0, 0); corpus.len()]; // runs, hits, total us
+    let (mut tq, mut tr, mut tx, mut tw) = (0u64, 0u64, 0u64, 0u64);
     let mut errors = 0usize;
     let started = Instant::now();
     for chunk in mix.chunks(cfg.batch.max(1)) {
@@ -244,6 +321,10 @@ pub fn replay(cfg: &ReplayConfig) -> Result<(ReplayReport, ServePool), String> {
             match result {
                 Ok(out) => {
                     latencies.push(out.latency_us);
+                    tq += out.queue_us;
+                    tr += out.resolve_us;
+                    tx += out.execute_us;
+                    tw += out.latency_us;
                     per[i].0 += 1;
                     per[i].1 += u64::from(out.cache_hit);
                     per[i].2 += out.latency_us;
@@ -257,6 +338,13 @@ pub fn replay(cfg: &ReplayConfig) -> Result<(ReplayReport, ServePool), String> {
     }
     let wall_s = started.elapsed().as_secs_f64();
     let stats = pool.cache_stats();
+    // One code path for latency stats: the pool's own histogram,
+    // snapshotted *before* the warm check adds its own observations.
+    let latency_hist = pool
+        .metrics_snapshot()
+        .histogram("xdp_request_latency_us", &[])
+        .cloned()
+        .unwrap_or_default();
 
     // Warm check: every item the replay actually served, one more time.
     // The cache already compiled each of these specs, so the compile
@@ -274,12 +362,6 @@ pub fn replay(cfg: &ReplayConfig) -> Result<(ReplayReport, ServePool), String> {
     }
     let warm_recompiles = pool.cache_stats().compiles - before;
 
-    latencies.sort_unstable();
-    let mean_us = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
-    };
     let report = ReplayReport {
         requests: cfg.requests,
         errors,
@@ -291,12 +373,19 @@ pub fn replay(cfg: &ReplayConfig) -> Result<(ReplayReport, ServePool), String> {
         } else {
             0.0
         },
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
-        mean_us,
+        p50_us: latency_hist.p50(),
+        p99_us: latency_hist.p99(),
+        mean_us: latency_hist.mean(),
+        latency_hist,
+        latencies_us: latencies,
+        total_queue_us: tq,
+        total_resolve_us: tr,
+        total_execute_us: tx,
+        total_wall_us: tw,
         hit_rate: stats.hit_rate(),
         stats,
         warm_recompiles,
+        flight_dumps: pool.flight().map_or(0, |fr| fr.dumps()),
         per_program: corpus
             .iter()
             .zip(&per)
@@ -328,6 +417,8 @@ mod tests {
             seed: 7,
             gen_count: 3,
             programs_dir: PathBuf::new(),
+            flight_dir: None,
+            slow_us: None,
         }
     }
 
@@ -376,17 +467,52 @@ mod tests {
         assert_eq!(report.stats.compiles, 3, "one compile per distinct program");
         assert!(report.hit_rate > 0.9, "hit rate {}", report.hit_rate);
         assert_eq!(report.per_program.iter().map(|r| r.runs).sum::<u64>(), 60);
-        let j = report.to_json();
+        assert!(
+            report.contract_violations().is_empty(),
+            "healthy replay passes the contract: {:?}",
+            report.contract_violations()
+        );
+        let j = report.to_json("e13-serve");
         let warm = j.get("cache").and_then(|c| c.get("warm_recompiles"));
         assert_eq!(warm.and_then(|v| v.as_u64()), Some(0));
         assert_eq!(j.get("requests").and_then(|v| v.as_u64()), Some(60));
+        assert!(j.get("unix_ms").and_then(|v| v.as_u64()).unwrap() > 0);
     }
 
     #[test]
-    fn percentile_bounds() {
-        let v = vec![1, 2, 3, 4, 100];
-        assert_eq!(percentile(&v, 0.5), 3);
-        assert_eq!(percentile(&v, 0.99), 100);
-        assert_eq!(percentile(&[], 0.5), 0);
+    fn latency_stats_come_from_the_pool_histogram() {
+        let (report, _pool) = replay(&gen_only(40)).unwrap();
+        assert_eq!(report.latencies_us.len(), 40, "one raw latency per request");
+        assert_eq!(
+            report.latency_hist.count, 40,
+            "histogram excludes the warm check"
+        );
+        assert_eq!(
+            report.latency_hist.sum,
+            report.latencies_us.iter().sum::<u64>(),
+            "histogram total is exact"
+        );
+        assert_eq!(report.p50_us, report.latency_hist.p50());
+        // Decomposition accounts for wall latency.
+        let parts = report.total_queue_us + report.total_resolve_us + report.total_execute_us;
+        let gap = report.total_wall_us.abs_diff(parts);
+        assert!(
+            gap * 20 <= report.total_wall_us,
+            "split {parts} within 5% of wall {}",
+            report.total_wall_us
+        );
+    }
+
+    #[test]
+    fn contract_violations_catch_unhealthy_reports() {
+        let (mut report, _pool) = replay(&gen_only(30)).unwrap();
+        report.errors = 2;
+        report.hit_rate = 0.5;
+        report.warm_recompiles = 1;
+        let v = report.contract_violations();
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("2 requests failed")));
+        assert!(v.iter().any(|m| m.contains("hit rate")));
+        assert!(v.iter().any(|m| m.contains("warm recompiles")));
     }
 }
