@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 e14 fuzz serve stats
+.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 e14 e15 fuzz serve stats
 
 all: test
 
@@ -32,6 +32,8 @@ experiments:
 	@cargo run -q --release -p xdp-serve --bin e13_serve
 	@echo "==== e14_metrics ===="
 	@cargo run -q --release -p xdp-serve --bin e14_metrics
+	@echo "==== e15_vm ===="
+	@cargo run -q --release -p xdp-verify --bin e15_vm
 	@echo "==== bench_check ===="
 	@cargo run -q --release -p xdp-bench --bin bench_check
 
@@ -56,6 +58,13 @@ e13:
 # oracle, latency decomposition, flight recorder, regression gate.
 e14:
 	cargo run -q --release -p xdp-serve --bin e14_metrics
+	cargo run -q --release -p xdp-bench --bin bench_check
+
+# The VM speedup + conformance experiment on its own (EXPERIMENTS.md
+# E15): asserts the >=10x floor on local compute and fingerprint
+# identity with the interpreter, then gates the appended trajectory row.
+e15:
+	cargo run -q --release -p xdp-verify --bin e15_vm
 	cargo run -q --release -p xdp-bench --bin bench_check
 
 # A longer differential fuzz sweep via the CLI (CI runs --count 200).

@@ -16,7 +16,7 @@ fn msg(k: i64) -> Msg {
     Msg {
         tag: tag(k),
         kind: TransferKind::Value,
-        payload: Some(Buffer::zeros(ElemType::F64, 8)),
+        payload: Some(Buffer::zeros(ElemType::F64, 8).into()),
         src: 0,
     }
 }

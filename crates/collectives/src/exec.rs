@@ -144,7 +144,7 @@ fn msg_of(t: &Transfer, payload: Vec<f64>) -> Msg {
     Msg {
         tag: tag_of(t),
         kind: TransferKind::Value,
-        payload: Some(Buffer::F64(payload)),
+        payload: Some(std::sync::Arc::new(Buffer::F64(payload))),
         src: t.src,
     }
 }
@@ -238,7 +238,7 @@ pub fn run_pid<N: Net>(
                 })?;
             let payload = msg
                 .payload
-                .as_ref()
+                .as_deref()
                 .and_then(Buffer::as_f64)
                 .ok_or(ExecError::BadPayload { pid, salt: t.salt })?;
             scatter(bounds, local, &t.recv_secs, payload, t.combine)?;
@@ -290,7 +290,7 @@ pub fn run_sim(
                     },
                 )?;
                 clock[t.dst] = clock[t.dst].max(c.arrive_at) + c.handling;
-                let vals = c.msg.payload.as_ref().and_then(Buffer::as_f64).ok_or(
+                let vals = c.msg.payload.as_deref().and_then(Buffer::as_f64).ok_or(
                     ExecError::BadPayload {
                         pid: t.dst,
                         salt: t.salt,

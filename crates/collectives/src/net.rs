@@ -102,7 +102,7 @@ mod tests {
         Msg {
             tag: Tag::salted(VarId(0), Section::new(vec![Triplet::range(1, 2)]), salt),
             kind: TransferKind::Value,
-            payload: Some(Buffer::zeros(ElemType::F64, 2)),
+            payload: Some(std::sync::Arc::new(Buffer::zeros(ElemType::F64, 2))),
             src,
         }
     }

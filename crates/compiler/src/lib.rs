@@ -38,6 +38,8 @@ pub mod seq;
 
 pub use frontend::{lower_owner_computes, machine_size, FrontendError, FrontendOptions};
 pub use passes::{Pass, PassManager, PassResult};
-pub use pipeline::{compile, compile_program, CompileError, CompileOptions, Compiled, SeqMode};
+pub use pipeline::{
+    compile, compile_program, Backend, CompileError, CompileOptions, Compiled, SeqMode,
+};
 pub use seq::{from_program, SeqProgram, SeqStmt};
 pub use xdp_trace::{CompileTrace, PassTrace};

@@ -44,6 +44,47 @@ pub enum SeqMode {
     Auto,
 }
 
+/// Which execution backend runs the compiled program.
+///
+/// The choice does not change the produced IR — both backends execute the
+/// same [`Program`] — but it selects how executors are built downstream
+/// (tree-walking `Interp` vs the `xdp-vm` compiled processor), so it
+/// participates in option hashing and the serve layer's cache key: a
+/// cached VM execution must never satisfy an interpreter request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The reference tree-walking interpreter (`xdp_core::Interp`).
+    #[default]
+    Interp,
+    /// The compiled bytecode processor (`xdp_vm::VmProc`).
+    Vm,
+}
+
+impl Backend {
+    /// Stable lowercase name (CLI values, cache keys, metrics labels).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Vm => "vm",
+        }
+    }
+
+    /// Parse a CLI value as produced by [`Backend::as_str`].
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "interp" => Some(Backend::Interp),
+            "vm" => Some(Backend::Vm),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Options for [`compile`]. Every field participates in the serve layer's
 /// cache key: two option sets that could compile differently must hash
 /// differently.
@@ -58,6 +99,8 @@ pub struct CompileOptions {
     pub place: bool,
     /// Sequential-source handling.
     pub seq: SeqMode,
+    /// Execution backend the compiled program is destined for.
+    pub backend: Backend,
 }
 
 impl Default for CompileOptions {
@@ -67,6 +110,7 @@ impl Default for CompileOptions {
             optimize: false,
             place: false,
             seq: SeqMode::AsIs,
+            backend: Backend::default(),
         }
     }
 }
@@ -93,6 +137,12 @@ impl CompileOptions {
     /// Builder shorthand: set the sequential-source mode.
     pub fn with_seq(mut self, seq: SeqMode) -> CompileOptions {
         self.seq = seq;
+        self
+    }
+
+    /// Builder shorthand: set the execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> CompileOptions {
+        self.backend = backend;
         self
     }
 }
@@ -134,6 +184,8 @@ pub struct Compiled {
     pub nprocs: usize,
     /// Was the source lowered from sequential form?
     pub lowered: bool,
+    /// Backend the compile was requested for (copied from the options).
+    pub backend: Backend,
     /// Per-pass provenance of everything that ran (wall time, node
     /// deltas, statement rewrites). Empty when no passes were requested —
     /// which is exactly what a serve-cache hit looks like.
@@ -191,6 +243,7 @@ pub fn compile_program(program: &Program, opts: &CompileOptions) -> Result<Compi
             .unwrap_or(1),
         program: Arc::new(program),
         lowered,
+        backend: opts.backend,
         trace,
     })
 }

@@ -291,7 +291,7 @@ impl Interp {
                     });
                 }
                 let payload: Option<&Buffer> = if kind == TransferKind::OwnershipValue {
-                    msg.payload.as_ref()
+                    msg.payload.as_deref()
                 } else {
                     None
                 };
@@ -448,7 +448,7 @@ impl Interp {
                     }
                 };
                 let payload = match kind {
-                    TransferKind::Value => Some(self.env.read_section(var, &s)?),
+                    TransferKind::Value => Some(Arc::new(self.env.read_section(var, &s)?)),
                     TransferKind::Ownership | TransferKind::OwnershipValue => {
                         if let Some(d) = &dests {
                             if d.len() > 1 {
@@ -475,7 +475,7 @@ impl Interp {
                         }
                         let data = self.env.symtab.remove_ownership(var, &s)?;
                         if kind == TransferKind::OwnershipValue {
-                            Some(data)
+                            Some(Arc::new(data))
                         } else {
                             None
                         }

@@ -43,6 +43,7 @@
 pub mod env;
 pub mod interp;
 pub mod kernels;
+pub mod proc;
 pub mod report;
 pub mod sim_exec;
 pub mod thread_exec;
@@ -50,6 +51,7 @@ pub mod thread_exec;
 pub use env::{OpCounts, ProcEnv, RtError, RuleVal};
 pub use interp::{Action, Interp, StepNote, StepOut};
 pub use kernels::{Kernel, KernelRegistry};
+pub use proc::Processor;
 pub use report::{ExecReport, Gathered, ProcReport};
 pub use sim_exec::{SimConfig, SimExec};
 pub use thread_exec::{ThreadConfig, ThreadExec, ThreadReport};

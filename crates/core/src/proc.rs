@@ -1,0 +1,87 @@
+//! The processor abstraction both executors drive.
+//!
+//! [`crate::SimExec`] and [`crate::ThreadExec`] schedule *processors*: step
+//! them, deliver matched messages, release barriers, and read their
+//! environments for initialization and gather. The tree-walking
+//! [`Interp`] is the reference implementation; a compiled backend (see
+//! `xdp-vm`) plugs in by implementing the same trait. Any implementation
+//! must mirror the interpreter's observable contract exactly — one
+//! [`crate::StepOut`] per statement, identical [`crate::OpCounts`], and
+//! identical action/blocking behavior — or the deterministic simulated
+//! timeline (and hence rendezvous matching) diverges.
+
+use crate::env::{ProcEnv, RtError};
+use crate::interp::{Interp, StepOut};
+use xdp_ir::{Section, VarId};
+use xdp_machine::{CostModel, Topology};
+use xdp_runtime::{Msg, Tag};
+
+/// One SPMD processor: a program counter over a per-processor program plus
+/// the run-time environment (§3 symbol table, scalars, op counters).
+pub trait Processor: Send {
+    /// Execute one statement, returning the action and charged op counts.
+    fn step(&mut self) -> Result<StepOut, RtError>;
+
+    /// Complete a previously posted receive with its matched message.
+    fn complete_recv(&mut self, req_id: u64, msg: Msg) -> Result<(), RtError>;
+
+    /// All outstanding (posted, uncompleted) receives, ordered by request.
+    fn outstanding(&self) -> Vec<(u64, Tag)>;
+
+    /// Outstanding receives that gate accessibility of `var[sec]`.
+    fn outstanding_for(&self, var: VarId, sec: &Section) -> Vec<(u64, Tag)>;
+
+    /// Release this processor from a barrier it reported via
+    /// [`crate::Action::Barrier`].
+    fn pass_barrier(&mut self);
+
+    /// Human-readable program position, for deadlock diagnostics.
+    fn position(&self) -> String;
+
+    /// Machine parameters for runtime redistribution planning.
+    fn set_plan_cfg(&mut self, cost: CostModel, topo: Topology);
+
+    /// The processor's run-time environment.
+    fn env(&self) -> &ProcEnv;
+
+    /// Mutable access to the run-time environment (initialization).
+    fn env_mut(&mut self) -> &mut ProcEnv;
+}
+
+impl Processor for Interp {
+    fn step(&mut self) -> Result<StepOut, RtError> {
+        Interp::step(self)
+    }
+
+    fn complete_recv(&mut self, req_id: u64, msg: Msg) -> Result<(), RtError> {
+        Interp::complete_recv(self, req_id, msg)
+    }
+
+    fn outstanding(&self) -> Vec<(u64, Tag)> {
+        Interp::outstanding(self)
+    }
+
+    fn outstanding_for(&self, var: VarId, sec: &Section) -> Vec<(u64, Tag)> {
+        Interp::outstanding_for(self, var, sec)
+    }
+
+    fn pass_barrier(&mut self) {
+        Interp::pass_barrier(self)
+    }
+
+    fn position(&self) -> String {
+        Interp::position(self)
+    }
+
+    fn set_plan_cfg(&mut self, cost: CostModel, topo: Topology) {
+        Interp::set_plan_cfg(self, cost, topo)
+    }
+
+    fn env(&self) -> &ProcEnv {
+        &self.env
+    }
+
+    fn env_mut(&mut self) -> &mut ProcEnv {
+        &mut self.env
+    }
+}

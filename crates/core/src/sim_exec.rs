@@ -9,6 +9,7 @@
 use crate::env::RtError;
 use crate::interp::{Action, Interp, StepNote};
 use crate::kernels::KernelRegistry;
+use crate::proc::Processor;
 use crate::report::{ExecReport, Gathered, ProcReport};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -110,9 +111,13 @@ enum PStatus {
 /// initialize data with [`SimExec::init_exclusive`] /
 /// [`SimExec::init_universal`], then [`SimExec::run`] and inspect the
 /// report or [`SimExec::gather`] final state.
-pub struct SimExec {
+///
+/// Generic over the [`Processor`] implementation; defaults to the
+/// tree-walking [`Interp`]. Compiled backends construct via
+/// [`SimExec::from_procs`].
+pub struct SimExec<P: Processor = Interp> {
     cfg: SimConfig,
-    interps: Vec<Interp>,
+    interps: Vec<P>,
     clocks: Vec<f64>,
     status: Vec<PStatus>,
     inbox: Vec<Vec<(u64, Completion)>>,
@@ -138,16 +143,32 @@ impl SimExec {
         // segments (no-op for programs without `redistribute`).
         let program = xdp_collectives::prepare_arc(program);
         let interps = (0..n)
-            .map(|pid| {
-                let mut i = Interp::new(program.clone(), kernels.clone(), pid, n, cfg.checked);
-                i.set_plan_cfg(cfg.cost, cfg.topo.clone());
-                i
-            })
+            .map(|pid| Interp::new(program.clone(), kernels.clone(), pid, n, cfg.checked))
             .collect();
+        SimExec::from_procs(interps, cfg)
+    }
+
+    /// Direct mutable access to a processor's interpreter (tests).
+    pub fn interp_mut(&mut self, pid: usize) -> &mut Interp {
+        &mut self.interps[pid]
+    }
+}
+
+impl<P: Processor> SimExec<P> {
+    /// Drive pre-built processors (one per pid, in pid order) on the
+    /// configured machine. The caller is responsible for having prepared
+    /// the program (`xdp_collectives::prepare_arc`) identically on every
+    /// processor; plan parameters are (re)applied here.
+    pub fn from_procs(mut procs: Vec<P>, cfg: SimConfig) -> SimExec<P> {
+        let n = cfg.nprocs;
+        assert_eq!(procs.len(), n, "one processor per pid");
+        for p in &mut procs {
+            p.set_plan_cfg(cfg.cost, cfg.topo.clone());
+        }
         let net = SimNet::with_faults(n, cfg.cost, cfg.topo.clone(), cfg.faults.clone());
         SimExec {
             cfg,
-            interps,
+            interps: procs,
             clocks: vec![0.0; n],
             status: vec![PStatus::Ready; n],
             inbox: vec![Vec::new(); n],
@@ -167,10 +188,11 @@ impl SimExec {
     /// owns to `f(index)`.
     pub fn init_exclusive(&mut self, var: VarId, f: impl Fn(&[i64]) -> Value) {
         for interp in &mut self.interps {
-            let full = interp.env.full_section(var);
+            let env = interp.env_mut();
+            let full = env.full_section(var);
             for idx in full.iter() {
                 let v = f(&idx);
-                let _ = interp.env.symtab.write(var, &idx, v);
+                let _ = env.symtab.write(var, &idx, v);
             }
         }
     }
@@ -178,21 +200,14 @@ impl SimExec {
     /// Initialize a universal array identically on every processor.
     pub fn init_universal(&mut self, var: VarId, f: impl Fn(&[i64]) -> Value) {
         for interp in &mut self.interps {
-            let full = interp.env.full_section(var);
-            let mut buf = Buffer::zeros(interp.env.decls[var.index()].elem, full.volume() as usize);
+            let env = interp.env_mut();
+            let full = env.full_section(var);
+            let mut buf = Buffer::zeros(env.decls[var.index()].elem, full.volume() as usize);
             for (ord, idx) in full.iter().enumerate() {
                 buf.set(ord, f(&idx));
             }
-            interp
-                .env
-                .write_section(var, &full, &buf)
-                .expect("universal init");
+            env.write_section(var, &full, &buf).expect("universal init");
         }
-    }
-
-    /// Direct mutable access to a processor's interpreter (tests).
-    pub fn interp_mut(&mut self, pid: usize) -> &mut Interp {
-        &mut self.interps[pid]
     }
 
     /// Record a span event if span recording is on and it has extent.
@@ -211,7 +226,7 @@ impl SimExec {
 
     /// Rendered (variable, section) of a message tag, for trace events.
     fn tag_meta(&self, tag: &Tag) -> (Option<String>, Option<String>) {
-        let name = self.interps[0].env.decls[tag.var.index()].name.clone();
+        let name = self.interps[0].env().decls[tag.var.index()].name.clone();
         (Some(name), Some(tag.sec.to_string()))
     }
 
@@ -553,7 +568,7 @@ impl SimExec {
                 wait: self.wait[p],
                 sends: self.sends[p],
                 recvs: self.recvs[p],
-                symtab: self.interps[p].env.symtab.stats,
+                symtab: self.interps[p].env().symtab.stats,
             })
             .collect();
         Ok(ExecReport {
@@ -569,17 +584,17 @@ impl SimExec {
     /// Gather the global contents of an exclusive array after execution.
     pub fn gather(&self, var: VarId) -> Gathered {
         let tables: Vec<&xdp_runtime::RtSymbolTable> =
-            self.interps.iter().map(|i| &i.env.symtab).collect();
-        let full = self.interps[0].env.full_section(var);
+            self.interps.iter().map(|i| &i.env().symtab).collect();
+        let full = self.interps[0].env().full_section(var);
         crate::report::gather_var(var, &tables, &full)
     }
 
     /// A processor's private copy of a universal array, row-major over the
     /// full bounds.
     pub fn universal_copy(&mut self, pid: usize, var: VarId) -> Buffer {
-        let full = self.interps[pid].env.full_section(var);
+        let full = self.interps[pid].env().full_section(var);
         self.interps[pid]
-            .env
+            .env_mut()
             .read_section(var, &full)
             .expect("universal copy")
     }

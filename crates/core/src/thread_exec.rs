@@ -14,6 +14,7 @@
 use crate::env::RtError;
 use crate::interp::{Action, Interp, StepNote};
 use crate::kernels::KernelRegistry;
+use crate::proc::Processor;
 use crate::report::Gathered;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -81,9 +82,13 @@ impl ThreadConfig {
 }
 
 /// The threaded executor. Mirrors [`crate::SimExec`]'s init/run/gather API.
-pub struct ThreadExec {
+///
+/// Generic over the [`Processor`] implementation; defaults to the
+/// tree-walking [`Interp`]. Compiled backends construct via
+/// [`ThreadExec::from_procs`].
+pub struct ThreadExec<P: Processor = Interp> {
     cfg: ThreadConfig,
-    interps: Vec<Interp>,
+    interps: Vec<P>,
 }
 
 impl ThreadExec {
@@ -98,13 +103,26 @@ impl ThreadExec {
             .collect();
         ThreadExec { cfg, interps }
     }
+}
+
+impl<P: Processor> ThreadExec<P> {
+    /// Drive pre-built processors (one per pid, in pid order). The caller
+    /// must have prepared the program identically on every processor.
+    pub fn from_procs(procs: Vec<P>, cfg: ThreadConfig) -> ThreadExec<P> {
+        assert_eq!(procs.len(), cfg.nprocs, "one processor per pid");
+        ThreadExec {
+            cfg,
+            interps: procs,
+        }
+    }
 
     /// Initialize an exclusive array (owned elements on each processor).
     pub fn init_exclusive(&mut self, var: VarId, f: impl Fn(&[i64]) -> Value) {
         for interp in &mut self.interps {
-            let full = interp.env.full_section(var);
+            let env = interp.env_mut();
+            let full = env.full_section(var);
             for idx in full.iter() {
-                let _ = interp.env.symtab.write(var, &idx, f(&idx));
+                let _ = env.symtab.write(var, &idx, f(&idx));
             }
         }
     }
@@ -142,7 +160,7 @@ impl ThreadExec {
                 .events
                 .extend(crate::report::fault_trace_events(&net.fault_events()));
         }
-        let symtab = self.interps.iter().map(|i| i.env.symtab.stats).collect();
+        let symtab = self.interps.iter().map(|i| i.env().symtab.stats).collect();
         Ok(ThreadReport {
             wall,
             net: net.stats(),
@@ -155,29 +173,29 @@ impl ThreadExec {
     /// Gather the global contents of an exclusive array after execution.
     pub fn gather(&self, var: VarId) -> Gathered {
         let tables: Vec<&xdp_runtime::RtSymbolTable> =
-            self.interps.iter().map(|i| &i.env.symtab).collect();
-        let full = self.interps[0].env.full_section(var);
+            self.interps.iter().map(|i| &i.env().symtab).collect();
+        let full = self.interps[0].env().full_section(var);
         crate::report::gather_var(var, &tables, &full)
     }
 }
 
-/// Drive one processor's interpreter against the shared network.
-fn run_proc(
-    interp: &mut Interp,
+/// Drive one processor against the shared network.
+fn run_proc<P: Processor>(
+    interp: &mut P,
     net: &ThreadNet,
     barrier: &Barrier,
     timeout: Duration,
     tcfg: TraceConfig,
     start: Instant,
 ) -> Result<Vec<TraceEvent>, RtError> {
-    let pid = interp.env.pid;
+    let pid = interp.env().pid;
     // Decl names are cloned up front so the recorder never borrows the
     // interpreter across `interp.step()`.
     let mut rec = RecorderData {
         cfg: tcfg,
         start,
         events: Vec::new(),
-        names: interp.env.decls.iter().map(|d| d.name.clone()).collect(),
+        names: interp.env().decls.iter().map(|d| d.name.clone()).collect(),
         recv_sid: std::collections::HashMap::new(),
     };
     loop {

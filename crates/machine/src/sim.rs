@@ -427,7 +427,7 @@ mod tests {
         Msg {
             tag: tag(v),
             kind: TransferKind::Value,
-            payload: Some(Buffer::zeros(ElemType::F64, 4)),
+            payload: Some(std::sync::Arc::new(Buffer::zeros(ElemType::F64, 4))),
             src,
         }
     }

@@ -513,7 +513,7 @@ mod tests {
         Msg {
             tag: tag(v),
             kind: TransferKind::Value,
-            payload: Some(Buffer::zeros(ElemType::F64, 2)),
+            payload: Some(std::sync::Arc::new(Buffer::zeros(ElemType::F64, 2))),
             src,
         }
     }
@@ -528,6 +528,52 @@ mod tests {
         assert_eq!(got.src, 0);
         assert_eq!(net.pending_messages(), 0);
         assert_eq!(net.stats().messages, 1);
+    }
+
+    #[test]
+    fn payload_is_shared_not_copied() {
+        // The delivered message's payload is the *same* allocation the
+        // sender handed over — queueing, retry bookkeeping, and claiming
+        // only clone the `Arc` — while the byte counters still charge the
+        // full logical payload size per delivery.
+        let net = ThreadNet::new(2);
+        let m = msg(0, 0);
+        let sent = m.payload.clone().unwrap();
+        let logical = m.payload_bytes();
+        net.send(m, Some(vec![1]));
+        let got = net.recv(&tag(0), 1, T).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&sent, got.payload.as_ref().unwrap()));
+        let stats = net.stats();
+        assert_eq!(stats.payload_bytes, logical);
+        assert_eq!(stats.wire_bytes, logical, "bound send travels payload-only");
+    }
+
+    #[test]
+    fn dup_faults_share_one_payload_and_count_bytes_once() {
+        // A dup-injected retransmission carries the same shared buffer;
+        // dedup claims it once, so payload byte accounting is unchanged
+        // from a fault-free run.
+        let plan = FaultPlan {
+            rto: 50_000.0,
+            ..FaultPlan::uniform(
+                11,
+                LinkFault {
+                    dup: 1.0,
+                    ..LinkFault::default()
+                },
+            )
+        };
+        let net = ThreadNet::with_faults(2, plan);
+        let m = msg(0, 0);
+        let sent = m.payload.clone().unwrap();
+        let logical = m.payload_bytes();
+        net.send(m, Some(vec![1]));
+        let got = net.recv(&tag(0), 1, T).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&sent, got.payload.as_ref().unwrap()));
+        assert!(net.fault_stats().injected_dups > 0);
+        let stats = net.stats();
+        assert_eq!(stats.messages, 1, "dedup claims one delivery");
+        assert_eq!(stats.payload_bytes, logical);
     }
 
     #[test]
@@ -634,10 +680,16 @@ mod tests {
         let net = ThreadNet::with_faults(3, chaos_plan(42));
         for k in 0..20u64 {
             let mut m = msg(0, 0);
-            m.payload = Some(Buffer::zeros(ElemType::F64, (k + 1) as usize));
+            m.payload = Some(std::sync::Arc::new(Buffer::zeros(
+                ElemType::F64,
+                (k + 1) as usize,
+            )));
             net.send(m, None);
             let mut m = msg(0, 1);
-            m.payload = Some(Buffer::zeros(ElemType::F64, (k + 100) as usize));
+            m.payload = Some(std::sync::Arc::new(Buffer::zeros(
+                ElemType::F64,
+                (k + 100) as usize,
+            )));
             net.send(m, None);
         }
         let mut sizes = Vec::new();

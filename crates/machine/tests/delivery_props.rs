@@ -14,13 +14,13 @@ fn msg(salt: i64, src: usize, len: usize) -> Msg {
     Msg {
         tag: Tag::salted(VarId(0), Section::new(vec![Triplet::range(1, 2)]), salt),
         kind: TransferKind::Value,
-        payload: Some(Buffer::zeros(ElemType::F64, len)),
+        payload: Some(std::sync::Arc::new(Buffer::zeros(ElemType::F64, len))),
         src,
     }
 }
 
 fn payload_len(m: &Msg) -> usize {
-    match &m.payload {
+    match m.payload.as_deref() {
         Some(Buffer::F64(v)) => v.len(),
         _ => 0,
     }

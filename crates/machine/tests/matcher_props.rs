@@ -18,7 +18,7 @@ fn msg(k: u8, src: usize) -> Msg {
     Msg {
         tag: tag(k),
         kind: TransferKind::Value,
-        payload: Some(Buffer::zeros(ElemType::F64, 1)),
+        payload: Some(std::sync::Arc::new(Buffer::zeros(ElemType::F64, 1))),
         src,
     }
 }

@@ -560,6 +560,132 @@ impl RtSymbolTable {
         Ok(data)
     }
 
+    /// Gather a section's values in row-major order into a pre-allocated
+    /// buffer. Observable behavior matches [`RtSymbolTable::read_section`]
+    /// exactly — same values, `false` iff any element lacks owned storage,
+    /// no statistics touched — but when a single segment covers the whole
+    /// query the copy runs strided row-by-row instead of resolving every
+    /// element's index vector, which is what makes the compiled backend's
+    /// hot loops cheap.
+    ///
+    /// # Panics
+    /// Debug builds assert `out.len()` equals the section volume.
+    pub fn read_section_into(&self, var: VarId, sec: &Section, out: &mut Buffer) -> bool {
+        let entry = match self.entry(var) {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert_eq!(out.len() as i64, sec.volume(), "out sized to section");
+        if sec.is_empty() {
+            return true;
+        }
+        if let Some(seg) = entry
+            .segments
+            .iter()
+            .find(|s| s.data.is_some() && s.section.covers(sec))
+        {
+            let data = seg.data.as_ref().unwrap();
+            let (rows, inner, step) = row_shape(sec, &seg.section);
+            let mut idx: Vec<i64> = sec.dims().iter().map(|t| t.lb).collect();
+            let mut out_ord = 0usize;
+            for _ in 0..rows {
+                let base = seg
+                    .section
+                    .ordinal_of(&idx)
+                    .expect("covering segment holds the row") as usize;
+                gather_strided(out, out_ord, data, base, step, inner);
+                out_ord += inner;
+                advance_outer(sec, &mut idx);
+            }
+            return true;
+        }
+        // Disjoint multi-segment gather: per element, rotating from the
+        // last segment that hit (identical order to `read_section`).
+        let n = entry.segments.len();
+        let mut last_hit = 0usize;
+        let mut idx: Vec<i64> = sec.dims().iter().map(|t| t.lb).collect();
+        for ord in 0..sec.volume() as usize {
+            let mut found = false;
+            for k in 0..n {
+                let si = (last_hit + k) % n;
+                if let Some(v) = entry.segments[si].read(&idx) {
+                    out.set(ord, v);
+                    last_hit = si;
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return false;
+            }
+            advance_full(sec, &mut idx);
+        }
+        true
+    }
+
+    /// Scatter a row-major buffer into a section. Observable behavior
+    /// matches [`RtSymbolTable::write_section`] — same final state, `false`
+    /// iff some element lacks owned storage, no statistics touched — with
+    /// the same strided single-covering-segment fast path as
+    /// [`RtSymbolTable::read_section_into`].
+    ///
+    /// # Panics
+    /// Panics when the buffer size disagrees with the section volume.
+    pub fn write_section_from(&mut self, var: VarId, sec: &Section, buf: &Buffer) -> bool {
+        assert_eq!(
+            buf.len() as i64,
+            sec.volume(),
+            "payload/section size mismatch"
+        );
+        let entry = match self.entries.get_mut(var.index()).and_then(|e| e.as_mut()) {
+            Some(e) => e,
+            None => return false,
+        };
+        if sec.is_empty() {
+            return true;
+        }
+        if let Some(seg) = entry
+            .segments
+            .iter_mut()
+            .find(|s| s.data.is_some() && s.section.covers(sec))
+        {
+            let (rows, inner, step) = row_shape(sec, &seg.section);
+            let data = seg.data.as_mut().unwrap();
+            let mut idx: Vec<i64> = sec.dims().iter().map(|t| t.lb).collect();
+            let mut src_ord = 0usize;
+            for _ in 0..rows {
+                let base = seg
+                    .section
+                    .ordinal_of(&idx)
+                    .expect("covering segment holds the row") as usize;
+                scatter_strided(data, base, step, buf, src_ord, inner);
+                src_ord += inner;
+                advance_outer(sec, &mut idx);
+            }
+            return true;
+        }
+        // Disjoint multi-segment scatter, element by element.
+        let n = entry.segments.len();
+        let mut last_hit = 0usize;
+        let mut idx: Vec<i64> = sec.dims().iter().map(|t| t.lb).collect();
+        for ord in 0..sec.volume() as usize {
+            let mut found = false;
+            for k in 0..n {
+                let si = (last_hit + k) % n;
+                if entry.segments[si].write(&idx, buf.get(ord)) {
+                    last_hit = si;
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return false;
+            }
+            advance_full(sec, &mut idx);
+        }
+        true
+    }
+
     /// All live entries (for printing Figure 2).
     pub fn entries(&self) -> impl Iterator<Item = &SymEntry> {
         self.entries.iter().filter_map(|e| e.as_ref())
@@ -574,6 +700,127 @@ impl RtSymbolTable {
                 .map(|s| s.volume())
                 .sum()
         })
+    }
+}
+
+/// Decompose a section into rows for strided copying against a covering
+/// segment: (row count, elements per row, stride within the segment's
+/// innermost dimension). `covers` guarantees the query stride is a multiple
+/// of the segment stride whenever the row has more than one element.
+fn row_shape(sec: &Section, seg: &Section) -> (usize, usize, usize) {
+    let r = sec.rank();
+    if r == 0 {
+        return (1, 1, 1);
+    }
+    let inner = sec.dim(r - 1);
+    let n = inner.count() as usize;
+    let step = if n > 1 {
+        (inner.st / seg.dim(r - 1).st) as usize
+    } else {
+        1
+    };
+    ((sec.volume() / n as i64) as usize, n, step)
+}
+
+/// Advance `idx` to the next row: odometer over every dimension but the
+/// innermost, last of those fastest.
+fn advance_outer(sec: &Section, idx: &mut [i64]) {
+    advance_dims(sec, idx, sec.rank().saturating_sub(1));
+}
+
+/// Advance `idx` to the next element in row-major order (innermost
+/// dimension fastest) — the order [`Section::iter`] yields.
+fn advance_full(sec: &Section, idx: &mut [i64]) {
+    advance_dims(sec, idx, sec.rank());
+}
+
+fn advance_dims(sec: &Section, idx: &mut [i64], hi: usize) {
+    for d in (0..hi).rev() {
+        let t = sec.dim(d);
+        idx[d] += t.st;
+        if idx[d] <= t.ub {
+            return;
+        }
+        idx[d] = t.lb;
+    }
+}
+
+/// Copy `n` elements out of segment storage starting at `base`, `step`
+/// apart, into `out[out_off..]`. Same-type buffers copy without boxing
+/// every element through [`Value`].
+fn gather_strided(
+    out: &mut Buffer,
+    out_off: usize,
+    data: &Buffer,
+    base: usize,
+    step: usize,
+    n: usize,
+) {
+    match (&mut *out, data) {
+        (Buffer::I64(o), Buffer::I64(d)) => copy_rows(o, out_off, d, base, step, n),
+        (Buffer::F64(o), Buffer::F64(d)) => copy_rows(o, out_off, d, base, step, n),
+        (Buffer::C64(o), Buffer::C64(d)) => copy_rows(o, out_off, d, base, step, n),
+        _ => {
+            for k in 0..n {
+                out.set(out_off + k, data.get(base + k * step));
+            }
+        }
+    }
+}
+
+/// Copy `n` elements from `src[src_off..]` into segment storage starting at
+/// `base`, `step` apart. Mixed types coerce exactly like [`Buffer::set`].
+fn scatter_strided(
+    data: &mut Buffer,
+    base: usize,
+    step: usize,
+    src: &Buffer,
+    src_off: usize,
+    n: usize,
+) {
+    match (&mut *data, src) {
+        (Buffer::I64(d), Buffer::I64(s)) => copy_rows_strided_dst(d, base, step, s, src_off, n),
+        (Buffer::F64(d), Buffer::F64(s)) => copy_rows_strided_dst(d, base, step, s, src_off, n),
+        (Buffer::C64(d), Buffer::C64(s)) => copy_rows_strided_dst(d, base, step, s, src_off, n),
+        _ => {
+            for k in 0..n {
+                data.set(base + k * step, src.get(src_off + k));
+            }
+        }
+    }
+}
+
+fn copy_rows<T: Copy>(
+    out: &mut [T],
+    out_off: usize,
+    data: &[T],
+    base: usize,
+    step: usize,
+    n: usize,
+) {
+    if step == 1 {
+        out[out_off..out_off + n].copy_from_slice(&data[base..base + n]);
+    } else {
+        for k in 0..n {
+            out[out_off + k] = data[base + k * step];
+        }
+    }
+}
+
+fn copy_rows_strided_dst<T: Copy>(
+    data: &mut [T],
+    base: usize,
+    step: usize,
+    src: &[T],
+    src_off: usize,
+    n: usize,
+) {
+    if step == 1 {
+        data[base..base + n].copy_from_slice(&src[src_off..src_off + n]);
+    } else {
+        for k in 0..n {
+            data[base + k * step] = src[src_off + k];
+        }
     }
 }
 
@@ -677,6 +924,78 @@ mod tests {
         assert!(t
             .read_section(VarId(0), &sec(&[(1, 4, 1), (2, 3, 1)]))
             .is_none());
+    }
+
+    /// `read_section_into`/`write_section_from` must be observably
+    /// identical to `read_section`/`write_section` on every shape of
+    /// query: covered by one segment, spanning segments, strided, partly
+    /// unowned, empty, and universal (no entry).
+    #[test]
+    fn fast_section_io_matches_slow_path() {
+        let queries = [
+            sec(&[(1, 4, 1), (3, 3, 1)]), // one column, two segments
+            sec(&[(1, 2, 1), (3, 3, 1)]), // wholly inside one segment
+            sec(&[(1, 4, 1), (3, 4, 1)]), // spans all four P1 segments
+            sec(&[(1, 3, 2), (3, 3, 1)]), // strided rows
+            sec(&[(2, 1, 1), (3, 3, 1)]), // empty
+            sec(&[(1, 4, 1), (2, 4, 1)]), // partly unowned on P1
+        ];
+        for q in &queries {
+            let mut t = RtSymbolTable::build(1, &decls());
+            // Seed distinct values in P1's owned columns 3:4.
+            for (k, idx) in sec(&[(1, 4, 1), (3, 4, 1)]).iter().enumerate() {
+                t.write(VarId(0), &idx, Value::F64(10.0 + k as f64));
+            }
+            let want = t.read_section(VarId(0), q);
+            let mut out = Buffer::zeros(ElemType::F64, q.volume() as usize);
+            let ok = t.read_section_into(VarId(0), q, &mut out);
+            assert_eq!(ok, want.is_some(), "read ok mismatch for {q}");
+            if let Some(w) = want {
+                assert_eq!(out, w, "read values mismatch for {q}");
+            }
+
+            // Write a recognizable ramp two ways and compare final state.
+            let mut ramp = Buffer::zeros(ElemType::F64, q.volume() as usize);
+            for i in 0..ramp.len() {
+                ramp.set(i, Value::F64(100.0 + i as f64));
+            }
+            let mut slow = t.clone();
+            let ok_slow = slow.write_section(VarId(0), q, &ramp);
+            let ok_fast = t.write_section_from(VarId(0), q, &ramp);
+            assert_eq!(ok_fast, ok_slow, "write ok mismatch for {q}");
+            let full = sec(&[(1, 4, 1), (3, 4, 1)]);
+            assert_eq!(
+                t.read_section(VarId(0), &full),
+                slow.read_section(VarId(0), &full),
+                "write state mismatch for {q}"
+            );
+        }
+        // Universal variable: no entry on either path.
+        let mut t = RtSymbolTable::build(1, &decls());
+        let q = sec(&[(1, 1, 1)]);
+        let mut out = Buffer::zeros(ElemType::I64, 1);
+        assert!(!t.read_section_into(VarId(1), &q, &mut out));
+        assert!(!t.write_section_from(VarId(1), &q, &out));
+    }
+
+    /// The fast path must coerce element types exactly like `Buffer::set`
+    /// when the payload type differs from the storage type.
+    #[test]
+    fn fast_section_io_coerces_mixed_types() {
+        let mut t = RtSymbolTable::build(1, &decls());
+        let q = sec(&[(1, 4, 1), (3, 3, 1)]);
+        let mut ints = Buffer::zeros(ElemType::I64, 4);
+        for i in 0..4 {
+            ints.set(i, Value::I64(i as i64 + 7));
+        }
+        assert!(t.write_section_from(VarId(0), &q, &ints));
+        assert_eq!(
+            t.read_section(VarId(0), &q).unwrap(),
+            Buffer::F64(vec![7.0, 8.0, 9.0, 10.0])
+        );
+        let mut back = Buffer::zeros(ElemType::I64, 4);
+        assert!(t.read_section_into(VarId(0), &q, &mut back));
+        assert_eq!(back, Buffer::I64(vec![7, 8, 9, 10]));
     }
 
     #[test]

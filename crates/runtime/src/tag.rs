@@ -7,6 +7,7 @@
 //! `(variable, section)` pair as the rendezvous key.
 
 use crate::value::Buffer;
+use std::sync::Arc;
 use xdp_ir::{Section, TransferKind, VarId};
 
 /// The name of a transferred section: the rendezvous key.
@@ -51,6 +52,12 @@ impl std::fmt::Display for Tag {
 
 /// A message in flight: the name, what is being transferred, and — for
 /// value-carrying transfers — the payload in row-major order of `tag.sec`.
+///
+/// The payload is reference-counted: duplicating a message for multicast,
+/// fault-injected dup, or retransmission shares the same immutable buffer
+/// instead of deep-copying it. Byte accounting ([`Msg::size_bytes`],
+/// [`Msg::payload_bytes`]) is unaffected — it charges the logical payload
+/// size, not allocation.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Msg {
     /// Rendezvous name.
@@ -58,7 +65,7 @@ pub struct Msg {
     /// Value / Ownership / OwnershipValue.
     pub kind: TransferKind,
     /// Row-major payload; `None` for ownership-only transfers.
-    pub payload: Option<Buffer>,
+    pub payload: Option<Arc<Buffer>>,
     /// Sending processor.
     pub src: usize,
 }
@@ -98,7 +105,7 @@ mod tests {
         let m = Msg {
             tag: Tag::new(VarId(0), sec.clone()),
             kind: TransferKind::Value,
-            payload: Some(Buffer::zeros(ElemType::F64, 4)),
+            payload: Some(Arc::new(Buffer::zeros(ElemType::F64, 4))),
             src: 0,
         };
         assert_eq!(m.payload_bytes(), 32);

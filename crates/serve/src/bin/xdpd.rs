@@ -5,32 +5,35 @@
 //! a content-hashed compile cache and execute on a bounded worker pool.
 //!
 //! ```text
-//! xdpd run FILE [--repeat N] [--optimize] [--procs N] [--faults SPEC] [--workers N]
+//! xdpd run FILE [--repeat N] [--optimize] [--backend interp|vm] [--procs N]
+//!          [--faults SPEC] [--workers N]
 //! xdpd list [--programs DIR] [--gen N]
 //! xdpd bench [--requests N] [--workers N] [--batch N] [--capacity N]
-//!            [--seed N] [--gen N] [--programs DIR] [--out FILE]
-//!            [--metrics-out FILE] [--slow-ms N] [--flight-dir DIR]
-//! xdpd stats [--requests N] [--programs DIR] [--gen N] [--format prom|json]
+//!            [--seed N] [--gen N] [--programs DIR] [--backend interp|vm]
+//!            [--out FILE] [--metrics-out FILE] [--slow-ms N] [--flight-dir DIR]
+//! xdpd stats [--requests N] [--programs DIR] [--gen N] [--backend interp|vm]
+//!            [--format prom|json]
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use xdp_bench::table::{j, Table};
 use xdp_bench::trajectory;
-use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_compiler::{Backend, CompileOptions, SeqMode};
 use xdp_serve::{load_corpus, replay, ReplayConfig, RequestSpec, ServePool};
 
 const USAGE: &str = "\
 xdpd — XDP serving daemon (compile-once/run-many)
 
 USAGE:
-    xdpd run FILE [--repeat N] [--optimize] [--procs N] [--faults SPEC] [--workers N]
+    xdpd run FILE [--repeat N] [--optimize] [--backend interp|vm] [--procs N]
+             [--faults SPEC] [--workers N]
     xdpd list [--programs DIR] [--gen N]
     xdpd bench [--requests N] [--workers N] [--batch N] [--capacity N]
-               [--seed N] [--gen N] [--programs DIR] [--out FILE]
-               [--metrics-out FILE] [--slow-ms N] [--flight-dir DIR]
+               [--seed N] [--gen N] [--programs DIR] [--backend interp|vm]
+               [--out FILE] [--metrics-out FILE] [--slow-ms N] [--flight-dir DIR]
     xdpd stats [--requests N] [--workers N] [--programs DIR] [--gen N]
-               [--format prom|json]
+               [--backend interp|vm] [--format prom|json]
 
 `run` serves one program repeatedly through the compile cache (the first
 request compiles, the rest hit). `list` registers a corpus and prints the
@@ -39,7 +42,10 @@ report to the benchmark trajectory (default BENCH_serve.json), and fails
 on serving-contract violations; `--metrics-out` additionally writes the
 pool's full metrics snapshot, and `--slow-ms`/`--flight-dir` arm the
 flight recorder. `stats` serves a short replay and prints the resulting
-telemetry in Prometheus text (default) or JSON exposition.
+telemetry in Prometheus text (default) or JSON exposition. `--backend vm`
+compiles every request for the bytecode VM instead of the tree-walking
+interpreter; latency histograms carry a backend label either way, so
+`xdpd stats` splits the two.
 ";
 
 fn main() -> ExitCode {
@@ -83,6 +89,17 @@ fn num<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// `--backend interp|vm` (default interp). A bad name is a usage error.
+fn parse_backend(rest: &[String]) -> Result<Backend, ExitCode> {
+    match opt_val(rest, "--backend") {
+        None => Ok(Backend::default()),
+        Some(name) => Backend::parse(name).ok_or_else(|| {
+            eprintln!("xdpd: bad --backend `{name}` (use interp or vm)");
+            ExitCode::from(2)
+        }),
+    }
+}
+
 fn cmd_run(rest: &[String]) -> ExitCode {
     let Some(file) = rest.iter().find(|a| !a.starts_with("--")).cloned() else {
         eprintln!("xdpd: run needs a program file");
@@ -99,6 +116,10 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     let mut opts = CompileOptions::default().with_seq(SeqMode::Auto);
     opts.optimize = flag(rest, "--optimize");
     opts.procs = opt_val(rest, "--procs").and_then(|v| v.parse().ok());
+    opts.backend = match parse_backend(rest) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
     let mut spec = RequestSpec::new(source).with_opts(opts);
     if let Some(f) = opt_val(rest, "--faults") {
         spec = spec.with_faults(f);
@@ -195,6 +216,10 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
     cfg.capacity = num(rest, "--capacity", cfg.capacity);
     cfg.seed = num(rest, "--seed", cfg.seed);
     cfg.gen_count = num(rest, "--gen", cfg.gen_count);
+    cfg.backend = match parse_backend(rest) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
     cfg.flight_dir = opt_val(rest, "--flight-dir").map(PathBuf::from);
     if let Some(ms) = opt_val(rest, "--slow-ms").and_then(|v| v.parse::<u64>().ok()) {
         cfg.slow_us = Some(ms.saturating_mul(1000));
@@ -215,6 +240,7 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
         "xdpd-bench",
         &[
             "requests",
+            "backend",
             "distinct",
             "errors",
             "runs_per_sec",
@@ -228,6 +254,7 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
     );
     t.row(&[
         j::u(report.requests as u64),
+        j::s(report.backend.as_str()),
         j::u(report.distinct as u64),
         j::u(report.errors as u64),
         j::f(report.runs_per_sec),
@@ -274,6 +301,10 @@ fn cmd_stats(rest: &[String]) -> ExitCode {
     cfg.batch = num(rest, "--batch", 32);
     cfg.gen_count = num(rest, "--gen", cfg.gen_count);
     cfg.seed = num(rest, "--seed", cfg.seed);
+    cfg.backend = match parse_backend(rest) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
     let format = opt_val(rest, "--format").unwrap_or("prom");
 
     let (_, pool) = match replay(&cfg) {

@@ -14,6 +14,7 @@
 //! atomic, so the batch workers never serialize on telemetry.
 
 use std::sync::Arc;
+use xdp_compiler::Backend;
 use xdp_core::ExecReport;
 use xdp_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use xdp_trace::CompileTrace;
@@ -34,6 +35,12 @@ pub struct ServeMetrics {
     pub queue: Arc<Histogram>,
     pub resolve: Arc<Histogram>,
     pub execute: Arc<Histogram>,
+
+    // Per-backend splits of latency and execution time, so `xdpd stats`
+    // can compare the interpreter and the VM side by side. Indexed by
+    // [`backend_index`].
+    latency_by_backend: [Arc<Histogram>; 2],
+    execute_by_backend: [Arc<Histogram>; 2],
 
     // Compile cache.
     pub cache_hits: Arc<Counter>,
@@ -79,6 +86,11 @@ impl ServeMetrics {
             resolve: r.histogram("xdp_request_resolve_us", &[]),
             execute: r.histogram("xdp_request_execute_us", &[]),
 
+            latency_by_backend: [Backend::Interp, Backend::Vm]
+                .map(|b| r.histogram("xdp_request_latency_us", &[("backend", b.as_str())])),
+            execute_by_backend: [Backend::Interp, Backend::Vm]
+                .map(|b| r.histogram("xdp_request_execute_us", &[("backend", b.as_str())])),
+
             cache_hits: r.counter("xdp_cache_hits_total", &[]),
             cache_misses: r.counter("xdp_cache_misses_total", &[]),
             cache_evictions: r.counter("xdp_cache_evictions_total", &[]),
@@ -108,6 +120,16 @@ impl ServeMetrics {
     /// The registry the handles live in.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The backend-labeled latency histogram for `backend`.
+    pub fn latency_for(&self, backend: Backend) -> &Arc<Histogram> {
+        &self.latency_by_backend[backend_index(backend)]
+    }
+
+    /// The backend-labeled execution-time histogram for `backend`.
+    pub fn execute_for(&self, backend: Backend) -> &Arc<Histogram> {
+        &self.execute_by_backend[backend_index(backend)]
     }
 
     /// Fold one finished run's network and fault counters into the
@@ -167,6 +189,13 @@ impl ServeMetrics {
         self.cache_misses.add(after.misses - before.misses);
         self.cache_evictions.add(after.evictions - before.evictions);
         self.cache_compiles.add(after.compiles - before.compiles);
+    }
+}
+
+fn backend_index(backend: Backend) -> usize {
+    match backend {
+        Backend::Interp => 0,
+        Backend::Vm => 1,
     }
 }
 

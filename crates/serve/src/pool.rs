@@ -26,7 +26,8 @@ use crate::spec::RequestSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use xdp_core::{ExecReport, SimConfig, SimExec};
+use xdp_compiler::Backend;
+use xdp_core::{ExecReport, Processor, SimConfig, SimExec};
 use xdp_ir::VarId;
 use xdp_metrics::{FlightConfig, FlightRecord, FlightRecorder, MetricsRegistry, MetricsSnapshot};
 use xdp_runtime::Value;
@@ -245,6 +246,11 @@ impl ServePool {
         self.metrics.queue.observe(queue_us);
         self.metrics.resolve.observe(resolve_us);
         self.metrics.execute.observe(execute_us);
+        let backend = cached.compiled.backend;
+        self.metrics
+            .latency_for(backend)
+            .observe(outcome.latency_us);
+        self.metrics.execute_for(backend).observe(execute_us);
         self.metrics.fold_report(&report);
         self.record_flight(
             outcome.key,
@@ -350,7 +356,26 @@ fn execute(cached: &Arc<CachedProgram>) -> Result<(RunOutcome, ExecReport), Serv
     if cached.faults.is_active() {
         cfg = cfg.with_faults(cached.faults.clone());
     }
-    let mut exec = SimExec::new(compiled.program.clone(), xdp_apps::app_kernels(), cfg);
+    match compiled.backend {
+        Backend::Interp => finish_run(
+            cached,
+            SimExec::new(compiled.program.clone(), xdp_apps::app_kernels(), cfg),
+        ),
+        Backend::Vm => finish_run(
+            cached,
+            xdp_vm::VmExec::sim(compiled.program.clone(), xdp_apps::app_kernels(), cfg),
+        ),
+    }
+}
+
+/// Initialize, run, and fingerprint — identical for either backend (the
+/// VM's conformance contract is what makes the cache-key split the only
+/// observable difference).
+fn finish_run<P: Processor>(
+    cached: &Arc<CachedProgram>,
+    mut exec: SimExec<P>,
+) -> Result<(RunOutcome, ExecReport), ServeError> {
+    let compiled = &cached.compiled;
     let decls: Vec<(usize, String)> = compiled
         .program
         .decls
@@ -461,6 +486,33 @@ mod tests {
             snap.counter("xdp_requests_total", &[("outcome", "error")]),
             Some(1)
         );
+    }
+
+    #[test]
+    fn vm_backend_keys_separately_but_matches_interp_exactly() {
+        let pool = ServePool::new(2, 8);
+        let interp = spec(8);
+        let vm = spec(8).with_opts(CompileOptions::default().with_backend(Backend::Vm));
+        assert_ne!(interp.content_hash(), vm.content_hash());
+
+        let a = pool.run_one(&interp).unwrap();
+        let b = pool.run_one(&vm).unwrap();
+        assert!(!b.cache_hit, "different backend, different cache entry");
+        assert_eq!(a.fingerprint, b.fingerprint, "backends are conformant");
+        assert_eq!(a.virtual_time, b.virtual_time);
+        assert_eq!(pool.cache_stats().compiles, 2);
+
+        let snap = pool.metrics_snapshot();
+        for backend in ["interp", "vm"] {
+            let h = snap
+                .histogram("xdp_request_latency_us", &[("backend", backend)])
+                .unwrap();
+            assert_eq!(h.count, 1, "one {backend} request observed");
+            let h = snap
+                .histogram("xdp_request_execute_us", &[("backend", backend)])
+                .unwrap();
+            assert_eq!(h.count, 1);
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ use rand_chacha::ChaCha8Rng;
 use serde_json::{Map, Value as Json};
 use std::path::PathBuf;
 use std::time::Instant;
-use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_compiler::{Backend, CompileOptions, SeqMode};
 use xdp_metrics::{FlightConfig, HistSnapshot};
 use xdp_verify::GenConfig;
 
@@ -68,6 +68,10 @@ pub struct ReplayConfig {
     pub flight_dir: Option<PathBuf>,
     /// Slow-request trigger for the recorder, microseconds.
     pub slow_us: Option<u64>,
+    /// Execution backend every corpus spec is compiled for. Part of the
+    /// cache key, so an interp replay and a vm replay never share
+    /// entries.
+    pub backend: Backend,
 }
 
 impl ReplayConfig {
@@ -83,6 +87,7 @@ impl ReplayConfig {
             programs_dir: programs_dir.into(),
             flight_dir: None,
             slow_us: None,
+            backend: Backend::default(),
         }
     }
 }
@@ -100,6 +105,8 @@ pub struct ProgramRow {
 #[derive(Clone, Debug)]
 pub struct ReplayReport {
     pub requests: usize,
+    /// The execution backend the whole replay ran on.
+    pub backend: Backend,
     pub errors: usize,
     pub distinct: usize,
     /// Corpus items the seeded mix actually requested at least once
@@ -207,6 +214,7 @@ impl ReplayReport {
         let mut root = Map::new();
         root.insert("experiment".into(), Json::from(experiment));
         root.insert("unix_ms".into(), Json::from(unix_ms));
+        root.insert("backend".into(), Json::from(self.backend.as_str()));
         root.insert("requests".into(), Json::from(self.requests));
         root.insert("errors".into(), Json::from(self.errors));
         root.insert("distinct_programs".into(), Json::from(self.distinct));
@@ -248,7 +256,9 @@ pub fn load_corpus(cfg: &ReplayConfig) -> Result<Vec<CorpusItem>, String> {
             // Auto handles both notations: sequential sources (e.g.
             // seq_sum.xdp) lower through owner-computes, parallel
             // sources run as written.
-            let auto = CompileOptions::default().with_seq(SeqMode::Auto);
+            let auto = CompileOptions::default()
+                .with_seq(SeqMode::Auto)
+                .with_backend(cfg.backend);
             corpus.push(CorpusItem {
                 name: name.clone(),
                 spec: RequestSpec::new(source.clone()).with_opts(auto.clone()),
@@ -268,7 +278,8 @@ pub fn load_corpus(cfg: &ReplayConfig) -> Result<Vec<CorpusItem>, String> {
         );
         corpus.push(CorpusItem {
             name: format!("gen-{k}"),
-            spec: RequestSpec::new(xdp_ir::pretty::program(&tp.program)),
+            spec: RequestSpec::new(xdp_ir::pretty::program(&tp.program))
+                .with_opts(CompileOptions::default().with_backend(cfg.backend)),
             weight: 1,
         });
     }
@@ -364,6 +375,7 @@ pub fn replay(cfg: &ReplayConfig) -> Result<(ReplayReport, ServePool), String> {
 
     let report = ReplayReport {
         requests: cfg.requests,
+        backend: cfg.backend,
         errors,
         distinct: corpus.len(),
         distinct_requested: per.iter().filter(|&&(runs, _, _)| runs > 0).count(),
@@ -419,6 +431,7 @@ mod tests {
             programs_dir: PathBuf::new(),
             flight_dir: None,
             slow_us: None,
+            backend: Backend::Interp,
         }
     }
 
@@ -501,6 +514,32 @@ mod tests {
             "split {parts} within 5% of wall {}",
             report.total_wall_us
         );
+    }
+
+    #[test]
+    fn replay_on_the_vm_backend_is_healthy_and_labels_metrics() {
+        let mut cfg = gen_only(40);
+        cfg.backend = Backend::Vm;
+        let (report, pool) = replay(&cfg).unwrap();
+        assert_eq!(report.backend, Backend::Vm);
+        assert!(
+            report.contract_violations().is_empty(),
+            "{:?}",
+            report.contract_violations()
+        );
+        let j = report.to_json("test");
+        assert_eq!(j.get("backend").and_then(|v| v.as_str()), Some("vm"));
+        // Every request (replay + warm check) landed in the vm-labeled
+        // histogram; the interp one never fired.
+        let snap = pool.metrics_snapshot();
+        let vm = snap
+            .histogram("xdp_request_latency_us", &[("backend", "vm")])
+            .unwrap();
+        assert!(vm.count >= 40, "vm-labeled count {}", vm.count);
+        let interp = snap
+            .histogram("xdp_request_latency_us", &[("backend", "interp")])
+            .unwrap();
+        assert_eq!(interp.count, 0);
     }
 
     #[test]

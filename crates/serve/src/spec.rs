@@ -110,6 +110,10 @@ impl RequestSpec {
             SeqMode::Auto => 2,
         };
         h.field(b'Q', &[seq]);
+        // Execution backend: a cached VM execution must never satisfy an
+        // interpreter request (they are conformant, but provably so only
+        // while the differential suite says so).
+        h.field(b'B', self.opts.backend.as_str().as_bytes());
         h.field(b'F', self.faults.as_bytes());
         h.finish()
     }
@@ -142,6 +146,8 @@ mod tests {
             s.clone()
                 .with_opts(CompileOptions::default().with_seq(SeqMode::Auto)),
             s.clone().with_faults("drop=0.1,seed=3"),
+            s.clone()
+                .with_opts(CompileOptions::default().with_backend(xdp_compiler::Backend::Vm)),
         ];
         for v in variants {
             assert_ne!(k, v.content_hash(), "{v:?} must key differently");

@@ -8,7 +8,7 @@
 //! its counters consistent under arbitrary request sequences.
 
 use proptest::prelude::*;
-use xdp_compiler::{CompileOptions, SeqMode};
+use xdp_compiler::{Backend, CompileOptions, SeqMode};
 use xdp_serve::{CompileCache, RequestSpec};
 
 fn arb_seq() -> impl Strategy<Value = SeqMode> {
@@ -25,12 +25,14 @@ fn arb_opts() -> impl Strategy<Value = CompileOptions> {
         any::<bool>(),
         any::<bool>(),
         arb_seq(),
+        any::<bool>(),
     )
-        .prop_map(|(procs, optimize, place, seq)| CompileOptions {
+        .prop_map(|(procs, optimize, place, seq, vm)| CompileOptions {
             procs,
             optimize,
             place,
             seq,
+            backend: if vm { Backend::Vm } else { Backend::Interp },
         })
 }
 

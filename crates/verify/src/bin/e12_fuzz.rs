@@ -96,6 +96,17 @@ fn main() {
             "sim+lockstep",
             CheckConfig {
                 thread: false,
+                vm: false,
+                chaos: false,
+                faults: None,
+                passes: false,
+            },
+        ),
+        (
+            "+vm",
+            CheckConfig {
+                thread: false,
+                vm: true,
                 chaos: false,
                 faults: None,
                 passes: false,
@@ -105,6 +116,7 @@ fn main() {
             "+thread",
             CheckConfig {
                 thread: true,
+                vm: true,
                 chaos: false,
                 faults: None,
                 passes: false,
@@ -114,6 +126,7 @@ fn main() {
             "+passes",
             CheckConfig {
                 thread: true,
+                vm: true,
                 chaos: false,
                 faults: None,
                 passes: true,
@@ -123,6 +136,7 @@ fn main() {
             "+chaos",
             CheckConfig {
                 thread: true,
+                vm: true,
                 chaos: true,
                 faults: None,
                 passes: true,

@@ -79,6 +79,8 @@ impl std::fmt::Display for Divergence {
 pub struct CheckConfig {
     /// Run the threaded executor (real OS threads).
     pub thread: bool,
+    /// Run the compiled VM backend on the simulated machine.
+    pub vm: bool,
     /// Run the chaos (fault-injected) conformance check.
     pub chaos: bool,
     /// Fault plan for the chaos check; `None` derives a uniform lossy
@@ -92,6 +94,7 @@ impl Default for CheckConfig {
     fn default() -> CheckConfig {
         CheckConfig {
             thread: true,
+            vm: true,
             chaos: true,
             faults: None,
             passes: true,
@@ -171,6 +174,36 @@ pub fn run_sim(p: &Arc<Program>, nprocs: usize, faults: Option<&FaultPlan>) -> R
         }
         let decls = decl_list(&p);
         let mut exec = SimExec::new(p, KernelRegistry::standard(), cfg);
+        for (o, _, var) in &decls {
+            let o = *o;
+            exec.init_exclusive(*var, move |idx| init_value(o, idx));
+        }
+        let report = exec.run().map_err(|e| e.to_string())?;
+        let mut fp = Fingerprint::default();
+        for (_, name, var) in &decls {
+            fp.record_memory(name, &exec.gather(*var));
+        }
+        fp.record_trace(&report.trace);
+        fp.messages = report.net.messages;
+        Ok(fp)
+    }))
+    .unwrap_or_else(|e| Err(panic_text(e)))
+}
+
+/// Run the compiled VM backend under the virtual-time simulator. The VM
+/// claims step-for-step conformance with the interpreter, so its
+/// fingerprint must match the simulator baseline *exactly* — memory,
+/// movement, section states, and message count.
+pub fn run_vm(p: &Arc<Program>, nprocs: usize, faults: Option<&FaultPlan>) -> RunResult {
+    let p = p.clone();
+    let faults = faults.cloned();
+    catch_unwind(AssertUnwindSafe(move || {
+        let mut cfg = SimConfig::new(nprocs).with_trace(TraceConfig::full());
+        if let Some(plan) = faults {
+            cfg = cfg.with_faults(plan);
+        }
+        let decls = decl_list(&p);
+        let mut exec = xdp_vm::VmExec::sim(p, KernelRegistry::standard(), cfg);
         for (o, _, var) in &decls {
             let o = *o;
             exec.init_exclusive(*var, move |idx| init_value(o, idx));
@@ -290,6 +323,28 @@ pub fn check_with(tp: &TestProgram, cfg: &CheckConfig) -> Option<Divergence> {
             Err(e) => {
                 return Some(Divergence::RunError {
                     stage: "thread".into(),
+                    detail: e,
+                })
+            }
+        }
+    }
+
+    // Executor conformance: compiled VM on the same simulated machine.
+    // The VM is fully deterministic, so every fingerprint component must
+    // match to the bit — including the section-state digest.
+    if cfg.vm {
+        match run_vm(&prog, tp.nprocs, None) {
+            Ok(fp) => {
+                if let Some(d) = conform(&base, &fp, true) {
+                    return Some(Divergence::ExecutorMismatch {
+                        backend: "vm".into(),
+                        detail: d,
+                    });
+                }
+            }
+            Err(e) => {
+                return Some(Divergence::RunError {
+                    stage: "vm".into(),
                     detail: e,
                 })
             }
@@ -433,6 +488,7 @@ pub fn check_chaos(tp: &TestProgram, base: &Fingerprint, plan: &FaultPlan) -> Op
 pub fn recheck_key(tp: &TestProgram, key: &str) -> Option<Divergence> {
     let cfg = CheckConfig {
         thread: key == "executor:thread" || key == "run-error:thread",
+        vm: key == "executor:vm" || key == "run-error:vm",
         chaos: key == "chaos",
         faults: None,
         passes: key.starts_with("pass:"),

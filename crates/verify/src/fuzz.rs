@@ -77,6 +77,7 @@ impl FuzzReport {
 pub fn narrowed(check: &CheckConfig, key: &str) -> CheckConfig {
     CheckConfig {
         thread: key == "executor:thread" || key == "run-error:thread",
+        vm: key == "executor:vm" || key == "run-error:vm",
         chaos: key == "chaos",
         faults: check.faults.clone(),
         passes: key.starts_with("pass:"),
@@ -146,6 +147,7 @@ mod tests {
             // are exercised by their own tests and by `xdpc fuzz`.
             check: CheckConfig {
                 thread: false,
+                vm: true,
                 chaos: false,
                 faults: None,
                 passes: false,

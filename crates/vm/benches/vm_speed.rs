@@ -1,0 +1,90 @@
+//! Wall-clock smoke benchmark: compiled VM vs tree-walking interpreter on
+//! a loop-heavy, communication-free program. The full backend comparison
+//! (and the asserted speedup floor) lives in `xdp-verify`'s `e15_vm`
+//! experiment; this bench exists so `cargo bench -p xdp-vm` gives a quick
+//! local signal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use xdp_core::{KernelRegistry, SimConfig, SimExec};
+use xdp_ir::build as b;
+use xdp_ir::{DimDist, ElemType, ProcGrid, Program, VarId};
+use xdp_runtime::Value;
+use xdp_vm::VmExec;
+
+const NPROCS: usize = 4;
+
+/// `do t = 1, sweeps { mine = mine + mine }` over a block-distributed
+/// array: every statement is local compute, the regime the VM targets.
+fn local_sweeps(n: i64, sweeps: i64) -> (Arc<Program>, VarId) {
+    let mut p = Program::new();
+    let a = p.declare(b::array(
+        "A",
+        ElemType::F64,
+        vec![(1, n)],
+        vec![DimDist::Block],
+        ProcGrid::linear(NPROCS),
+    ));
+    let all = b::sref(a, vec![b::all()]);
+    let mine = b::sref(a, vec![b::span(b::mylb(all.clone(), 1), b::myub(all, 1))]);
+    p.body = vec![b::do_loop(
+        "t",
+        b::c(1),
+        b::c(sweeps),
+        vec![b::assign(
+            mine.clone(),
+            b::val(mine.clone()).add(b::val(mine)),
+        )],
+    )];
+    (Arc::new(p), a)
+}
+
+fn run_interp(p: &Arc<Program>, a: VarId) -> f64 {
+    let mut exec = SimExec::new(
+        p.clone(),
+        KernelRegistry::standard(),
+        SimConfig::new(NPROCS),
+    );
+    exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+    exec.run().unwrap().virtual_time
+}
+
+fn run_vm(p: &Arc<Program>, a: VarId) -> f64 {
+    let mut exec = VmExec::sim(
+        p.clone(),
+        KernelRegistry::standard(),
+        SimConfig::new(NPROCS),
+    );
+    exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+    exec.run().unwrap().virtual_time
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_sweeps");
+    for &n in &[256i64, 4096] {
+        let (p, a) = local_sweeps(n, 64);
+        g.bench_with_input(BenchmarkId::new("interp", n), &n, |bch, _| {
+            bch.iter(|| black_box(run_interp(&p, a)))
+        });
+        g.bench_with_input(BenchmarkId::new("vm", n), &n, |bch, _| {
+            bch.iter(|| black_box(run_vm(&p, a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let (p, _) = local_sweeps(4096, 64);
+    c.bench_function("vm_compile_local_sweeps", |bch| {
+        bch.iter(|| {
+            black_box(xdp_vm::VmProgram::compile(
+                p.clone(),
+                &KernelRegistry::standard(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_backends, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Constructors wiring compiled processors onto the two machines.
+
+use crate::compile::VmProgram;
+use crate::proc::VmProc;
+use std::sync::Arc;
+use xdp_core::{KernelRegistry, SimConfig, SimExec, ThreadConfig, ThreadExec};
+use xdp_ir::Program;
+
+/// Entry points for running a program on the VM backend.
+///
+/// Compiles the program once (`VmProgram::compile` handles redistribution
+/// preparation, so the bytecode matches what `SimExec::new` /
+/// `ThreadExec::new` would interpret) and loads one [`VmProc`] per
+/// processor.
+pub struct VmExec;
+
+impl VmExec {
+    /// Compile `program` and load it onto every processor of a simulated
+    /// machine.
+    pub fn sim(program: Arc<Program>, kernels: KernelRegistry, cfg: SimConfig) -> SimExec<VmProc> {
+        let prog = VmProgram::compile(program, &kernels);
+        let procs = (0..cfg.nprocs)
+            .map(|pid| VmProc::new(prog.clone(), pid, cfg.nprocs, cfg.checked))
+            .collect();
+        SimExec::from_procs(procs, cfg)
+    }
+
+    /// Compile `program` and load it onto every processor of a threaded
+    /// machine.
+    pub fn threads(
+        program: Arc<Program>,
+        kernels: KernelRegistry,
+        cfg: ThreadConfig,
+    ) -> ThreadExec<VmProc> {
+        let prog = VmProgram::compile(program, &kernels);
+        let procs = (0..cfg.nprocs)
+            .map(|pid| VmProc::new(prog.clone(), pid, cfg.nprocs, cfg.checked))
+            .collect();
+        ThreadExec::from_procs(procs, cfg)
+    }
+}

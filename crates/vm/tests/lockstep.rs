@@ -1,0 +1,217 @@
+//! Conformance smoke tests: the VM must be observably identical to the
+//! tree-walking interpreter — step for step on local programs, and
+//! bit-identical in virtual time and final state on the simulated machine.
+//! (The exhaustive corpus-wide diff lives in `xdp-verify`.)
+
+use std::sync::Arc;
+use xdp_core::{Action, Interp, KernelRegistry, Processor, SimConfig, SimExec};
+use xdp_ir::build as b;
+use xdp_ir::{CmpOp, DimDist, Distribution, ElemType, ProcGrid, Program, Stmt, VarId};
+use xdp_runtime::Value;
+use xdp_vm::{VmExec, VmProc, VmProgram};
+
+const N: i64 = 16;
+
+/// Loop nest + guards + kernel + scalar/universal traffic: every local
+/// statement form, no messaging.
+fn local_program(nprocs: usize) -> (Arc<Program>, VarId, VarId) {
+    let grid = ProcGrid::linear(nprocs);
+    let mut p = Program::new();
+    let a = p.declare(b::array(
+        "A",
+        ElemType::F64,
+        vec![(1, N)],
+        vec![DimDist::Block],
+        grid,
+    ));
+    let u = p.declare(b::universal_array("U", ElemType::F64, vec![(0, 1)]));
+    let all = b::sref(a, vec![b::all()]);
+    let mine = b::sref(
+        a,
+        vec![b::span(b::mylb(all.clone(), 1), b::myub(all.clone(), 1))],
+    );
+    let first = b::sref(a, vec![b::at(b::mylb(all, 1))]);
+    let u0 = b::sref(u, vec![b::at(b::c(0))]);
+    p.body = vec![
+        b::set("k", b::c(3)),
+        b::do_loop(
+            "i",
+            b::c(1),
+            b::iv("k"),
+            vec![b::assign(
+                mine.clone(),
+                b::val(mine.clone()).add(b::val(first.clone())),
+            )],
+        ),
+        b::guarded(
+            b::iown(first.clone()),
+            vec![b::kernel_with("scale", vec![mine.clone()], vec![b::c(2)])],
+        ),
+        b::guarded(
+            b::cmp(CmpOp::Eq, b::mypid(), b::c(0)),
+            vec![b::assign(
+                u0.clone(),
+                xdp_ir::ElemExpr::FromInt(b::mypid().mul(b::c(10))),
+            )],
+        ),
+        b::assign(mine.clone(), b::val(mine).mul(b::val(first))),
+    ];
+    (Arc::new(p), a, u)
+}
+
+#[test]
+fn lockstep_local_program_is_step_identical() {
+    let nprocs = 2;
+    let (prog, a, _) = local_program(nprocs);
+    let kernels = KernelRegistry::standard();
+    let vm_prog = VmProgram::compile(prog.clone(), &kernels);
+    for pid in 0..nprocs {
+        let mut it = Interp::new(prog.clone(), kernels.clone(), pid, nprocs, true);
+        let mut vm = VmProc::new(vm_prog.clone(), pid, nprocs, true);
+        for p in [it.env_mut(), vm.env_mut()] {
+            let full = p.full_section(a);
+            for idx in full.iter() {
+                let _ = p.symtab.write(a, &idx, Value::F64(idx[0] as f64));
+            }
+        }
+        let mut steps = 0;
+        loop {
+            let si = it.step().unwrap();
+            let sv = vm.step().unwrap();
+            assert_eq!(
+                format!("{:?}", si.action),
+                format!("{:?}", sv.action),
+                "p{pid} step {steps}: action"
+            );
+            assert_eq!(si.sid, sv.sid, "p{pid} step {steps}: sid");
+            assert_eq!(
+                (si.ops.symtab_ops, si.ops.seg_scans, si.ops.flops),
+                (sv.ops.symtab_ops, sv.ops.seg_scans, sv.ops.flops),
+                "p{pid} step {steps}: op counts"
+            );
+            assert_eq!(
+                format!("{:?}", si.note),
+                format!("{:?}", sv.note),
+                "p{pid} step {steps}: note"
+            );
+            assert_eq!(it.position(), vm.position(), "p{pid} step {steps}");
+            if matches!(si.action, Action::Done) {
+                break;
+            }
+            steps += 1;
+            assert!(steps < 10_000, "runaway");
+        }
+        // Final memory identical element-by-element.
+        let full = it.env().full_section(a);
+        for idx in full.iter() {
+            assert_eq!(
+                format!("{:?}", it.env().symtab.read(a, &idx)),
+                format!("{:?}", vm.env().symtab.read(a, &idx)),
+                "p{pid} A{idx:?}"
+            );
+        }
+    }
+}
+
+/// Sends, value receives, awaits, and a barrier: the machines must agree
+/// to the bit on virtual time and traffic, and on gathered state.
+fn messaging_program(nprocs: i64) -> (Arc<Program>, VarId, VarId) {
+    let grid = ProcGrid::linear(nprocs as usize);
+    let mut p = Program::new();
+    let a = p.declare(b::array(
+        "A",
+        ElemType::F64,
+        vec![(1, N)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    let t = p.declare(b::array(
+        "T",
+        ElemType::F64,
+        vec![(0, nprocs - 1)],
+        vec![DimDist::Block],
+        grid,
+    ));
+    let a1 = b::sref(a, vec![b::at(b::c(1))]);
+    let tm = b::sref(t, vec![b::at(b::mypid())]);
+    p.body = vec![
+        b::guarded(
+            b::iown(a1.clone()),
+            vec![b::send(a1.clone()), b::send(a1.clone())],
+        ),
+        b::guarded(
+            b::cmp(CmpOp::Gt, b::mypid(), b::c(0)),
+            vec![
+                b::recv_val(tm.clone(), a1.clone()),
+                b::guarded(b::await_(tm.clone()), vec![]),
+            ],
+        ),
+        Stmt::Barrier,
+    ];
+    (Arc::new(p), a, t)
+}
+
+fn report_key(
+    exec: &mut SimExec<impl Processor>,
+    a: VarId,
+    t: VarId,
+) -> (u64, u64, u64, Vec<u64>, String, String) {
+    for (var, scale) in [(a, 1.0), (t, 0.0)] {
+        exec.init_exclusive(var, move |idx| Value::F64(idx[0] as f64 * scale));
+    }
+    let r = exec.run().unwrap();
+    let ga = exec.gather(a);
+    let gt = exec.gather(t);
+    (
+        r.virtual_time.to_bits(),
+        r.net.messages,
+        r.net.wire_bytes,
+        r.procs.iter().map(|p| p.finish_time.to_bits()).collect(),
+        format!("{ga:?}"),
+        format!("{gt:?}"),
+    )
+}
+
+#[test]
+fn messaging_program_identical_on_sim_machine() {
+    let (prog, a, t) = messaging_program(3);
+    let kernels = KernelRegistry::standard();
+    let mut interp = SimExec::new(prog.clone(), kernels.clone(), SimConfig::new(3));
+    let mut vm = VmExec::sim(prog, kernels, SimConfig::new(3));
+    assert_eq!(report_key(&mut interp, a, t), report_key(&mut vm, a, t));
+}
+
+#[test]
+fn redistribute_program_identical_on_sim_machine() {
+    let nprocs = 4;
+    let grid = ProcGrid::linear(nprocs);
+    let mut p = Program::new();
+    let a = p.declare(b::array(
+        "A",
+        ElemType::F64,
+        vec![(1, N)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    let all = b::sref(a, vec![b::all()]);
+    let mine = b::sref(
+        a,
+        vec![b::span(b::mylb(all.clone(), 1), b::myub(all.clone(), 1))],
+    );
+    // After the cyclic redistribution `mylb:myub` is no longer contiguous,
+    // so the middle statement touches only the (always-owned) first
+    // element.
+    let first = b::sref(a, vec![b::at(b::mylb(all, 1))]);
+    p.body = vec![
+        b::assign(mine.clone(), b::val(mine.clone()).add(b::val(mine.clone()))),
+        b::redistribute(a, Distribution::new(vec![DimDist::Cyclic], grid.clone())),
+        b::assign(first.clone(), b::val(first.clone()).add(b::val(first))),
+        b::redistribute(a, Distribution::new(vec![DimDist::Block], grid)),
+        b::assign(mine.clone(), b::val(mine.clone()).add(b::val(mine))),
+    ];
+    let prog = Arc::new(p);
+    let kernels = KernelRegistry::standard();
+    let mut interp = SimExec::new(prog.clone(), kernels.clone(), SimConfig::new(nprocs));
+    let mut vm = VmExec::sim(prog, kernels, SimConfig::new(nprocs));
+    assert_eq!(report_key(&mut interp, a, a), report_key(&mut vm, a, a));
+}

@@ -12,6 +12,8 @@
 //!   --timeline       print a Gantt chart of the execution (run)
 //!   --gather NAME    print the named array's final contents and owners (run)
 //!   --optimize       run the paper pipeline before executing
+//!   --backend B      execution backend: interp (tree-walking, default)
+//!                    or vm (compiled bytecode; same traces and results)
 //!   --unchecked      disable the checked runtime (run)
 //!   --faults SPEC    inject transport faults and deliver through ack/retry:
 //!                    comma-separated drop=P dup=P reorder=P delayp=P delay=T
@@ -71,7 +73,8 @@ use xdp_compiler::passes::{
     AutoPlace, BindCommunication, ElideAccessibleChecks, ElideSameOwnerComm, FuseLoops,
     LocalizeBounds, MigrateOwnership, SinkAwait, VectorizeMessages,
 };
-use xdp_compiler::{compile_program, CompileError, CompileOptions, Compiled, SeqMode};
+use xdp_compiler::{compile_program, Backend, CompileError, CompileOptions, Compiled, SeqMode};
+use xdp_core::Processor;
 use xdp_ir::pretty;
 
 /// One subcommand: name, one-line summary (for usage), and handler. The
@@ -655,11 +658,22 @@ fn opt_val<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
 /// subcommands funnel through `xdp_compiler::compile_program` here — the
 /// same pipeline the `xdpd` daemon's compile cache keys.
 fn compiled_for(program: &Program, rest: &[String], seq: SeqMode) -> Result<Compiled, ExitCode> {
+    let backend = match opt_val(rest, "--backend") {
+        None => Backend::default(),
+        Some(name) => match Backend::parse(name) {
+            Some(b) => b,
+            None => {
+                eprintln!("xdpc: bad --backend `{name}` (use interp or vm)");
+                return Err(ExitCode::from(2));
+            }
+        },
+    };
     let opts = CompileOptions {
         procs: opt_val(rest, "--procs").and_then(|v| v.parse().ok()),
         optimize: flag(rest, "--optimize"),
         place: false,
         seq,
+        backend,
     };
     let compiled = match compile_program(program, &opts) {
         Ok(c) => c,
@@ -687,7 +701,7 @@ fn compiled_for(program: &Program, rest: &[String], seq: SeqMode) -> Result<Comp
 }
 
 /// Deterministic default initialization: flattened 1-based element ordinal.
-fn init_default(exec: &mut SimExec, decls: &[Decl]) {
+fn init_default<P: Processor>(exec: &mut SimExec<P>, decls: &[Decl]) {
     for (i, d) in decls.iter().enumerate() {
         if d.is_exclusive() {
             let full = Section::new(d.bounds.clone());
@@ -719,8 +733,30 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
     }
 
     let decls = compiled.program.decls.clone();
-    let mut exec = SimExec::new(compiled.program, xdp_apps::app_kernels(), cfg);
-    init_default(&mut exec, &decls);
+    // Both backends run on the same simulated machine and produce the
+    // same report; only the processor type differs.
+    match compiled.backend {
+        Backend::Interp => {
+            let exec = SimExec::new(compiled.program, xdp_apps::app_kernels(), cfg);
+            finish_run(exec, &decls, rest, nprocs)
+        }
+        Backend::Vm => {
+            let exec = xdp_vm::VmExec::sim(compiled.program, xdp_apps::app_kernels(), cfg);
+            finish_run(exec, &decls, rest, nprocs)
+        }
+    }
+}
+
+/// The backend-independent tail of `xdpc run`: initialize, execute, and
+/// print the report (and `--timeline` / `--gather` views) for whichever
+/// processor type the `--backend` flag selected.
+fn finish_run<P: Processor>(
+    mut exec: SimExec<P>,
+    decls: &[Decl],
+    rest: &[String],
+    nprocs: usize,
+) -> ExitCode {
+    init_default(&mut exec, decls);
     let report = match exec.run() {
         Ok(r) => r,
         Err(e) => {
@@ -785,8 +821,28 @@ fn cmd_trace(program: &Program, rest: &[String]) -> ExitCode {
     let labels: std::collections::HashMap<u32, String> =
         pretty::stmt_table(&compiled.program).into_iter().collect();
     let decls = compiled.program.decls.clone();
-    let mut exec = SimExec::new(compiled.program, xdp_apps::app_kernels(), cfg);
-    init_default(&mut exec, &decls);
+    match compiled.backend {
+        Backend::Interp => {
+            let exec = SimExec::new(compiled.program, xdp_apps::app_kernels(), cfg);
+            finish_trace(exec, &decls, rest, nprocs, &labels)
+        }
+        Backend::Vm => {
+            let exec = xdp_vm::VmExec::sim(compiled.program, xdp_apps::app_kernels(), cfg);
+            finish_trace(exec, &decls, rest, nprocs, &labels)
+        }
+    }
+}
+
+/// The backend-independent tail of `xdpc trace`: initialize, execute,
+/// export the trace, and print the critical-path report.
+fn finish_trace<P: Processor>(
+    mut exec: SimExec<P>,
+    decls: &[Decl],
+    rest: &[String],
+    nprocs: usize,
+    labels: &std::collections::HashMap<u32, String>,
+) -> ExitCode {
+    init_default(&mut exec, decls);
     let report = match exec.run() {
         Ok(r) => r,
         Err(e) => {
@@ -807,7 +863,7 @@ fn cmd_trace(program: &Program, rest: &[String]) -> ExitCode {
         }
     }
 
-    let cp = report.trace.critical_path(&labels);
+    let cp = report.trace.critical_path(labels);
     if report.virtual_time > 0.0
         && (cp.attributed() - report.virtual_time).abs() > 1e-6 * report.virtual_time
     {
@@ -886,6 +942,10 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
         },
         check: xdp_verify::CheckConfig {
             thread: !sim_only,
+            // The VM oracle runs on the simulated machine, so it stays on
+            // even under --sim-only: it is exactly as deterministic and
+            // nearly as cheap as the lockstep oracle.
+            vm: true,
             chaos: !sim_only,
             faults,
             passes: true,
@@ -926,9 +986,9 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
         seed + count as u64 - 1,
         procs,
         if sim_only {
-            "sim+lockstep".to_string()
+            "sim+lockstep+vm".to_string()
         } else {
-            "sim+lockstep+thread".to_string()
+            "sim+lockstep+vm+thread".to_string()
         },
         if sim_only { "" } else { " + chaos" },
     );
