@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 e14 e15 fuzz serve stats
+.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 e14 e15 e16 fuzz serve stats
 
 all: test
 
@@ -34,6 +34,8 @@ experiments:
 	@cargo run -q --release -p xdp-serve --bin e14_metrics
 	@echo "==== e15_vm ===="
 	@cargo run -q --release -p xdp-verify --bin e15_vm
+	@echo "==== e16_scale ===="
+	@cargo run -q --release -p xdp-verify --bin e16_scale
 	@echo "==== bench_check ===="
 	@cargo run -q --release -p xdp-bench --bin bench_check
 
@@ -65,6 +67,14 @@ e14:
 # identity with the interpreter, then gates the appended trajectory row.
 e15:
 	cargo run -q --release -p xdp-verify --bin e15_vm
+	cargo run -q --release -p xdp-bench --bin bench_check
+
+# The scale experiment on its own (EXPERIMENTS.md E16): the async
+# machine at P=4096 fingerprint-identical to the simulator, and the
+# tiered-topology collectives crossover moving under 100x cluster-link
+# asymmetry. Gates the appended trajectory row.
+e16:
+	cargo run -q --release -p xdp-verify --bin e16_scale
 	cargo run -q --release -p xdp-bench --bin bench_check
 
 # A longer differential fuzz sweep via the CLI (CI runs --count 200).

@@ -10,7 +10,7 @@
 //! CI runs this right after the serving benchmarks append their rows.
 
 use std::path::PathBuf;
-use xdp_bench::trajectory::{check_last, load, Gate};
+use xdp_bench::trajectory::{baseline, check_last, load, Gate};
 
 fn main() {
     let mut file = PathBuf::from("BENCH_serve.json");
@@ -42,17 +42,27 @@ fn main() {
     println!("bench_check: {} run(s) in {}", runs.len(), file.display());
     let violations = check_last(&runs, Gate { ratio: 1.0 + allow });
     if violations.is_empty() {
-        if let Some(last) = runs.last() {
-            let exp = last
-                .get("experiment")
-                .and_then(|v| v.as_str())
-                .unwrap_or("?");
-            println!(
-                "bench_check: `{exp}` within {:.0}% of baseline — ok",
-                allow * 100.0
-            );
-        } else {
-            println!("bench_check: empty trajectory — nothing to gate");
+        match runs.last() {
+            Some(last) => {
+                let exp = last
+                    .get("experiment")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?");
+                if baseline(&runs).is_some() {
+                    println!(
+                        "bench_check: `{exp}` within {:.0}% of baseline — ok",
+                        allow * 100.0
+                    );
+                } else {
+                    println!(
+                        "bench_check: no baseline for `{exp}` — gate passes vacuously (first recorded run)"
+                    );
+                }
+            }
+            None => println!(
+                "bench_check: no baseline — {} is empty or absent; gate passes vacuously",
+                file.display()
+            ),
         }
         return;
     }

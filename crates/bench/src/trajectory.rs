@@ -100,6 +100,20 @@ fn runs_per_sec(row: &Json) -> Option<f64> {
     row.get("runs_per_sec")?.as_f64()
 }
 
+/// The newest run's regression baseline: the most recent *earlier* row
+/// of the same experiment. `None` when the trajectory is empty or the
+/// newest row is the first of its experiment — the gate then passes
+/// vacuously, and callers should say so rather than claim a comparison
+/// happened.
+pub fn baseline(runs: &[Json]) -> Option<&Json> {
+    let cur = runs.last()?;
+    let exp = experiment(cur);
+    runs[..runs.len() - 1]
+        .iter()
+        .rev()
+        .find(|r| experiment(r) == exp)
+}
+
 /// Gate the newest run against the most recent earlier run of the same
 /// experiment. Returns violations (empty = pass). A trajectory with no
 /// comparable baseline passes trivially.
@@ -108,11 +122,7 @@ pub fn check_last(runs: &[Json], gate: Gate) -> Vec<String> {
         return Vec::new();
     };
     let exp = experiment(cur);
-    let Some(prev) = runs[..runs.len() - 1]
-        .iter()
-        .rev()
-        .find(|r| experiment(r) == exp)
-    else {
+    let Some(prev) = baseline(runs) else {
         return Vec::new();
     };
     let mut violations = Vec::new();
@@ -216,5 +226,35 @@ mod tests {
     fn first_run_of_an_experiment_passes() {
         assert!(check_last(&[], Gate::default()).is_empty());
         assert!(check_last(&[row("e13-serve", 1, 1.0)], Gate::default()).is_empty());
+    }
+
+    #[test]
+    fn baseline_exists_only_for_a_matching_earlier_row() {
+        assert!(baseline(&[]).is_none(), "empty trajectory");
+        assert!(
+            baseline(&[row("e13-serve", 1, 1.0)]).is_none(),
+            "first run of an experiment"
+        );
+        assert!(
+            baseline(&[row("e14-metrics", 1, 1.0), row("e13-serve", 1, 1.0)]).is_none(),
+            "cross-experiment rows are not baselines"
+        );
+        let runs = vec![
+            row("e13-serve", 100, 50.0),
+            row("e14-metrics", 1, 1.0),
+            row("e13-serve", 120, 45.0),
+        ];
+        let b = baseline(&runs).expect("matching earlier row");
+        assert_eq!(p99_us(b), Some(100.0));
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_trajectory() {
+        let path = tmp("empty");
+        std::fs::write(&path, "").unwrap();
+        assert_eq!(load(&path).unwrap().len(), 0, "empty file: vacuous");
+        std::fs::write(&path, "  \n").unwrap();
+        assert_eq!(load(&path).unwrap().len(), 0, "whitespace file: vacuous");
+        let _ = std::fs::remove_file(&path);
     }
 }

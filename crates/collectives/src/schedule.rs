@@ -129,7 +129,8 @@ impl CommSchedule {
     /// Predict the schedule's completion time (max processor clock) under a
     /// cost model and topology, mirroring the simulator's accounting for
     /// destination-bound sends: the sender pays `cpu_overhead` per message,
-    /// the wire `alpha·(1 + hop_factor·(hops-1)) + beta·bytes`, and the
+    /// the wire `alpha·(1 + hop_factor·(hops-1)) + beta·bytes` (with α/β
+    /// scaled by the tier multipliers on a tiered topology), and the
     /// receiver `cpu_overhead` to handle the arrival. Local permutation
     /// steps cost `beta·bytes` of copy time on their processor.
     pub fn predicted_cost(&self, model: &CostModel, topo: &Topology) -> f64 {
@@ -142,8 +143,8 @@ impl CommSchedule {
                     continue;
                 }
                 clock[t.src] += model.cpu_overhead;
-                let hops = topo.hops(t.src, t.dst);
-                let arrive = clock[t.src] + model.wire_time(t.bytes, hops);
+                let link = topo.link(t.src, t.dst);
+                let arrive = clock[t.src] + model.link_time(t.bytes, link);
                 arrivals.push((t.dst, arrive));
             }
             for (dst, arrive) in arrivals {

@@ -1,0 +1,77 @@
+//! The collectives planner on a hierarchical machine: per-tier link
+//! asymmetry must *move* the staged-Bruck vs direct-pairwise crossover,
+//! not just scale both candidates uniformly. Direct pairwise sends more
+//! cross-rack messages than the log-round staged schedule, so making the
+//! cluster tier expensive shifts the break-even per-message cost down.
+
+use xdp_collectives::planner::{plan, RedistPlan, Strategy};
+use xdp_ir::{DimDist, Distribution, ProcGrid, Triplet, VarId};
+use xdp_machine::{CostModel, Tier, Topology};
+
+const BOUNDS: [Triplet; 1] = [Triplet {
+    lb: 1,
+    ub: 64,
+    st: 1,
+}];
+
+/// Plan block(8) -> cyclic(8) on a 2x2x2 tiered machine with per-message
+/// cost `alpha` and the cluster tier scaled by `scale`.
+fn plan_at(alpha: f64, scale: f64) -> RedistPlan {
+    let src = Distribution::new(vec![DimDist::Block], ProcGrid::linear(8));
+    let dst = Distribution::new(vec![DimDist::Cyclic], ProcGrid::linear(8));
+    let model = CostModel {
+        alpha,
+        cpu_overhead: 0.0,
+        ..CostModel::default_1993()
+    }
+    .with_tier_scale(Tier::Cluster, scale, scale);
+    plan(
+        VarId(0),
+        &BOUNDS,
+        8,
+        &src,
+        &dst,
+        &model,
+        &Topology::tiered(2, 2, 2),
+        false,
+    )
+}
+
+/// Smallest alpha (on a geometric grid) at which the planner first picks
+/// the staged schedule.
+fn crossover_alpha(scale: f64) -> f64 {
+    for k in 0..400 {
+        let alpha = 1e-6 * 1.05f64.powi(k);
+        if plan_at(alpha, scale).strategy == Strategy::StagedBruck {
+            return alpha;
+        }
+    }
+    panic!("staged schedule never chosen at cluster scale {scale}");
+}
+
+#[test]
+fn cluster_asymmetry_moves_the_crossover_down() {
+    let flat = crossover_alpha(1.0);
+    let skewed = crossover_alpha(100.0);
+    assert!(
+        skewed < flat * 0.9,
+        "100x cluster links must make staging pay off earlier: \
+         crossover {skewed:.3} vs flat {flat:.3}"
+    );
+}
+
+#[test]
+fn one_operating_point_flips_strategy_with_tier_scale() {
+    // Between the two crossovers: the same program on the same-shaped
+    // machine picks a different collective when only the tier costs
+    // change.
+    let alpha = 0.65;
+    let flat = plan_at(alpha, 1.0);
+    let skewed = plan_at(alpha, 100.0);
+    assert_eq!(flat.strategy, Strategy::DirectPairwise);
+    assert_eq!(skewed.strategy, Strategy::StagedBruck);
+    assert_eq!(
+        flat.moved_elems, skewed.moved_elems,
+        "tier costs change the route, never the payload"
+    );
+}

@@ -62,6 +62,12 @@ pub enum RtError {
     /// A message was permanently lost in transit: fault injection dropped
     /// every transmission attempt and the delivery layer dead-lettered it.
     MessageLost(String),
+    /// The machine is larger than its topology can address (e.g. 9 pids
+    /// on a 2x4 mesh); hop counts for the overflow pids would be garbage.
+    Topology(String),
+    /// The OS refused to spawn a processor thread (thread-per-processor
+    /// executors cap out at OS limits; the async executor does not).
+    SpawnFailed(String),
 }
 
 impl From<SymtabError> for RtError {
@@ -96,6 +102,8 @@ impl std::fmt::Display for RtError {
             RtError::Deadlock(d) => write!(f, "deadlock:\n{d}"),
             RtError::RecvTimeout(d) => write!(f, "receive timed out:\n{d}"),
             RtError::MessageLost(d) => write!(f, "message lost:\n{d}"),
+            RtError::Topology(d) => write!(f, "topology mismatch:\n{d}"),
+            RtError::SpawnFailed(d) => write!(f, "thread spawn failed:\n{d}"),
         }
     }
 }

@@ -13,6 +13,9 @@
 //!   (see `xdp-trace`), and deadlock diagnosis.
 //! * [`ThreadExec`] — a real-parallel executor (one thread per processor)
 //!   for wall-clock measurement and cross-validation.
+//! * [`AsyncExec`] — the scalable executor: one cooperative task per
+//!   processor, M:N over a fixed worker pool, for machines of thousands
+//!   of processors (same report and diagnoses as [`ThreadExec`]).
 //! * [`kernels`] — the local-computation kernel registry (`fft1D` et al.
 //!   are registered by applications).
 //!
@@ -40,6 +43,7 @@
 //! assert_eq!(report.net.messages, 0); // fully local
 //! ```
 
+pub mod async_exec;
 pub mod env;
 pub mod interp;
 pub mod kernels;
@@ -48,6 +52,7 @@ pub mod report;
 pub mod sim_exec;
 pub mod thread_exec;
 
+pub use async_exec::{AsyncConfig, AsyncExec};
 pub use env::{OpCounts, ProcEnv, RtError, RuleVal};
 pub use interp::{Action, Interp, StepNote, StepOut};
 pub use kernels::{Kernel, KernelRegistry};

@@ -295,6 +295,12 @@ impl<P: Processor> SimExec<P> {
 
     /// Run to completion, returning the report.
     pub fn run(&mut self) -> Result<ExecReport, RtError> {
+        // A machine larger than its topology would get garbage hop
+        // counts for the overflow pids; refuse up front with the named
+        // diagnosis instead.
+        if let Err(e) = self.cfg.topo.validate(self.cfg.nprocs) {
+            return Err(RtError::Topology(e.to_string()));
+        }
         let mut steps: u64 = 0;
         let o = self.cfg.cost.cpu_overhead;
         loop {
@@ -677,6 +683,25 @@ mod tests {
         assert_eq!(report.net.messages, n as u64);
         assert!(report.virtual_time > 0.0);
         assert!(report.efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn oversized_machine_is_a_topology_error() {
+        // 6 pids on a 2x2 mesh: pids 4 and 5 have no mesh coordinates,
+        // so the run must refuse with the named diagnosis instead of
+        // simulating garbage hop counts.
+        let (prog, a, bb) = paper_simple(8, 6);
+        let cfg = SimConfig::new(6).with_topo(Topology::Mesh2D { rows: 2, cols: 2 });
+        let mut exec = SimExec::new(prog, KernelRegistry::standard(), cfg);
+        exec.init_exclusive(a, |idx| Value::F64(idx[0] as f64));
+        exec.init_exclusive(bb, |idx| Value::F64(idx[0] as f64));
+        match exec.run() {
+            Err(RtError::Topology(d)) => {
+                assert!(d.contains("mesh 2x2"), "{d}");
+                assert!(d.contains("pids 4..5"), "{d}");
+            }
+            other => panic!("expected Topology error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub struct ThreadConfig {
     /// Fault-injection plan (inactive by default; `rto`/`delay` are
     /// wall-clock microseconds on this backend).
     pub faults: FaultPlan,
+    /// Per-thread stack size override (bytes). `None` uses the OS default.
+    pub stack_size: Option<usize>,
 }
 
 impl ThreadConfig {
@@ -65,6 +67,7 @@ impl ThreadConfig {
             recv_timeout: Duration::from_secs(5),
             trace: TraceConfig::off(),
             faults: FaultPlan::none(),
+            stack_size: None,
         }
     }
 
@@ -135,19 +138,51 @@ impl<P: Processor> ThreadExec<P> {
         let timeout = self.cfg.recv_timeout;
         let tcfg = self.cfg.trace;
         let start = Instant::now();
+        let stack = self.cfg.stack_size;
+        // Threads park on the gate until every spawn has succeeded, so a
+        // mid-loop spawn failure (OS thread limits at large P) can cancel
+        // the already-spawned threads instead of leaving them blocked at
+        // the barrier forever.
+        let gate = Arc::new(StartGate::default());
         let results: Vec<Result<Vec<TraceEvent>, RtError>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
-            for interp in self.interps.iter_mut() {
+            let mut spawn_err = None;
+            for (pid, interp) in self.interps.iter_mut().enumerate() {
                 let net = net.clone();
                 let barrier = barrier.clone();
-                handles.push(
-                    scope.spawn(move || run_proc(interp, &net, &barrier, timeout, tcfg, start)),
-                );
+                let gate = gate.clone();
+                let mut builder = std::thread::Builder::new().name(format!("xdp-p{pid}"));
+                if let Some(bytes) = stack {
+                    builder = builder.stack_size(bytes);
+                }
+                let spawned = builder.spawn_scoped(scope, move || {
+                    if !gate.wait() {
+                        return Ok(Vec::new());
+                    }
+                    run_proc(interp, &net, &barrier, timeout, tcfg, start)
+                });
+                match spawned {
+                    Ok(h) => handles.push(h),
+                    Err(e) => {
+                        spawn_err = Some(RtError::SpawnFailed(format!(
+                            "p{pid}: the OS refused processor thread {pid} of {n} ({e}); \
+                             thread-per-processor execution caps at OS thread limits — \
+                             use the async executor (AsyncExec), which multiplexes all \
+                             {n} processors over a fixed worker pool"
+                        )));
+                        break;
+                    }
+                }
             }
-            handles
+            gate.open(spawn_err.is_none());
+            let mut results: Vec<_> = handles
                 .into_iter()
                 .map(|h| h.join().expect("proc panicked"))
-                .collect()
+                .collect();
+            if let Some(e) = spawn_err {
+                results.push(Err(e));
+            }
+            results
         });
         let wall = start.elapsed();
         let mut trace = Trace::new(n);
@@ -191,13 +226,7 @@ fn run_proc<P: Processor>(
     let pid = interp.env().pid;
     // Decl names are cloned up front so the recorder never borrows the
     // interpreter across `interp.step()`.
-    let mut rec = RecorderData {
-        cfg: tcfg,
-        start,
-        events: Vec::new(),
-        names: interp.env().decls.iter().map(|d| d.name.clone()).collect(),
-        recv_sid: std::collections::HashMap::new(),
-    };
+    let mut rec = RecorderData::new(interp, tcfg, start);
     loop {
         // Opportunistically complete any receive whose message has already
         // arrived, so `accessible()` polls stay live.
@@ -305,9 +334,7 @@ fn run_proc<P: Processor>(
                 // Service the outstanding receives that gate this section.
                 let gating = interp.outstanding_for(var, &sec);
                 if gating.is_empty() {
-                    return Err(RtError::Deadlock(format!(
-                        "p{pid}: blocked on {var}{sec} with no outstanding receive"
-                    )));
+                    return Err(deadlock_error(pid, var, &sec));
                 }
                 let (req, tag) = gating[0].clone();
                 let t0 = rec.now();
@@ -363,20 +390,41 @@ fn run_proc<P: Processor>(
                 rec.completed(pid, req, &msg, t0);
                 interp.complete_recv(req, msg)?;
             }
-            Err(RecvFailure::Timeout) => {
-                return Err(RtError::RecvTimeout(format!(
-                    "p{pid}: unfinished receive of {tag} at program end \
-                     (no message after {timeout:?})"
-                )))
-            }
+            Err(RecvFailure::Timeout) => return Err(unfinished_recv_error(pid, &tag, timeout)),
             Err(fail) => return Err(recv_error(pid, &tag, timeout, fail)),
         }
     }
     Ok(rec.events)
 }
 
+/// Block newly spawned processor threads until the executor knows every
+/// spawn succeeded; `open(false)` cancels them before they touch the
+/// barrier.
+#[derive(Default)]
+struct StartGate {
+    state: std::sync::Mutex<Option<bool>>,
+    cv: std::sync::Condvar,
+}
+
+impl StartGate {
+    /// Wait for the verdict; `true` means run, `false` means cancel.
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock().unwrap();
+        while s.is_none() {
+            s = self.cv.wait(s).unwrap();
+        }
+        s.unwrap()
+    }
+
+    fn open(&self, go: bool) {
+        *self.state.lock().unwrap() = Some(go);
+        self.cv.notify_all();
+    }
+}
+
 /// Map a delivery-layer failure to the executor's named diagnosis.
-fn recv_error(pid: usize, tag: &Tag, timeout: Duration, fail: RecvFailure) -> RtError {
+/// Shared with the async executor so diagnoses are text-identical.
+pub(crate) fn recv_error(pid: usize, tag: &Tag, timeout: Duration, fail: RecvFailure) -> RtError {
     match fail {
         RecvFailure::Timeout => RtError::RecvTimeout(format!(
             "p{pid}: receive of {tag} timed out after {timeout:?}"
@@ -388,28 +436,57 @@ fn recv_error(pid: usize, tag: &Tag, timeout: Duration, fail: RecvFailure) -> Rt
     }
 }
 
+/// A section is blocked with nothing that could ever unblock it. Shared
+/// with the async executor so diagnoses are text-identical.
+pub(crate) fn deadlock_error(pid: usize, var: VarId, sec: &xdp_ir::Section) -> RtError {
+    RtError::Deadlock(format!(
+        "p{pid}: blocked on {var}{sec} with no outstanding receive"
+    ))
+}
+
+/// The program-end drain timed out with a receive still pending. Shared
+/// with the async executor so diagnoses are text-identical.
+pub(crate) fn unfinished_recv_error(pid: usize, tag: &Tag, timeout: Duration) -> RtError {
+    RtError::RecvTimeout(format!(
+        "p{pid}: unfinished receive of {tag} at program end \
+         (no message after {timeout:?})"
+    ))
+}
+
 /// Self-contained per-thread recorder state (no borrow of the
-/// interpreter: declaration names are cloned at thread start).
-struct RecorderData {
-    cfg: TraceConfig,
-    start: Instant,
-    events: Vec<TraceEvent>,
-    names: Vec<String>,
-    recv_sid: std::collections::HashMap<u64, u32>,
+/// interpreter: declaration names are cloned at thread start). Shared
+/// with the async executor, whose tasks record identically.
+pub(crate) struct RecorderData {
+    pub(crate) cfg: TraceConfig,
+    pub(crate) start: Instant,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) names: Vec<String>,
+    pub(crate) recv_sid: std::collections::HashMap<u64, u32>,
 }
 
 impl RecorderData {
-    fn now(&self) -> f64 {
+    /// Fresh recorder for `interp`'s processor.
+    pub(crate) fn new<P: Processor>(interp: &P, cfg: TraceConfig, start: Instant) -> RecorderData {
+        RecorderData {
+            cfg,
+            start,
+            events: Vec::new(),
+            names: interp.env().decls.iter().map(|d| d.name.clone()).collect(),
+            recv_sid: std::collections::HashMap::new(),
+        }
+    }
+
+    pub(crate) fn now(&self) -> f64 {
         self.start.elapsed().as_secs_f64() * 1e6
     }
 
-    fn var_name(&self, var: VarId) -> Option<String> {
+    pub(crate) fn var_name(&self, var: VarId) -> Option<String> {
         self.names.get(var.index()).cloned()
     }
 
     /// Record the wire-transit edge + recv-complete pair for a delivered
     /// message, mirroring the simulator's `drain_due`.
-    fn completed(&mut self, pid: usize, req: u64, msg: &Msg, t0: f64) {
+    pub(crate) fn completed(&mut self, pid: usize, req: u64, msg: &Msg, t0: f64) {
         if !self.cfg.enabled() {
             return;
         }
@@ -601,6 +678,30 @@ mod tests {
         match exec.run() {
             Err(RtError::RecvTimeout(d)) => assert!(d.contains("timed out"), "{d}"),
             other => panic!("expected RecvTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spawn_failure_is_a_named_error() {
+        // An absurd per-thread stack makes the very first spawn fail the
+        // same way OS thread limits do at large P: `pthread_create`
+        // refuses. The diagnosis must be the named variant pointing at
+        // the async executor, not an opaque panic.
+        let (prog, _a, _b) = simple(8, 2);
+        let mut exec = ThreadExec::new(
+            prog,
+            KernelRegistry::standard(),
+            ThreadConfig {
+                stack_size: Some(usize::MAX / 2),
+                ..ThreadConfig::new(2)
+            },
+        );
+        match exec.run() {
+            Err(RtError::SpawnFailed(d)) => {
+                assert!(d.contains("p0"), "{d}");
+                assert!(d.contains("async executor"), "{d}");
+            }
+            other => panic!("expected SpawnFailed, got {other:?}"),
         }
     }
 

@@ -6,6 +6,8 @@
 //! matter most; every experiment harness sweeps the parameters that its
 //! claim depends on.
 
+use crate::topo::{Link, Tier};
+
 /// Hockney/LogP-style cost parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
@@ -38,6 +40,14 @@ pub struct CostModel {
     /// and copied on match); preposted receives (§3.2) avoid it. Charged as
     /// `unexpected_overhead + beta * bytes` (the extra copy).
     pub unexpected_overhead: f64,
+    /// Per-tier multiplier on α, indexed by [`Tier`] (node / rack /
+    /// cluster). All 1.0 by default, so flat topologies and untiered
+    /// models are unchanged; a `Tiered` machine with 100x cross-rack
+    /// latency sets `tier_alpha[Tier::Cluster] = 100.0`.
+    pub tier_alpha: [f64; 3],
+    /// Per-tier multiplier on β, indexed by [`Tier`]. All 1.0 by
+    /// default.
+    pub tier_beta: [f64; 3],
 }
 
 impl CostModel {
@@ -54,7 +64,16 @@ impl CostModel {
             seg_scan_time: 0.05,
             match_overhead: 2.0,
             unexpected_overhead: 5.0,
+            tier_alpha: [1.0; 3],
+            tier_beta: [1.0; 3],
         }
+    }
+
+    /// Set the α/β multipliers of one tier (builder-style).
+    pub fn with_tier_scale(mut self, tier: Tier, alpha_scale: f64, beta_scale: f64) -> CostModel {
+        self.tier_alpha[tier as usize] = alpha_scale;
+        self.tier_beta[tier as usize] = beta_scale;
+        self
     }
 
     /// A low-latency variant (latency 10x smaller) for crossover sweeps.
@@ -99,11 +118,28 @@ impl CostModel {
     /// message (`hops == 0`, the ownership-migration loopback case) pays
     /// only the copy cost, not network latency.
     pub fn wire_time(&self, bytes: u64, hops: u32) -> f64 {
-        if hops == 0 {
-            return self.beta * bytes as f64;
+        self.link_time(
+            bytes,
+            Link {
+                hops,
+                tier: Tier::Node,
+            },
+        )
+    }
+
+    /// Wire time of a `bytes`-byte message over `link`, with α and β
+    /// scaled by the multipliers of the tier the link crosses. On flat
+    /// topologies every link is [`Tier::Node`], so with default
+    /// multipliers this is exactly [`CostModel::wire_time`].
+    pub fn link_time(&self, bytes: u64, link: Link) -> f64 {
+        let t = link.tier as usize;
+        let beta = self.beta * self.tier_beta[t];
+        if link.hops == 0 {
+            return beta * bytes as f64;
         }
-        let hop_scale = 1.0 + self.hop_factor * (hops - 1) as f64;
-        self.alpha * hop_scale + self.beta * bytes as f64
+        let alpha = self.alpha * self.tier_alpha[t];
+        let hop_scale = 1.0 + self.hop_factor * (link.hops - 1) as f64;
+        alpha * hop_scale + beta * bytes as f64
     }
 }
 
@@ -124,6 +160,33 @@ mod tests {
         assert_eq!(m.wire_time(1000, 1), 200.0);
         assert_eq!(m.wire_time(0, 2), 120.0);
         assert!(m.wire_time(100, 3) > m.wire_time(100, 2));
+    }
+
+    #[test]
+    fn link_time_scales_by_tier() {
+        let m = CostModel::default_1993().with_tier_scale(Tier::Cluster, 100.0, 2.0);
+        let node = Link {
+            hops: 1,
+            tier: Tier::Node,
+        };
+        let cluster = Link {
+            hops: 1,
+            tier: Tier::Cluster,
+        };
+        // Node tier with default multipliers matches wire_time exactly.
+        assert_eq!(m.link_time(1000, node), m.wire_time(1000, 1));
+        // Cluster tier pays 100x alpha and 2x beta.
+        assert_eq!(m.link_time(0, cluster), 100.0 * m.alpha);
+        assert_eq!(
+            m.link_time(1000, cluster),
+            100.0 * m.alpha + 2.0 * m.beta * 1000.0
+        );
+        // Self messages pay only the (tier-scaled) copy cost.
+        let self_link = Link {
+            hops: 0,
+            tier: Tier::Node,
+        };
+        assert_eq!(m.link_time(100, self_link), m.beta * 100.0);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! * [`cost::CostModel`] — a Hockney/LogP-style parametric cost model
 //!   (per-message latency α, per-byte time β, per-message CPU overhead o,
 //!   per-flop time, symbol-table-query time).
-//! * [`topo::Topology`] — uniform, linear-array, or 2-D-mesh hop scaling.
+//! * [`topo::Topology`] — uniform, linear-array, 2-D-mesh, or tiered
+//!   (node/rack/cluster, per-tier α/β multipliers) hop scaling.
 //! * [`sim::SimNet`] — a deterministic virtual-time network with XDP's
 //!   rendezvous-by-name matching, including *unspecified-destination* sends
 //!   and multiple outstanding sends/receives on one name (the §2.7
@@ -38,4 +39,4 @@ pub use cost::CostModel;
 pub use sim::{Completion, LostMsg, SimNet};
 pub use stats::NetStats;
 pub use thread_net::ThreadNet;
-pub use topo::Topology;
+pub use topo::{Link, Tier, Topology, TopologyError};

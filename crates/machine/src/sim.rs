@@ -336,8 +336,8 @@ impl SimNet {
         } else {
             send.msg.size_bytes()
         };
-        let hops = self.topo.hops(send.msg.src, recv.dst);
-        let arrive_at = send.time + send.extra + self.model.wire_time(wire, hops);
+        let link = self.topo.link(send.msg.src, recv.dst);
+        let arrive_at = send.time + send.extra + self.model.link_time(wire, link);
         let mut handling = self.model.cpu_overhead;
         if !bound {
             handling += self.model.match_overhead;

@@ -1,0 +1,115 @@
+//! Property tests of the hierarchical (tiered) topology: hop symmetry,
+//! self-distance, tier/hop consistency, monotonicity of tier with
+//! enclosure, and size validation at the extent boundary.
+
+use proptest::prelude::*;
+use xdp_machine::{Tier, Topology};
+
+/// Random tiered shapes kept small enough to enumerate all pid pairs.
+fn shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..5, 1usize..4, 1usize..4)
+}
+
+/// Coordinates of a pid in a tiered machine.
+fn coords(pid: usize, ppn: usize, npr: usize) -> (usize, usize) {
+    (pid / ppn, pid / (ppn * npr))
+}
+
+fn assert_symmetric_and_zero_iff_self(ppn: usize, npr: usize, racks: usize) {
+    let topo = Topology::tiered(ppn, npr, racks);
+    let n = ppn * npr * racks;
+    for a in 0..n {
+        for b in 0..n {
+            assert_eq!(topo.hops(a, b), topo.hops(b, a), "symmetry {a} {b}");
+            assert_eq!(topo.hops(a, b) == 0, a == b, "zero iff self {a} {b}");
+        }
+    }
+}
+
+fn assert_tier_matches_enclosure(ppn: usize, npr: usize, racks: usize) {
+    let topo = Topology::tiered(ppn, npr, racks);
+    let n = ppn * npr * racks;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let link = topo.link(a, b);
+            let (na, ra) = coords(a, ppn, npr);
+            let (nb, rb) = coords(b, ppn, npr);
+            let want = if na == nb {
+                Tier::Node
+            } else if ra == rb {
+                Tier::Rack
+            } else {
+                Tier::Cluster
+            };
+            assert_eq!(link.tier, want, "tier of {a} {b}");
+            // One tier step, one extra hop: Node=1, Rack=2, Cluster=3.
+            assert_eq!(link.hops, want as u32 + 1, "hops of {a} {b}");
+        }
+    }
+}
+
+/// A peer sharing my node is never further (in hops) than a peer sharing
+/// only my rack, which is never further than a cross-rack peer — the
+/// cheapest-first ordering of the `Tier` enum is real distance.
+fn assert_tier_monotone(ppn: usize, npr: usize, racks: usize) {
+    let topo = Topology::tiered(ppn, npr, racks);
+    let n = ppn * npr * racks;
+    for a in 0..n {
+        let mut per_tier: [Option<u32>; 3] = [None, None, None];
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let link = topo.link(a, b);
+            let slot = &mut per_tier[link.tier as usize];
+            *slot = Some(slot.map_or(link.hops, |h| h.max(link.hops)));
+        }
+        let mut last = 0;
+        for hops in per_tier.iter().flatten() {
+            assert!(*hops > last, "hops strictly grow across tiers");
+            last = *hops;
+        }
+    }
+}
+
+fn assert_validation_boundary(ppn: usize, npr: usize, racks: usize) {
+    let topo = Topology::tiered(ppn, npr, racks);
+    let extent = ppn * npr * racks;
+    assert_eq!(topo.extent(), Some(extent));
+    for ok in 1..=extent {
+        assert!(topo.validate(ok).is_ok(), "{ok} pids fit");
+    }
+    let err = topo.validate(extent + 1).unwrap_err();
+    assert!(err.to_string().contains("fall off"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hops_are_symmetric_and_zero_iff_self(s in shape()) {
+        let (ppn, npr, racks) = s;
+        assert_symmetric_and_zero_iff_self(ppn, npr, racks);
+    }
+
+    #[test]
+    fn tier_matches_enclosure_and_hops_grow_with_tier(s in shape()) {
+        let (ppn, npr, racks) = s;
+        assert_tier_matches_enclosure(ppn, npr, racks);
+    }
+
+    #[test]
+    fn tier_is_monotone_in_enclosure(s in shape()) {
+        let (ppn, npr, racks) = s;
+        assert_tier_monotone(ppn, npr, racks);
+    }
+
+    #[test]
+    fn validation_accepts_the_extent_and_rejects_one_more(s in shape()) {
+        let (ppn, npr, racks) = s;
+        assert_validation_boundary(ppn, npr, racks);
+    }
+}

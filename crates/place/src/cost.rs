@@ -151,6 +151,36 @@ fn cross_1d(dd: DimDist, bound: Triplet, np: usize, offset: i64) -> f64 {
     }
 }
 
+/// Cost of one nearest-neighbour message of `bytes` under the machine's
+/// topology. Flat topologies charge one hop. A tiered machine charges
+/// the average over all adjacent-pid links: most neighbours share a
+/// node, but every `procs_per_node`-th pair crosses a node boundary and
+/// every rack's-worth crosses a rack boundary, so the per-tier alpha/beta
+/// multipliers surface in the placement search.
+fn neighbor_wire_time(bytes: u64, c: &Costs) -> f64 {
+    use xdp_machine::{Link, Tier};
+    if let Topology::Tiered {
+        procs_per_node: ppn,
+        nodes_per_rack: npr,
+        racks,
+    } = c.topo
+    {
+        let nprocs = ppn * npr * racks;
+        if nprocs <= 1 {
+            return c.model.wire_time(bytes, 1);
+        }
+        // Adjacent-pid pairs by the boundary they cross.
+        let cluster = (racks - 1) as f64;
+        let rack = (racks * (npr - 1)) as f64;
+        let node = (racks * npr * (ppn - 1)) as f64;
+        let t = |hops, tier| c.model.link_time(bytes, Link { hops, tier });
+        (node * t(1, Tier::Node) + rack * t(2, Tier::Rack) + cluster * t(3, Tier::Cluster))
+            / (nprocs - 1) as f64
+    } else {
+        c.model.wire_time(bytes, 1)
+    }
+}
+
 /// Predicted per-sweep x repeats nearest-neighbour exchange cost of the
 /// phase's shifts under `dist`: for each shift, both directions pay one
 /// message (`alpha` + sender/receiver overhead) carrying the crossing
@@ -182,7 +212,7 @@ pub fn shift_cost(
         let per_dir_elems =
             cross_1d(dist.dims()[d], bounds[d], np, sh.offset) * sh.plane / spread as f64;
         let bytes = (per_dir_elems * elem_bytes as f64).ceil() as u64;
-        let per_dir = 2.0 * c.model.cpu_overhead + c.model.wire_time(bytes, 1);
+        let per_dir = 2.0 * c.model.cpu_overhead + neighbor_wire_time(bytes, c);
         total += 2.0 * per_dir * sh.repeat;
     }
     total * c.calibration.move_scale
@@ -293,6 +323,25 @@ mod tests {
         assert!(
             cycc > rowc,
             "cyclic exchanges whole slabs: {cycc} vs {rowc}"
+        );
+    }
+
+    #[test]
+    fn tier_asymmetry_raises_shift_cost() {
+        use xdp_machine::Tier;
+        let bounds = vec![b(1, 8), b(1, 8)];
+        let ph = stencil_phase();
+        let row = Distribution::new(vec![DimDist::Block, DimDist::Star], ProcGrid::linear(4));
+        let flat = costs();
+        let tiered = Costs::new(
+            CostModel::default_1993().with_tier_scale(Tier::Rack, 100.0, 100.0),
+            Topology::tiered(2, 2, 1),
+        );
+        let cheap = shift_cost(&ph, &row, &bounds, 8, &flat);
+        let dear = shift_cost(&ph, &row, &bounds, 8, &tiered);
+        assert!(
+            dear > cheap,
+            "a 100x rack link must surface in the shift term: {dear} vs {cheap}"
         );
     }
 

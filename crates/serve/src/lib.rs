@@ -54,7 +54,7 @@ pub mod spec;
 
 pub use cache::{CacheStats, CachedProgram, CompileCache, ServeError};
 pub use metrics_view::ServeMetrics;
-pub use pool::{RunOutcome, ServePool};
+pub use pool::{PoolMachine, RunOutcome, ServePool};
 pub use registry::{RegisteredInfo, Registry};
 pub use replay::{load_corpus, replay, request_mix, CorpusItem, ReplayConfig, ReplayReport};
 pub use spec::{ContentHasher, RequestSpec};

@@ -27,7 +27,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use xdp_compiler::Backend;
-use xdp_core::{ExecReport, Processor, SimConfig, SimExec};
+use xdp_core::{
+    AsyncConfig, AsyncExec, ExecReport, ProcReport, Processor, SimConfig, SimExec, ThreadReport,
+};
 use xdp_ir::VarId;
 use xdp_metrics::{FlightConfig, FlightRecord, FlightRecorder, MetricsRegistry, MetricsSnapshot};
 use xdp_runtime::Value;
@@ -62,10 +64,29 @@ pub struct RunOutcome {
     pub execute_us: u64,
 }
 
+/// Which machine executes requests.
+///
+/// * [`Sim`](PoolMachine::Sim) (default) — the deterministic virtual-time
+///   simulator: `virtual_time` is the modelled completion time and runs
+///   are bit-reproducible.
+/// * [`Tasks`](PoolMachine::Tasks) — the async task-per-processor
+///   executor: real parallel execution that scales to thousands of
+///   simulated processors per request; `virtual_time` reports wall-clock
+///   microseconds. Final memory, data movement, and message counts are
+///   conformant with the simulator (the fingerprint's state digest is
+///   wall-clock-ordered and therefore its own, weaker check).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolMachine {
+    #[default]
+    Sim,
+    Tasks,
+}
+
 /// The serving pool: shared cache + registry behind one lock each, a
 /// worker count for batch fan-out, and the pool's telemetry.
 pub struct ServePool {
     workers: usize,
+    machine: PoolMachine,
     cache: Mutex<CompileCache>,
     registry: Mutex<Registry>,
     metrics: ServeMetrics,
@@ -78,6 +99,7 @@ impl ServePool {
     pub fn new(workers: usize, capacity: usize) -> ServePool {
         ServePool {
             workers: workers.max(1),
+            machine: PoolMachine::Sim,
             cache: Mutex::new(CompileCache::new(capacity)),
             registry: Mutex::new(Registry::new()),
             metrics: ServeMetrics::new(Arc::new(MetricsRegistry::new())),
@@ -89,6 +111,17 @@ impl ServePool {
     pub fn with_flight(mut self, cfg: FlightConfig) -> ServePool {
         self.flight = Some(FlightRecorder::new(cfg));
         self
+    }
+
+    /// Select the execution machine (builder style).
+    pub fn with_machine(mut self, machine: PoolMachine) -> ServePool {
+        self.machine = machine;
+        self
+    }
+
+    /// The pool's execution machine.
+    pub fn machine(&self) -> PoolMachine {
+        self.machine
     }
 
     pub fn workers(&self) -> usize {
@@ -223,7 +256,7 @@ impl ServePool {
 
         let exec_start = Instant::now();
         self.metrics.in_flight.add(1);
-        let executed = execute(&cached);
+        let executed = execute(&cached, self.machine);
         self.metrics.in_flight.sub(1);
         let execute_us = exec_start.elapsed().as_micros() as u64;
         let (mut outcome, report) = match executed {
@@ -346,25 +379,48 @@ fn init_value(o: usize, idx: &[i64]) -> Value {
     Value::F64(v as f64)
 }
 
-/// Execute a cached program on a fresh, private simulator instance.
+/// Execute a cached program on a fresh, private machine instance.
 /// Returns the outcome plus the full run report (the caller folds its
 /// network/fault counters into metrics and may hand its trace to the
 /// flight recorder without cloning).
-fn execute(cached: &Arc<CachedProgram>) -> Result<(RunOutcome, ExecReport), ServeError> {
+fn execute(
+    cached: &Arc<CachedProgram>,
+    machine: PoolMachine,
+) -> Result<(RunOutcome, ExecReport), ServeError> {
     let compiled = &cached.compiled;
-    let mut cfg = SimConfig::new(compiled.nprocs).with_trace(TraceConfig::full());
-    if cached.faults.is_active() {
-        cfg = cfg.with_faults(cached.faults.clone());
-    }
-    match compiled.backend {
-        Backend::Interp => finish_run(
-            cached,
-            SimExec::new(compiled.program.clone(), xdp_apps::app_kernels(), cfg),
-        ),
-        Backend::Vm => finish_run(
-            cached,
-            xdp_vm::VmExec::sim(compiled.program.clone(), xdp_apps::app_kernels(), cfg),
-        ),
+    match machine {
+        PoolMachine::Sim => {
+            let mut cfg = SimConfig::new(compiled.nprocs).with_trace(TraceConfig::full());
+            if cached.faults.is_active() {
+                cfg = cfg.with_faults(cached.faults.clone());
+            }
+            match compiled.backend {
+                Backend::Interp => finish_run(
+                    cached,
+                    SimExec::new(compiled.program.clone(), xdp_apps::app_kernels(), cfg),
+                ),
+                Backend::Vm => finish_run(
+                    cached,
+                    xdp_vm::VmExec::sim(compiled.program.clone(), xdp_apps::app_kernels(), cfg),
+                ),
+            }
+        }
+        PoolMachine::Tasks => {
+            let mut cfg = AsyncConfig::new(compiled.nprocs).with_trace(TraceConfig::full());
+            if cached.faults.is_active() {
+                cfg = cfg.with_faults(cached.faults.clone());
+            }
+            match compiled.backend {
+                Backend::Interp => finish_run_tasks(
+                    cached,
+                    AsyncExec::new(compiled.program.clone(), xdp_apps::app_kernels(), cfg),
+                ),
+                Backend::Vm => finish_run_tasks(
+                    cached,
+                    xdp_vm::VmExec::tasks(compiled.program.clone(), xdp_apps::app_kernels(), cfg),
+                ),
+            }
+        }
     }
 }
 
@@ -388,6 +444,63 @@ fn finish_run<P: Processor>(
         exec.init_exclusive(VarId(o as u32), move |idx| init_value(o, idx));
     }
     let report = exec.run().map_err(|e| ServeError::Run(e.to_string()))?;
+    let mut fp = Fingerprint::default();
+    for (o, name) in &decls {
+        fp.record_memory(name, &exec.gather(VarId(*o as u32)));
+    }
+    fp.record_trace(&report.trace);
+    fp.messages = report.net.messages;
+    let outcome = RunOutcome {
+        key: cached.key,
+        cache_hit: false,
+        virtual_time: report.virtual_time,
+        messages: report.net.messages,
+        fingerprint: fp,
+        latency_us: 0,
+        compile_us: 0,
+        queue_us: 0,
+        resolve_us: 0,
+        execute_us: 0,
+    };
+    Ok((outcome, report))
+}
+
+/// [`finish_run`] for the async machine: same init/fingerprint protocol,
+/// with the [`ThreadReport`] lifted into an [`ExecReport`] whose
+/// `virtual_time` is wall-clock microseconds (per-processor virtual
+/// clocks don't exist on a real-parallel machine).
+fn finish_run_tasks<P: Processor>(
+    cached: &Arc<CachedProgram>,
+    mut exec: AsyncExec<P>,
+) -> Result<(RunOutcome, ExecReport), ServeError> {
+    let compiled = &cached.compiled;
+    let decls: Vec<(usize, String)> = compiled
+        .program
+        .decls
+        .iter()
+        .enumerate()
+        .map(|(o, d)| (o, d.name.clone()))
+        .collect();
+    for (o, _) in &decls {
+        let o = *o;
+        exec.init_exclusive(VarId(o as u32), move |idx| init_value(o, idx));
+    }
+    let report: ThreadReport = exec.run().map_err(|e| ServeError::Run(e.to_string()))?;
+    let report = ExecReport {
+        nprocs: compiled.nprocs,
+        virtual_time: report.wall.as_secs_f64() * 1e6,
+        procs: report
+            .symtab
+            .into_iter()
+            .map(|symtab| ProcReport {
+                symtab,
+                ..ProcReport::default()
+            })
+            .collect(),
+        net: report.net,
+        trace: report.trace,
+        faults: report.faults,
+    };
     let mut fp = Fingerprint::default();
     for (o, name) in &decls {
         fp.record_memory(name, &exec.gather(VarId(*o as u32)));
@@ -512,6 +625,26 @@ mod tests {
                 .histogram("xdp_request_execute_us", &[("backend", backend)])
                 .unwrap();
             assert_eq!(h.count, 1);
+        }
+    }
+
+    #[test]
+    fn tasks_machine_is_conformant_with_the_simulator() {
+        let sim = ServePool::new(2, 8);
+        let tasks = ServePool::new(2, 8).with_machine(PoolMachine::Tasks);
+        assert_eq!(tasks.machine(), PoolMachine::Tasks);
+        for s in [
+            spec(8),
+            spec(8).with_opts(CompileOptions::default().with_backend(Backend::Vm)),
+        ] {
+            let a = sim.run_one(&s).unwrap();
+            let b = tasks.run_one(&s).unwrap();
+            // Memory, movement, and traffic must agree; the state digest
+            // and virtual_time are timing-dependent on a real-parallel
+            // machine.
+            assert_eq!(a.fingerprint.memory_all(), b.fingerprint.memory_all());
+            assert_eq!(a.fingerprint.movement, b.fingerprint.movement);
+            assert_eq!(a.messages, b.messages);
         }
     }
 

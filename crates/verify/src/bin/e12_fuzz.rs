@@ -96,6 +96,7 @@ fn main() {
             "sim+lockstep",
             CheckConfig {
                 thread: false,
+                async_exec: false,
                 vm: false,
                 chaos: false,
                 faults: None,
@@ -106,6 +107,7 @@ fn main() {
             "+vm",
             CheckConfig {
                 thread: false,
+                async_exec: false,
                 vm: true,
                 chaos: false,
                 faults: None,
@@ -116,6 +118,18 @@ fn main() {
             "+thread",
             CheckConfig {
                 thread: true,
+                async_exec: false,
+                vm: true,
+                chaos: false,
+                faults: None,
+                passes: false,
+            },
+        ),
+        (
+            "+async",
+            CheckConfig {
+                thread: true,
+                async_exec: true,
                 vm: true,
                 chaos: false,
                 faults: None,
@@ -126,6 +140,7 @@ fn main() {
             "+passes",
             CheckConfig {
                 thread: true,
+                async_exec: true,
                 vm: true,
                 chaos: false,
                 faults: None,
@@ -136,6 +151,7 @@ fn main() {
             "+chaos",
             CheckConfig {
                 thread: true,
+                async_exec: true,
                 vm: true,
                 chaos: true,
                 faults: None,

@@ -1,0 +1,327 @@
+//! E16 — scale: the async executor at thousands of processors, and
+//! hierarchical (tiered) topologies moving the collectives crossover.
+//!
+//! Part one is the scale claim: the async task-per-processor machine
+//! runs a neighbour ring exchange at **P=4096** — four thousand
+//! simulated processors multiplexed over a fixed worker pool, far past
+//! thread-per-processor territory — and its timing-free fingerprint
+//! (memory image, movement multiset, message count) must equal the
+//! virtual-time simulator's exactly, on both the interpreter and the
+//! compiled VM. A sweep of generated corpus programs then runs through
+//! the `xdp_verify::diff` oracles (`run_async` vs `run_sim`) for the
+//! same equality at corpus sizes.
+//!
+//! Part two is the topology claim: on a tiered node/rack/cluster
+//! machine, making cross-rack links 100x dearer must *move* the
+//! staged-Bruck vs direct-pairwise crossover of the collectives planner
+//! (direct pairwise pays more cluster messages than the log-round
+//! staged schedule, so staging pays off at a lower per-message cost) —
+//! asserted both as a crossover-point shift and as one operating point
+//! where only the tier costs differ and the chosen strategy flips.
+//!
+//! The summary appends one row (experiment `e16-scale`) to the
+//! `BENCH_serve.json` trajectory, so `bench_check` gates the async
+//! machine's P=4096 wall time run to run.
+
+use serde_json::{Map, Value as Json};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use xdp_bench::table::{j, Table};
+use xdp_bench::trajectory;
+use xdp_collectives::planner::{plan, Strategy};
+use xdp_core::{AsyncConfig, AsyncExec, KernelRegistry, SimConfig, SimExec};
+use xdp_ir::build as b;
+use xdp_ir::{CmpOp, DimDist, Distribution, ElemType, ProcGrid, Program, Triplet, VarId};
+use xdp_machine::{CostModel, Tier, Topology};
+use xdp_runtime::Value;
+use xdp_trace::TraceConfig;
+use xdp_verify::diff::{run_async, run_sim};
+use xdp_verify::gen::executable_program;
+use xdp_verify::Fingerprint;
+use xdp_vm::VmExec;
+
+/// The scale leg's machine size.
+const NPROCS: usize = 4096;
+/// Generated corpus programs in the oracle sweep.
+const CORPUS_COUNT: u64 = 8;
+
+/// A neighbour ring exchange with O(1) statements per processor: pid p
+/// (except the last) sends its element of T; pid p (except the first)
+/// receives its left neighbour's value into U. The canonical
+/// constant-work-per-pid program, so total work is O(P) and the
+/// simulator baseline stays cheap even at P=4096.
+fn ring_exchange(nprocs: usize) -> Arc<Program> {
+    let n = nprocs as i64;
+    let grid = ProcGrid::linear(nprocs);
+    let mut p = Program::new();
+    let t = p.declare(b::array(
+        "T",
+        ElemType::F64,
+        vec![(0, n - 1)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    let u = p.declare(b::array(
+        "U",
+        ElemType::F64,
+        vec![(0, n - 1)],
+        vec![DimDist::Block],
+        grid,
+    ));
+    let tm = b::sref(t, vec![b::at(b::mypid())]);
+    let tprev = b::sref(t, vec![b::at(b::mypid().sub(b::c(1)))]);
+    let um = b::sref(u, vec![b::at(b::mypid())]);
+    p.body = vec![
+        b::guarded(
+            b::cmp(CmpOp::Lt, b::mypid(), b::c(n - 1)),
+            vec![b::send(tm)],
+        ),
+        b::guarded(
+            b::cmp(CmpOp::Gt, b::mypid(), b::c(0)),
+            vec![
+                b::recv_val(um.clone(), tprev),
+                b::guarded(b::await_(um), vec![]),
+            ],
+        ),
+    ];
+    Arc::new(p)
+}
+
+/// Same deterministic init `xdp_verify::diff` uses for its oracles.
+fn init_value(o: usize, idx: &[i64]) -> Value {
+    let mut v = (o as i64 + 1) * 1000;
+    for (k, x) in idx.iter().enumerate() {
+        v += x * (k as i64 + 1);
+    }
+    Value::F64(v as f64)
+}
+
+/// Run `exec` (any machine with the init/run/gather protocol) and
+/// fingerprint it. Returns (fingerprint, wall seconds, messages).
+macro_rules! fingerprint {
+    ($exec:expr, $prog:expr) => {{
+        let mut exec = $exec;
+        for (o, _) in $prog.decls.iter().enumerate() {
+            exec.init_exclusive(VarId(o as u32), move |idx| init_value(o, idx));
+        }
+        let t0 = Instant::now();
+        let report = exec.run().expect("run");
+        let wall = t0.elapsed().as_secs_f64();
+        let mut fp = Fingerprint::default();
+        for (o, d) in $prog.decls.iter().enumerate() {
+            fp.record_memory(&d.name, &exec.gather(VarId(o as u32)));
+        }
+        fp.record_trace(&report.trace);
+        fp.messages = report.net.messages;
+        (fp, wall, report.net.messages)
+    }};
+}
+
+/// Timing-free equality: memory image, movement multiset, messages.
+fn conformant(a: &Fingerprint, b: &Fingerprint) -> bool {
+    a.memory == b.memory && a.movement == b.movement && a.messages == b.messages
+}
+
+/// Plan block(8) -> cyclic(8) on a 2x2x2 tiered machine with per-message
+/// cost `alpha` and the cluster tier's alpha/beta scaled by `scale`.
+fn plan_at(alpha: f64, scale: f64) -> xdp_collectives::planner::RedistPlan {
+    let bounds = [Triplet::range(1, 64)];
+    let src = Distribution::new(vec![DimDist::Block], ProcGrid::linear(8));
+    let dst = Distribution::new(vec![DimDist::Cyclic], ProcGrid::linear(8));
+    let model = CostModel {
+        alpha,
+        cpu_overhead: 0.0,
+        ..CostModel::default_1993()
+    }
+    .with_tier_scale(Tier::Cluster, scale, scale);
+    plan(
+        VarId(0),
+        &bounds,
+        8,
+        &src,
+        &dst,
+        &model,
+        &Topology::tiered(2, 2, 2),
+        false,
+    )
+}
+
+/// Smallest alpha (on a geometric grid) at which the planner first
+/// prefers the staged schedule.
+fn crossover_alpha(scale: f64) -> f64 {
+    for k in 0..400 {
+        let alpha = 1e-6 * 1.05f64.powi(k);
+        if plan_at(alpha, scale).strategy == Strategy::StagedBruck {
+            return alpha;
+        }
+    }
+    f64::INFINITY
+}
+
+fn main() {
+    let mut failures = 0usize;
+
+    // Part one: P=4096 on the async machine, interpreter and VM, against
+    // the simulator baseline.
+    let prog = ring_exchange(NPROCS);
+    let (base, sim_wall, sim_msgs) = fingerprint!(
+        SimExec::new(
+            prog.clone(),
+            KernelRegistry::standard(),
+            SimConfig::new(NPROCS).with_trace(TraceConfig::full()),
+        ),
+        prog
+    );
+    let (afp, async_wall, _) = fingerprint!(
+        AsyncExec::new(
+            prog.clone(),
+            KernelRegistry::standard(),
+            AsyncConfig::new(NPROCS).with_trace(TraceConfig::full()),
+        ),
+        prog
+    );
+    let (vfp, vm_wall, _) = fingerprint!(
+        VmExec::tasks(
+            prog.clone(),
+            KernelRegistry::standard(),
+            AsyncConfig::new(NPROCS).with_trace(TraceConfig::full()),
+        ),
+        prog
+    );
+    let mut t = Table::new(
+        &format!("E16: ring exchange at P={NPROCS} (timing-free fingerprint vs simulator)"),
+        &["machine", "wall_ms", "messages", "conformant"],
+    );
+    t.row(&[
+        j::s("sim (baseline)"),
+        j::f(sim_wall * 1e3),
+        j::u(sim_msgs),
+        j::s("-"),
+    ]);
+    for (label, fp, wall) in [
+        ("async interp", &afp, async_wall),
+        ("async vm", &vfp, vm_wall),
+    ] {
+        let ok = conformant(&base, fp);
+        if !ok {
+            eprintln!("e16: {label} diverged from the simulator at P={NPROCS}");
+            failures += 1;
+        }
+        t.row(&[
+            j::s(label),
+            j::f(wall * 1e3),
+            j::u(fp.messages),
+            j::s(if ok { "yes" } else { "NO" }),
+        ]);
+    }
+    if sim_msgs != NPROCS as u64 - 1 {
+        eprintln!("e16: expected one message per ring edge, saw {sim_msgs}");
+        failures += 1;
+    }
+    t.print();
+
+    // Corpus sweep: generated message-passing programs through the
+    // differential oracles.
+    let mut corpus_fail = 0usize;
+    for k in 0..CORPUS_COUNT {
+        let tp = executable_program(500 + k);
+        let p = Arc::new(tp.program.clone());
+        let base = run_sim(&p, tp.nprocs, None);
+        let got = run_async(&p, tp.nprocs);
+        let same = match (&base, &got) {
+            (Ok(a), Ok(g)) => conformant(a, g),
+            (Err(a), Err(g)) => a == g,
+            _ => false,
+        };
+        if !same {
+            eprintln!("e16: corpus seed {}: async diverged from sim", tp.seed);
+            corpus_fail += 1;
+        }
+    }
+    let mut t2 = Table::new(
+        "E16: corpus conformance (async vs sim oracles)",
+        &["oracle", "programs", "failures"],
+    );
+    t2.row(&[
+        j::s("async timing-free"),
+        j::u(CORPUS_COUNT),
+        j::u(corpus_fail as u64),
+    ]);
+    failures += corpus_fail;
+    t2.print();
+
+    // Part two: the tiered-topology crossover table. Cross-rack links at
+    // 100x must move the staged-vs-direct break-even down.
+    let flat = crossover_alpha(1.0);
+    let skewed = crossover_alpha(100.0);
+    let mut t3 = Table::new(
+        "E16: staged-Bruck crossover, block(8)->cyclic(8) on tiered 2x2x2",
+        &["cluster_scale", "crossover_alpha", "strategy_at_0.65"],
+    );
+    for (scale, cross) in [(1.0, flat), (100.0, skewed)] {
+        t3.row(&[
+            j::f(scale),
+            j::f(cross),
+            j::s(match plan_at(0.65, scale).strategy {
+                Strategy::DirectPairwise => "direct-pairwise",
+                Strategy::StagedBruck => "staged-bruck",
+            }),
+        ]);
+    }
+    t3.print();
+    if skewed >= flat * 0.9 {
+        eprintln!("e16: crossover did not move: flat {flat:.3}, 100x {skewed:.3}");
+        failures += 1;
+    }
+    if plan_at(0.65, 1.0).strategy != Strategy::DirectPairwise
+        || plan_at(0.65, 100.0).strategy != Strategy::StagedBruck
+    {
+        eprintln!("e16: operating point 0.65 did not flip strategies with tier scale");
+        failures += 1;
+    }
+
+    // One trajectory row so bench_check gates the P=4096 async wall time.
+    let out_path = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let async_us = async_wall * 1e6;
+    let mut latency = Map::new();
+    latency.insert("p50".into(), Json::from(async_us.round() as u64));
+    latency.insert("p99".into(), Json::from(async_us.round() as u64));
+    let mut row = Map::new();
+    row.insert("experiment".into(), Json::from("e16-scale"));
+    row.insert(
+        "unix_ms".into(),
+        Json::from(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        ),
+    );
+    row.insert(
+        "runs_per_sec".into(),
+        Json::from(if async_us > 0.0 { 1e6 / async_us } else { 0.0 }),
+    );
+    row.insert("latency_us".into(), Json::Object(latency));
+    row.insert("nprocs".into(), Json::from(NPROCS as u64));
+    row.insert(
+        "conformance_failures".into(),
+        Json::from(corpus_fail as u64),
+    );
+    match trajectory::append(Path::new(&out_path), Json::Object(row)) {
+        Ok(runs) => println!("appended run {runs} to {out_path}"),
+        Err(e) => {
+            eprintln!("e16: {e}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("e16: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("e16: ok");
+}

@@ -27,7 +27,10 @@ use xdp_compiler::passes::{
     BindCommunication, ElideAccessibleChecks, ElideSameOwnerComm, LocalizeBounds, VectorizeMessages,
 };
 use xdp_compiler::Pass;
-use xdp_core::{KernelRegistry, SimConfig, SimExec, ThreadConfig, ThreadExec, TraceConfig};
+use xdp_core::{
+    AsyncConfig, AsyncExec, KernelRegistry, SimConfig, SimExec, ThreadConfig, ThreadExec,
+    TraceConfig,
+};
 use xdp_fault::{FaultPlan, LinkFault};
 use xdp_ir::{Program, VarId};
 use xdp_runtime::Value;
@@ -79,6 +82,8 @@ impl std::fmt::Display for Divergence {
 pub struct CheckConfig {
     /// Run the threaded executor (real OS threads).
     pub thread: bool,
+    /// Run the async executor (task-per-processor over a worker pool).
+    pub async_exec: bool,
     /// Run the compiled VM backend on the simulated machine.
     pub vm: bool,
     /// Run the chaos (fault-injected) conformance check.
@@ -94,6 +99,7 @@ impl Default for CheckConfig {
     fn default() -> CheckConfig {
         CheckConfig {
             thread: true,
+            async_exec: true,
             vm: true,
             chaos: true,
             faults: None,
@@ -270,6 +276,34 @@ pub fn run_thread(p: &Arc<Program>, nprocs: usize) -> RunResult {
     .unwrap_or_else(|e| Err(panic_text(e)))
 }
 
+/// Run under the async executor (task-per-processor over a fixed worker
+/// pool; same short timeout as the threaded run).
+pub fn run_async(p: &Arc<Program>, nprocs: usize) -> RunResult {
+    let p = p.clone();
+    catch_unwind(AssertUnwindSafe(move || {
+        let decls = decl_list(&p);
+        let cfg = AsyncConfig {
+            recv_timeout: Duration::from_secs(2),
+            ..AsyncConfig::new(nprocs)
+        }
+        .with_trace(TraceConfig::full());
+        let mut exec = AsyncExec::new(p, KernelRegistry::standard(), cfg);
+        for (o, _, var) in &decls {
+            let o = *o;
+            exec.init_exclusive(*var, move |idx| init_value(o, idx));
+        }
+        let report = exec.run().map_err(|e| e.to_string())?;
+        let mut fp = Fingerprint::default();
+        for (_, name, var) in &decls {
+            fp.record_memory(name, &exec.gather(*var));
+        }
+        fp.record_trace(&report.trace);
+        fp.messages = report.net.messages;
+        Ok(fp)
+    }))
+    .unwrap_or_else(|e| Err(panic_text(e)))
+}
+
 /// Full differential check with the default configuration.
 pub fn check_program(tp: &TestProgram) -> Option<Divergence> {
     check_with(tp, &CheckConfig::default())
@@ -323,6 +357,27 @@ pub fn check_with(tp: &TestProgram, cfg: &CheckConfig) -> Option<Divergence> {
             Err(e) => {
                 return Some(Divergence::RunError {
                     stage: "thread".into(),
+                    detail: e,
+                })
+            }
+        }
+    }
+
+    // Executor conformance: async executor (memory + movement; same
+    // wall-clock caveat as threads).
+    if cfg.async_exec {
+        match run_async(&prog, tp.nprocs) {
+            Ok(fp) => {
+                if let Some(d) = conform(&base, &fp, false) {
+                    return Some(Divergence::ExecutorMismatch {
+                        backend: "async".into(),
+                        detail: d,
+                    });
+                }
+            }
+            Err(e) => {
+                return Some(Divergence::RunError {
+                    stage: "async".into(),
                     detail: e,
                 })
             }
@@ -488,6 +543,7 @@ pub fn check_chaos(tp: &TestProgram, base: &Fingerprint, plan: &FaultPlan) -> Op
 pub fn recheck_key(tp: &TestProgram, key: &str) -> Option<Divergence> {
     let cfg = CheckConfig {
         thread: key == "executor:thread" || key == "run-error:thread",
+        async_exec: key == "executor:async" || key == "run-error:async",
         vm: key == "executor:vm" || key == "run-error:vm",
         chaos: key == "chaos",
         faults: None,

@@ -77,6 +77,7 @@ impl FuzzReport {
 pub fn narrowed(check: &CheckConfig, key: &str) -> CheckConfig {
     CheckConfig {
         thread: key == "executor:thread" || key == "run-error:thread",
+        async_exec: key == "executor:async" || key == "run-error:async",
         vm: key == "executor:vm" || key == "run-error:vm",
         chaos: key == "chaos",
         faults: check.faults.clone(),
@@ -147,6 +148,7 @@ mod tests {
             // are exercised by their own tests and by `xdpc fuzz`.
             check: CheckConfig {
                 thread: false,
+                async_exec: false,
                 vm: true,
                 chaos: false,
                 faults: None,

@@ -111,6 +111,7 @@ fn clean_pipeline_yields_no_failures() {
         let tp = executable_program(seed);
         let cfg = CheckConfig {
             thread: false,
+            async_exec: false,
             vm: false,
             chaos: false,
             faults: None,

@@ -1,9 +1,11 @@
-//! Constructors wiring compiled processors onto the two machines.
+//! Constructors wiring compiled processors onto the three machines.
 
 use crate::compile::VmProgram;
 use crate::proc::VmProc;
 use std::sync::Arc;
-use xdp_core::{KernelRegistry, SimConfig, SimExec, ThreadConfig, ThreadExec};
+use xdp_core::{
+    AsyncConfig, AsyncExec, KernelRegistry, SimConfig, SimExec, ThreadConfig, ThreadExec,
+};
 use xdp_ir::Program;
 
 /// Entry points for running a program on the VM backend.
@@ -37,5 +39,19 @@ impl VmExec {
             .map(|pid| VmProc::new(prog.clone(), pid, cfg.nprocs, cfg.checked))
             .collect();
         ThreadExec::from_procs(procs, cfg)
+    }
+
+    /// Compile `program` and load it onto every processor of the async
+    /// (task-per-processor) machine.
+    pub fn tasks(
+        program: Arc<Program>,
+        kernels: KernelRegistry,
+        cfg: AsyncConfig,
+    ) -> AsyncExec<VmProc> {
+        let prog = VmProgram::compile(program, &kernels);
+        let procs = (0..cfg.nprocs)
+            .map(|pid| VmProc::new(prog.clone(), pid, cfg.nprocs, cfg.checked))
+            .collect();
+        AsyncExec::from_procs(procs, cfg)
     }
 }

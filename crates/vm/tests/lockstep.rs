@@ -182,6 +182,31 @@ fn messaging_program_identical_on_sim_machine() {
 }
 
 #[test]
+fn messaging_program_identical_on_async_machine() {
+    // The compiled bytecode on the task-per-processor machine must land in
+    // the same final memory as the interpreter on the simulator (the async
+    // machine is wall-clock, so only state is comparable).
+    let (prog, a, t) = messaging_program(3);
+    let kernels = KernelRegistry::standard();
+    let mut sim = SimExec::new(prog.clone(), kernels.clone(), SimConfig::new(3));
+    let mut tasks = VmExec::tasks(prog, kernels, xdp_core::AsyncConfig::new(3));
+    for (var, scale) in [(a, 1.0), (t, 0.0)] {
+        sim.init_exclusive(var, move |idx| Value::F64(idx[0] as f64 * scale));
+        tasks.init_exclusive(var, move |idx| Value::F64(idx[0] as f64 * scale));
+    }
+    sim.run().unwrap();
+    tasks.run().unwrap();
+    assert_eq!(
+        format!("{:?}", sim.gather(a)),
+        format!("{:?}", tasks.gather(a))
+    );
+    assert_eq!(
+        format!("{:?}", sim.gather(t)),
+        format!("{:?}", tasks.gather(t))
+    );
+}
+
+#[test]
 fn redistribute_program_identical_on_sim_machine() {
     let nprocs = 4;
     let grid = ProcGrid::linear(nprocs);

@@ -942,6 +942,7 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
         },
         check: xdp_verify::CheckConfig {
             thread: !sim_only,
+            async_exec: !sim_only,
             // The VM oracle runs on the simulated machine, so it stays on
             // even under --sim-only: it is exactly as deterministic and
             // nearly as cheap as the lockstep oracle.
@@ -988,7 +989,7 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
         if sim_only {
             "sim+lockstep+vm".to_string()
         } else {
-            "sim+lockstep+vm+thread".to_string()
+            "sim+lockstep+vm+thread+async".to_string()
         },
         if sim_only { "" } else { " + chaos" },
     );

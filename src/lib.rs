@@ -94,8 +94,8 @@ pub mod prelude {
         lower_owner_computes, FrontendOptions, Pass, PassManager, PassResult, SeqProgram, SeqStmt,
     };
     pub use xdp_core::{
-        ExecReport, Gathered, Kernel, KernelRegistry, RtError, SimConfig, SimExec, ThreadConfig,
-        ThreadExec,
+        AsyncConfig, AsyncExec, ExecReport, Gathered, Kernel, KernelRegistry, RtError, SimConfig,
+        SimExec, ThreadConfig, ThreadExec,
     };
     pub use xdp_fault::{FaultPlan, FaultStats, LinkFault};
     pub use xdp_ir::build;
@@ -103,7 +103,9 @@ pub mod prelude {
         Block, BoolExpr, Decl, DimDist, Distribution, ElemExpr, ElemType, IntExpr, Ownership,
         ProcGrid, Program, Section, SectionRef, Stmt, TransferKind, Triplet, VarId,
     };
-    pub use xdp_machine::{CostModel, NetStats, SimNet, ThreadNet, Topology};
+    pub use xdp_machine::{
+        CostModel, Link, NetStats, SimNet, ThreadNet, Tier, Topology, TopologyError,
+    };
     pub use xdp_place::{PlaceOptions, Placed, Placement};
     pub use xdp_runtime::{Buffer, Complex, RtSymbolTable, SegStatus, Value};
     pub use xdp_trace::{

@@ -1,13 +1,16 @@
 //! Chaos conformance: every XDP program must produce bit-identical results
 //! under injected transport faults (drops, duplicates, reordering, delays)
-//! to its fault-free execution, on both the virtual-time simulator and the
-//! threaded machine — the ack/retry delivery layer makes faults invisible
-//! to program semantics. Permanently lost messages must be *diagnosed* as
-//! lost, never reported as a deadlock or silent timeout.
+//! to its fault-free execution, on the virtual-time simulator, the
+//! threaded machine, and the async task-per-processor machine — the
+//! ack/retry delivery layer makes faults invisible to program semantics.
+//! Permanently lost messages must be *diagnosed* as lost, never reported
+//! as a deadlock or silent timeout. The async machine additionally runs
+//! the suite at P=1024, far past thread-per-processor territory.
 
 use std::sync::Arc;
 use xdp::prelude::*;
 use xdp_apps::fft3d::{Fft3dConfig, Stage};
+use xdp_ir::CmpOp;
 
 /// The standard chaos plan for these tests: every fault class enabled,
 /// drop rate at the acceptance bar (10%).
@@ -48,6 +51,18 @@ fn init_sim(exec: &mut SimExec, decls: &[Decl]) {
 }
 
 fn init_thr(exec: &mut ThreadExec, decls: &[Decl]) {
+    for (i, d) in decls.iter().enumerate() {
+        if d.is_exclusive() {
+            let full = Section::new(d.bounds.clone());
+            let elem = d.elem;
+            exec.init_exclusive(VarId(i as u32), move |idx| {
+                init_value(elem, full.ordinal_of(idx).unwrap_or(0))
+            });
+        }
+    }
+}
+
+fn init_tasks(exec: &mut AsyncExec, decls: &[Decl]) {
     for (i, d) in decls.iter().enumerate() {
         if d.is_exclusive() {
             let full = Section::new(d.bounds.clone());
@@ -100,6 +115,28 @@ fn thr_state(
     );
     init_thr(&mut exec, &decls);
     exec.run().expect("threaded run");
+    decls
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_exclusive())
+        .map(|(i, _)| exec.gather(VarId(i as u32)).values)
+        .collect()
+}
+
+fn tasks_state(
+    program: &Program,
+    kernels: KernelRegistry,
+    nprocs: usize,
+    faults: FaultPlan,
+) -> State {
+    let decls = program.decls.clone();
+    let mut exec = AsyncExec::new(
+        Arc::new(program.clone()),
+        kernels,
+        AsyncConfig::new(nprocs).with_faults(faults),
+    );
+    init_tasks(&mut exec, &decls);
+    exec.run().expect("async run");
     decls
         .iter()
         .enumerate()
@@ -180,6 +217,88 @@ fn threads_chaos_is_bit_identical() {
 }
 
 #[test]
+fn tasks_chaos_is_bit_identical() {
+    for (label, program, kernels, nprocs) in apps() {
+        let clean = tasks_state(&program, kernels(), nprocs, FaultPlan::none());
+        let faulty = tasks_state(&program, kernels(), nprocs, chaos(31));
+        assert_eq!(clean, faulty, "{label}: chaos changed the result");
+        // And the async machine agrees with the simulator on every app.
+        let (sim, _) = sim_state(&program, kernels(), nprocs, FaultPlan::none(), false);
+        assert_eq!(sim, clean, "{label}: async diverged from the simulator");
+    }
+}
+
+/// A neighbour ring exchange with O(1) statements per processor: pid p
+/// (except the last) sends its element of T; pid p (except the first)
+/// receives the value of its left neighbour's element into U. Scales to
+/// thousands of processors on the async machine.
+fn ring_exchange(nprocs: usize) -> Program {
+    let n = nprocs as i64;
+    let grid = ProcGrid::linear(nprocs);
+    let mut p = Program::new();
+    let t = p.declare(build::array(
+        "T",
+        ElemType::F64,
+        vec![(0, n - 1)],
+        vec![DimDist::Block],
+        grid.clone(),
+    ));
+    let u = p.declare(build::array(
+        "U",
+        ElemType::F64,
+        vec![(0, n - 1)],
+        vec![DimDist::Block],
+        grid,
+    ));
+    let tm = build::sref(t, vec![build::at(build::mypid())]);
+    let tprev = build::sref(t, vec![build::at(build::mypid().sub(build::c(1)))]);
+    let um = build::sref(u, vec![build::at(build::mypid())]);
+    p.body = vec![
+        build::guarded(
+            build::cmp(CmpOp::Lt, build::mypid(), build::c(n - 1)),
+            vec![build::send(tm)],
+        ),
+        build::guarded(
+            build::cmp(CmpOp::Gt, build::mypid(), build::c(0)),
+            vec![
+                build::recv_val(um.clone(), tprev),
+                build::guarded(build::await_(um), vec![]),
+            ],
+        ),
+    ];
+    p
+}
+
+#[test]
+fn tasks_chaos_at_p1024_matches_the_simulator() {
+    let nprocs = 1024;
+    let program = ring_exchange(nprocs);
+    let (sim, report) = sim_state(
+        &program,
+        KernelRegistry::standard(),
+        nprocs,
+        FaultPlan::none(),
+        false,
+    );
+    assert_eq!(
+        report.net.messages,
+        nprocs as u64 - 1,
+        "one message per ring edge"
+    );
+    let clean = tasks_state(
+        &program,
+        KernelRegistry::standard(),
+        nprocs,
+        FaultPlan::none(),
+    );
+    assert_eq!(sim, clean, "async P=1024 diverged from the simulator");
+    let mut plan = chaos(47);
+    plan.rto = 5_000.0; // µs: the async machine's clock is wall time
+    let faulty = tasks_state(&program, KernelRegistry::standard(), nprocs, plan);
+    assert_eq!(clean, faulty, "chaos changed the result at P=1024");
+}
+
+#[test]
 fn sim_permanent_loss_is_diagnosed() {
     let (program, _) = xdp_apps::matvec::build_matvec(8, 4);
     let mut plan = FaultPlan::none();
@@ -215,6 +334,28 @@ fn threads_permanent_loss_is_diagnosed() {
         ThreadConfig::new(4).with_faults(plan),
     );
     init_thr(&mut exec, &decls);
+    match exec.run() {
+        Err(RtError::MessageLost(d)) => {
+            assert!(d.contains("permanently lost"), "{d}");
+        }
+        other => panic!("want MessageLost, got {other:?}"),
+    }
+}
+
+#[test]
+fn tasks_permanent_loss_is_diagnosed() {
+    let (program, _) = xdp_apps::matvec::build_matvec(8, 4);
+    let mut plan = FaultPlan::none();
+    plan.kill.push((0, 1));
+    plan.rto = 2_000.0; // µs
+    plan.max_retries = 2;
+    let decls = program.decls.clone();
+    let mut exec = AsyncExec::new(
+        Arc::new(program),
+        xdp_apps::matvec::matvec_kernels(),
+        AsyncConfig::new(4).with_faults(plan),
+    );
+    init_tasks(&mut exec, &decls);
     match exec.run() {
         Err(RtError::MessageLost(d)) => {
             assert!(d.contains("permanently lost"), "{d}");

@@ -283,7 +283,7 @@ fn fuzz_smoke_passes_and_reports_oracles() {
     let (stdout, stderr, code) = xdpc_code(&["fuzz", "--count", "5", "--seed", "7"]);
     assert_eq!(code, 0, "{stdout}{stderr}");
     assert!(stdout.contains("ok: 5 programs"), "{stdout}");
-    assert!(stdout.contains("sim+lockstep+vm+thread"), "{stdout}");
+    assert!(stdout.contains("sim+lockstep+vm+thread+async"), "{stdout}");
     assert!(stdout.contains("per-pass equivalence"), "{stdout}");
 }
 
