@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 e14 e15 e16 fuzz serve stats
+.PHONY: all test bench experiments examples lint doc clean e10 e11 e12 e13 e14 e15 e16 e17 fuzz serve stats
 
 all: test
 
@@ -36,6 +36,8 @@ experiments:
 	@cargo run -q --release -p xdp-verify --bin e15_vm
 	@echo "==== e16_scale ===="
 	@cargo run -q --release -p xdp-verify --bin e16_scale
+	@echo "==== e17_membound ===="
+	@cargo run -q --release -p xdp-verify --bin e17_membound
 	@echo "==== bench_check ===="
 	@cargo run -q --release -p xdp-bench --bin bench_check
 
@@ -75,6 +77,15 @@ e15:
 # asymmetry. Gates the appended trajectory row.
 e16:
 	cargo run -q --release -p xdp-verify --bin e16_scale
+	cargo run -q --release -p xdp-bench --bin bench_check
+
+# The memory-bounded redistribution experiment on its own
+# (EXPERIMENTS.md E17): the transpose Pareto frontier at P=64-1024,
+# measured high-water marks under budgets on the interpreter and VM,
+# and the membound.xdp dynamic-slice chain leg. Writes the frontier
+# sweep to membound-pareto.json and gates the appended trajectory row.
+e17:
+	cargo run -q --release -p xdp-verify --bin e17_membound
 	cargo run -q --release -p xdp-bench --bin bench_check
 
 # A longer differential fuzz sweep via the CLI (CI runs --count 200).

@@ -49,6 +49,19 @@ pub struct Piece {
 pub enum Strategy {
     DirectPairwise,
     StagedBruck,
+    /// Single-shot all-to-all: every piece in one round. Fastest, and the
+    /// memory-hungriest — every processor stages all its traffic at once.
+    AllToAll,
+    /// Allgather-then-slice: every source replicates its whole moving set
+    /// to every other processor, which slices out what it owns. Priced for
+    /// the frontier only (it sends data to non-owners, so it cannot be
+    /// lowered to ownership-transferring IL+XDP statements).
+    AllGatherSlice,
+    /// K-round dynamic-slice chain: each piece is cut into `K` slices
+    /// along its longest axis and round `k` carries slice `k` directly to
+    /// its destination — `K` rounds trade per-message overhead for a
+    /// roughly `K`-fold smaller per-round staging footprint.
+    DynamicSlice(usize),
 }
 
 impl fmt::Display for Strategy {
@@ -56,9 +69,56 @@ impl fmt::Display for Strategy {
         match self {
             Strategy::DirectPairwise => write!(f, "direct-pairwise"),
             Strategy::StagedBruck => write!(f, "staged-bruck"),
+            Strategy::AllToAll => write!(f, "all-to-all"),
+            Strategy::AllGatherSlice => write!(f, "allgather-slice"),
+            Strategy::DynamicSlice(k) => write!(f, "dynamic-slice-{k}"),
         }
     }
 }
+
+/// One point of the time/memory trade-off the planner enumerated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrontierPoint {
+    pub strategy: Strategy,
+    /// Predicted completion time under the planning model.
+    pub predicted: f64,
+    /// Per-processor peak live-buffer bytes of this decomposition under
+    /// its execution discipline (stepped for budgeted plans, flat
+    /// otherwise).
+    pub peak_bytes: u64,
+    /// Is this the plan [`plan`] selected?
+    pub chosen: bool,
+}
+
+/// Why budgeted planning failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanError {
+    /// No enumerated decomposition's peak fits the caller's budget; the
+    /// error names the smallest budget that would have been feasible.
+    NoPlanFits {
+        var: VarId,
+        budget: u64,
+        smallest_feasible: u64,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoPlanFits {
+                var,
+                budget,
+                smallest_feasible,
+            } => write!(
+                f,
+                "no redistribution plan for {var:?} fits mem budget {budget} B \
+                 (smallest feasible budget: {smallest_feasible} B)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A chosen redistribution plan, with the costs of the rejected
 /// alternatives for reporting.
@@ -73,6 +133,17 @@ pub struct RedistPlan {
     pub alternatives: Vec<(Strategy, f64)>,
     /// Elements that change owners (elements staying put move no bytes).
     pub moved_elems: i64,
+    /// Per-processor peak live-buffer bytes the chosen schedule needs:
+    /// the stepped (round-synchronized) peak when the plan was budgeted,
+    /// the flat (all-rounds-live) bound otherwise.
+    pub peak_bytes: u64,
+    /// Budgeted plans lower round-synchronized (per-round awaits bound
+    /// the footprint); unbudgeted plans keep the historical pre-post-
+    /// everything lowering.
+    pub synchronized: bool,
+    /// The dominated-free time/memory Pareto frontier of every
+    /// decomposition enumerated, sorted by predicted time.
+    pub frontier: Vec<FrontierPoint>,
 }
 
 /// Intersect the two ownership maps: every (src-owner, dst-owner) pair of
@@ -182,12 +253,296 @@ fn staged_schedule(var: VarId, nprocs: usize, pieces: &[Piece], elem_bytes: u64)
     s
 }
 
+/// Single-shot all-to-all: every piece travels in one round. Minimal
+/// rounds and per-message overhead serialization, maximal footprint —
+/// every processor stages its entire send and receive traffic at once.
+fn alltoall_schedule(var: VarId, nprocs: usize, pieces: &[Piece], elem_bytes: u64) -> CommSchedule {
+    let mut s = CommSchedule::new(nprocs);
+    let mut round = Round::default();
+    for (salt, pc) in pieces.iter().enumerate() {
+        round.transfers.push(Transfer::new(
+            pc.src,
+            pc.dst,
+            var,
+            vec![pc.sec.clone()],
+            salt as i64 + 1,
+            elem_bytes,
+        ));
+    }
+    s.push_round(round);
+    s
+}
+
+/// Allgather-then-slice: every source replicates its whole moving set to
+/// every other processor in one round; receivers slice locally. Priced
+/// for the frontier only — it ships data to processors that will never
+/// own it, so it has no ownership-transferring IL+XDP lowering.
+fn allgather_schedule(
+    var: VarId,
+    nprocs: usize,
+    pieces: &[Piece],
+    elem_bytes: u64,
+) -> CommSchedule {
+    let mut by_src: BTreeMap<usize, Vec<Section>> = BTreeMap::new();
+    for pc in pieces {
+        by_src.entry(pc.src).or_default().push(pc.sec.clone());
+    }
+    let mut s = CommSchedule::new(nprocs);
+    let mut round = Round::default();
+    let mut salt = 0;
+    for (src, secs) in by_src {
+        for dst in 0..nprocs {
+            if dst == src {
+                continue;
+            }
+            salt += 1;
+            round
+                .transfers
+                .push(Transfer::new(src, dst, var, secs.clone(), salt, elem_bytes));
+        }
+    }
+    s.push_round(round);
+    s
+}
+
+/// How many segment-aligned cut units axis `d` of `sec` offers, and the
+/// element step of one unit. Stride-1 axes may only be cut on segment
+/// tile edges (the runtime rejects ownership transfers that split a
+/// segment); strided axes come from strided ownership, which forces
+/// per-element segments, so any cut is aligned there.
+fn axis_units(sec: &Section, tiles: &[i64], d: usize) -> (i64, i64) {
+    let t = sec.dim(d);
+    let n = t.count();
+    if t.st != 1 {
+        return (n, 1);
+    }
+    let tile = tiles.get(d).copied().unwrap_or(1).max(1);
+    if n % tile == 0 {
+        (n / tile, tile)
+    } else {
+        // Piece boundaries always fall on tile edges by construction;
+        // if not, refuse to cut this axis rather than split a segment.
+        (1, n)
+    }
+}
+
+/// Cut `sec` into `k` even segment-aligned slices along its most
+/// divisible axis and return slice `chunk` (`None` when the cut units
+/// ran out before `chunk`).
+fn slice_section(sec: &Section, tiles: &[i64], k: usize, chunk: usize) -> Option<Section> {
+    let axis = (0..sec.rank()).max_by_key(|&d| axis_units(sec, tiles, d).0)?;
+    let t = sec.dim(axis);
+    let (units, step) = axis_units(sec, tiles, axis);
+    let start = (units * chunk as i64) / k as i64;
+    let end = (units * (chunk as i64 + 1)) / k as i64;
+    if start >= end {
+        return None;
+    }
+    let lb = t.lb + start * step * t.st;
+    let ub = t.lb + (end * step - 1) * t.st;
+    let dims = (0..sec.rank())
+        .map(|d| {
+            if d == axis {
+                Triplet::new(lb, ub, t.st)
+            } else {
+                sec.dim(d)
+            }
+        })
+        .collect();
+    Some(Section::new(dims))
+}
+
+/// K-round dynamic-slice chain: round `j` carries slice `j` of every
+/// piece straight from source to destination. Every transfer is a single
+/// section, so the chain lowers to IL+XDP like the direct plan.
+fn dynamic_slice_schedule(
+    var: VarId,
+    nprocs: usize,
+    pieces: &[Piece],
+    elem_bytes: u64,
+    tiles: &[i64],
+    k: usize,
+) -> CommSchedule {
+    let mut s = CommSchedule::new(nprocs);
+    let mut salt = 0;
+    for chunk in 0..k {
+        let mut round = Round::default();
+        for pc in pieces {
+            if let Some(sec) = slice_section(&pc.sec, tiles, k, chunk) {
+                salt += 1;
+                round.transfers.push(Transfer::new(
+                    pc.src,
+                    pc.dst,
+                    var,
+                    vec![sec],
+                    salt,
+                    elem_bytes,
+                ));
+            }
+        }
+        // Unsliceable pieces (single-segment) land whole in their last
+        // chunk; dropping the empty rounds makes "did the chain actually
+        // cut anything" visible as rounds.len() > 1.
+        if !round.transfers.is_empty() {
+            s.push_round(round);
+        }
+    }
+    s
+}
+
+/// One enumerated decomposition, priced on both axes.
+struct Candidate {
+    strategy: Strategy,
+    schedule: CommSchedule,
+    predicted: f64,
+    /// Peak under the discipline the candidate would execute with.
+    peak: u64,
+    /// May this candidate be *chosen* (lowerable under the caller's
+    /// constraints), as opposed to only priced for the frontier?
+    selectable: bool,
+}
+
+/// The slice counts the dynamic-slice chain enumeration tries.
+const DYNAMIC_SLICE_KS: [usize; 3] = [2, 4, 8];
+
+/// Skip the allgather-slice frontier point past this `pieces x procs`
+/// product: its schedule materializes O(pieces x P) sections, which at
+/// large machine sizes costs gigabytes to price a candidate that can
+/// never be selected (it is frontier-only).
+const ALLGATHER_ENUM_CAP: usize = 1 << 18;
+
+/// Enumerate the decomposition catalog. `full` adds the memory-sensitive
+/// decompositions (all-to-all, allgather-slice, dynamic-slice chains) to
+/// the two historical candidates; `synced` prices peaks for
+/// round-synchronized execution (budgeted lowering), otherwise for the
+/// historical pre-post-everything lowering.
+#[allow(clippy::too_many_arguments)]
+fn catalog(
+    var: VarId,
+    nprocs: usize,
+    moving: &[Piece],
+    elem_bytes: u64,
+    model: &CostModel,
+    topo: &Topology,
+    tiles: &[i64],
+    require_single_sections: bool,
+    full: bool,
+    synced: bool,
+) -> Vec<Candidate> {
+    let peak_of = |sch: &CommSchedule| {
+        if synced {
+            sch.synced_peak_bytes()
+        } else {
+            sch.flat_peak_bytes()
+        }
+    };
+    let mut out = Vec::new();
+    let mut push = |strategy: Strategy, schedule: CommSchedule, selectable: bool| {
+        let predicted = schedule.predicted_cost(model, topo);
+        let peak = peak_of(&schedule);
+        out.push(Candidate {
+            strategy,
+            schedule,
+            predicted,
+            peak,
+            selectable,
+        });
+    };
+    push(
+        Strategy::DirectPairwise,
+        direct_schedule(var, nprocs, moving, elem_bytes),
+        true,
+    );
+    if nprocs > 2 && !moving.is_empty() {
+        let staged = staged_schedule(var, nprocs, moving, elem_bytes);
+        if !require_single_sections || staged.transfers().all(|t| t.secs.len() == 1) {
+            push(Strategy::StagedBruck, staged, true);
+        }
+    }
+    if full && !moving.is_empty() {
+        push(
+            Strategy::AllToAll,
+            alltoall_schedule(var, nprocs, moving, elem_bytes),
+            true,
+        );
+        for k in DYNAMIC_SLICE_KS {
+            let sch = dynamic_slice_schedule(var, nprocs, moving, elem_bytes, tiles, k);
+            if sch.rounds.len() > 1 {
+                push(Strategy::DynamicSlice(k), sch, true);
+            }
+        }
+        if moving.len().saturating_mul(nprocs) <= ALLGATHER_ENUM_CAP {
+            push(
+                Strategy::AllGatherSlice,
+                allgather_schedule(var, nprocs, moving, elem_bytes),
+                false,
+            );
+        }
+    }
+    out
+}
+
+/// The dominated-free time/memory frontier of a candidate set, sorted by
+/// predicted time (a point survives unless another point is at least as
+/// good on both axes and strictly better on one).
+fn pareto_frontier(cands: &[Candidate], chosen: Option<Strategy>) -> Vec<FrontierPoint> {
+    let mut pts: Vec<FrontierPoint> = cands
+        .iter()
+        .filter(|c| {
+            !cands.iter().any(|o| {
+                (o.predicted <= c.predicted && o.peak < c.peak)
+                    || (o.predicted < c.predicted && o.peak <= c.peak)
+            })
+        })
+        .map(|c| FrontierPoint {
+            strategy: c.strategy,
+            predicted: c.predicted,
+            peak_bytes: c.peak,
+            chosen: chosen == Some(c.strategy),
+        })
+        .collect();
+    pts.sort_by(|a, b| a.predicted.partial_cmp(&b.predicted).unwrap());
+    pts.dedup_by_key(|p| p.strategy);
+    pts
+}
+
+fn assemble(
+    var: VarId,
+    moved_elems: i64,
+    mut cands: Vec<Candidate>,
+    best: usize,
+    synchronized: bool,
+) -> RedistPlan {
+    let alternatives: Vec<(Strategy, f64)> =
+        cands.iter().map(|c| (c.strategy, c.predicted)).collect();
+    let frontier = pareto_frontier(&cands, Some(cands[best].strategy));
+    let c = cands.swap_remove(best);
+    RedistPlan {
+        var,
+        strategy: c.strategy,
+        predicted: c.predicted,
+        schedule: c.schedule,
+        alternatives,
+        moved_elems,
+        peak_bytes: c.peak,
+        synchronized,
+        frontier,
+    }
+}
+
 /// Plan the redistribution of `var[bounds]` from `src` to `dst`.
 ///
 /// `require_single_sections` restricts the choice to plans whose every
 /// message carries one contiguous-or-strided section — required when the
 /// plan will be lowered to IL+XDP transfer statements (one section per
 /// send), not when it is executed as a packed schedule.
+///
+/// With `model.mem_budget == None` this reproduces the historical
+/// time-optimal choice between the direct and staged schedules exactly.
+/// With a budget set it enumerates the full decomposition catalog and
+/// picks the fastest plan whose round-synchronized peak fits; when
+/// nothing fits it falls back to the smallest-peak plan (executors must
+/// stay total — use [`try_plan`] to surface the failure instead).
 #[allow(clippy::too_many_arguments)]
 pub fn plan(
     var: VarId,
@@ -199,6 +554,54 @@ pub fn plan(
     topo: &Topology,
     require_single_sections: bool,
 ) -> RedistPlan {
+    match try_plan(
+        var,
+        bounds,
+        elem_bytes,
+        src,
+        dst,
+        model,
+        topo,
+        require_single_sections,
+    ) {
+        Ok(p) => p,
+        Err(PlanError::NoPlanFits {
+            smallest_feasible, ..
+        }) => {
+            // Nothing fits: degrade to the smallest-peak plan rather than
+            // fail the run.
+            let relaxed = CostModel {
+                mem_budget: Some(smallest_feasible),
+                ..*model
+            };
+            try_plan(
+                var,
+                bounds,
+                elem_bytes,
+                src,
+                dst,
+                &relaxed,
+                topo,
+                require_single_sections,
+            )
+            .expect("smallest feasible budget must fit")
+        }
+    }
+}
+
+/// [`plan`], but a budget that no enumerated decomposition fits is an
+/// error naming the smallest feasible budget.
+#[allow(clippy::too_many_arguments)]
+pub fn try_plan(
+    var: VarId,
+    bounds: &[Triplet],
+    elem_bytes: u64,
+    src: &Distribution,
+    dst: &Distribution,
+    model: &CostModel,
+    topo: &Topology,
+    require_single_sections: bool,
+) -> Result<RedistPlan, PlanError> {
     let nprocs = src.nprocs();
     let moving: Vec<Piece> = redistribution_pieces(bounds, src, dst)
         .into_iter()
@@ -206,35 +609,63 @@ pub fn plan(
         .collect();
     let moved_elems: i64 = moving.iter().map(|p| p.sec.volume()).sum();
 
-    let mut candidates = vec![(
-        Strategy::DirectPairwise,
-        direct_schedule(var, nprocs, &moving, elem_bytes),
-    )];
-    if nprocs > 2 && !moving.is_empty() {
-        let staged = staged_schedule(var, nprocs, &moving, elem_bytes);
-        if !require_single_sections || staged.transfers().all(|t| t.secs.len() == 1) {
-            candidates.push((Strategy::StagedBruck, staged));
-        }
-    }
+    let tiles = compatible_segment_shape(bounds, &[src, dst]);
 
-    let alternatives: Vec<(Strategy, f64)> = candidates
-        .iter()
-        .map(|(st, sch)| (*st, sch.predicted_cost(model, topo)))
-        .collect();
-    let best = alternatives
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).unwrap())
-        .map(|(i, _)| i)
-        .unwrap();
-    let (strategy, schedule) = candidates.swap_remove(best);
-    RedistPlan {
-        var,
-        strategy,
-        predicted: alternatives[best].1,
-        schedule,
-        alternatives,
-        moved_elems,
+    match model.mem_budget {
+        None => {
+            let cands = catalog(
+                var,
+                nprocs,
+                &moving,
+                elem_bytes,
+                model,
+                topo,
+                &tiles,
+                require_single_sections,
+                false,
+                false,
+            );
+            let best = cands
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.predicted.partial_cmp(&b.predicted).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            Ok(assemble(var, moved_elems, cands, best, false))
+        }
+        Some(budget) => {
+            let cands = catalog(
+                var,
+                nprocs,
+                &moving,
+                elem_bytes,
+                model,
+                topo,
+                &tiles,
+                require_single_sections,
+                true,
+                true,
+            );
+            let best = cands
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.selectable && c.peak <= budget)
+                .min_by(|(_, a), (_, b)| a.predicted.partial_cmp(&b.predicted).unwrap())
+                .map(|(i, _)| i);
+            match best {
+                Some(i) => Ok(assemble(var, moved_elems, cands, i, true)),
+                None => Err(PlanError::NoPlanFits {
+                    var,
+                    budget,
+                    smallest_feasible: cands
+                        .iter()
+                        .filter(|c| c.selectable)
+                        .map(|c| c.peak)
+                        .min()
+                        .unwrap_or(0),
+                }),
+            }
+        }
     }
 }
 
@@ -259,6 +690,9 @@ fn const_sref(var: VarId, sec: &Section) -> SectionRef {
 /// landed. Tags are salted `salt_base + transfer-ordinal`, so concurrent
 /// redistributions of one variable cannot cross-match.
 pub fn lower_redistribute_for_pid(plan: &RedistPlan, pid: usize, salt_base: i64) -> Vec<Stmt> {
+    if plan.synchronized {
+        return lower_rounds_for_pid(plan, pid, salt_base);
+    }
     let var = plan.var;
     let mut out = Vec::new();
     let mut awaits = Vec::new();
@@ -291,6 +725,48 @@ pub fn lower_redistribute_for_pid(plan: &RedistPlan, pid: usize, salt_base: i64)
         }
     }
     out.extend(awaits);
+    out
+}
+
+/// Round-synchronized lowering for budgeted plans: each round posts its
+/// receives, issues its sends, then awaits its arrivals before the next
+/// round begins, so at most one round of staging (plus early next-round
+/// arrivals, which the planner's stepped peak already charges) is live
+/// per processor — the footprint bound the budget was checked against.
+fn lower_rounds_for_pid(plan: &RedistPlan, pid: usize, salt_base: i64) -> Vec<Stmt> {
+    let var = plan.var;
+    let mut out = Vec::new();
+    for round in &plan.schedule.rounds {
+        let mut awaits = Vec::new();
+        for t in &round.transfers {
+            if t.dst == pid && !t.is_local() {
+                assert_eq!(t.secs.len(), 1, "IR lowering requires single-section plans");
+                let target = const_sref(var, &t.recv_secs[0]);
+                out.push(Stmt::Recv {
+                    target: target.clone(),
+                    kind: TransferKind::OwnershipValue,
+                    name: None,
+                    salt: Some(IntExpr::Const(salt_base + t.salt)),
+                });
+                awaits.push(Stmt::Guarded {
+                    rule: BoolExpr::Await(target),
+                    body: vec![],
+                });
+            }
+        }
+        for t in &round.transfers {
+            if t.src == pid && !t.is_local() {
+                assert_eq!(t.secs.len(), 1, "IR lowering requires single-section plans");
+                out.push(Stmt::Send {
+                    sec: const_sref(var, &t.secs[0]),
+                    kind: TransferKind::OwnershipValue,
+                    dest: DestSet::Pids(vec![IntExpr::Const(t.dst as i64)]),
+                    salt: Some(IntExpr::Const(salt_base + t.salt)),
+                });
+            }
+        }
+        out.extend(awaits);
+    }
     out
 }
 
@@ -509,6 +985,103 @@ mod tests {
         assert_eq!(direct.alternatives.len(), 2);
         assert!(staged.predicted < staged.alternatives[0].1);
         assert_eq!(direct.moved_elems, staged.moved_elems);
+    }
+
+    #[test]
+    fn budgeted_plan_fits_and_infeasible_names_smallest() {
+        let bounds = [Triplet::range(1, 32), Triplet::range(1, 32)];
+        let src = Distribution::new(vec![DimDist::Star, DimDist::Block], ProcGrid::linear(4));
+        let dst = Distribution::new(vec![DimDist::Block, DimDist::Star], ProcGrid::linear(4));
+        let model = CostModel::default_1993();
+        let topo = Topology::Uniform;
+        let free = plan(V, &bounds, 8, &src, &dst, &model, &topo, true);
+        assert!(!free.synchronized);
+        assert!(free.peak_bytes > 0);
+        assert!(!free.frontier.is_empty());
+
+        // A budget at half the unbounded footprint forces a slimmer plan
+        // that still fits it.
+        let tight = model.with_mem_budget(free.peak_bytes / 2);
+        let p = try_plan(V, &bounds, 8, &src, &dst, &tight, &topo, true).unwrap();
+        assert!(p.synchronized);
+        assert!(
+            p.peak_bytes <= free.peak_bytes / 2,
+            "{} > {}",
+            p.peak_bytes,
+            free.peak_bytes / 2
+        );
+        assert!(p.frontier.iter().any(|f| f.chosen));
+
+        // An impossible budget errors, naming the smallest feasible one —
+        // which then succeeds.
+        let e = try_plan(
+            V,
+            &bounds,
+            8,
+            &src,
+            &dst,
+            &model.with_mem_budget(1),
+            &topo,
+            true,
+        )
+        .unwrap_err();
+        let PlanError::NoPlanFits {
+            smallest_feasible, ..
+        } = e;
+        assert!(smallest_feasible > 1);
+        let relaxed = model.with_mem_budget(smallest_feasible);
+        let fallback = try_plan(V, &bounds, 8, &src, &dst, &relaxed, &topo, true).unwrap();
+        assert!(fallback.peak_bytes <= smallest_feasible);
+        // The infallible entry point degrades to that same smallest-peak
+        // plan instead of failing.
+        let degraded = plan(
+            V,
+            &bounds,
+            8,
+            &src,
+            &dst,
+            &model.with_mem_budget(1),
+            &topo,
+            true,
+        );
+        assert_eq!(degraded.peak_bytes, fallback.peak_bytes);
+    }
+
+    #[test]
+    fn frontier_is_dominated_free_and_budget_none_is_unchanged() {
+        let bounds = [Triplet::range(1, 64)];
+        let model = CostModel::default_1993();
+        let free = plan(
+            V,
+            &bounds,
+            8,
+            &block(8),
+            &cyclic(8),
+            &model,
+            &Topology::Uniform,
+            false,
+        );
+        // Unbudgeted planning still only weighs the two historical
+        // candidates.
+        assert_eq!(free.alternatives.len(), 2);
+        let budgeted = plan(
+            V,
+            &bounds,
+            8,
+            &block(8),
+            &cyclic(8),
+            &model.with_mem_budget(u64::MAX),
+            &Topology::Uniform,
+            false,
+        );
+        assert!(budgeted.alternatives.len() > 2, "full catalog enumerated");
+        for a in &budgeted.frontier {
+            for b in &budgeted.frontier {
+                let dominates = (a.predicted <= b.predicted && a.peak_bytes < b.peak_bytes)
+                    || (a.predicted < b.predicted && a.peak_bytes <= b.peak_bytes);
+                assert!(!dominates, "{:?} dominates {:?}", a.strategy, b.strategy);
+            }
+        }
     }
 
     #[test]

@@ -126,6 +126,84 @@ impl CommSchedule {
             .sum()
     }
 
+    /// Exact per-round live-buffer footprint: `footprint[r][p]` is the
+    /// number of staging bytes processor `p` holds while round `r` is in
+    /// flight — send staging for every transfer it sources plus receive
+    /// staging for every transfer it sinks (a local permutation step
+    /// counts once: the copy is staged on its one processor).
+    pub fn round_footprints(&self) -> Vec<Vec<u64>> {
+        self.rounds
+            .iter()
+            .map(|round| {
+                let mut fp = vec![0u64; self.nprocs];
+                for t in &round.transfers {
+                    fp[t.src] += t.bytes;
+                    if !t.is_local() {
+                        fp[t.dst] += t.bytes;
+                    }
+                }
+                fp
+            })
+            .collect()
+    }
+
+    /// Peak live-buffer bytes on any single processor when rounds execute
+    /// one at a time (round-synchronized execution): the maximum over
+    /// rounds and processors of [`CommSchedule::round_footprints`].
+    pub fn peak_bytes(&self) -> u64 {
+        self.round_footprints()
+            .iter()
+            .flat_map(|fp| fp.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Conservative peak for round-synchronized lowering. Per-round
+    /// awaits keep a processor at most one round ahead of its peers, but
+    /// a fast peer may already have sent round `r+1` traffic while this
+    /// processor's round-`r` staging is still live — so charge each
+    /// round's full footprint plus the *next* round's receive staging,
+    /// maximized over rounds and processors.
+    pub fn synced_peak_bytes(&self) -> u64 {
+        let fp = self.round_footprints();
+        let recv_fp: Vec<Vec<u64>> = self
+            .rounds
+            .iter()
+            .map(|round| {
+                let mut r = vec![0u64; self.nprocs];
+                for t in &round.transfers {
+                    if !t.is_local() {
+                        r[t.dst] += t.bytes;
+                    }
+                }
+                r
+            })
+            .collect();
+        let mut peak = 0u64;
+        for (r, round_fp) in fp.iter().enumerate() {
+            for (p, &live) in round_fp.iter().enumerate() {
+                let next = recv_fp.get(r + 1).map_or(0, |v| v[p]);
+                peak = peak.max(live + next);
+            }
+        }
+        peak
+    }
+
+    /// Peak live-buffer bytes on any single processor when *all* rounds
+    /// may be in flight at once (the historical lowering pre-posts every
+    /// receive and issues every send before the first await, so nothing
+    /// bounds cross-round overlap): per processor, the sum over rounds of
+    /// its footprint, maximized over processors.
+    pub fn flat_peak_bytes(&self) -> u64 {
+        let mut total = vec![0u64; self.nprocs];
+        for fp in self.round_footprints() {
+            for (p, b) in fp.iter().enumerate() {
+                total[p] += b;
+            }
+        }
+        total.into_iter().max().unwrap_or(0)
+    }
+
     /// Predict the schedule's completion time (max processor clock) under a
     /// cost model and topology, mirroring the simulator's accounting for
     /// destination-bound sends: the sender pays `cpu_overhead` per message,
@@ -214,6 +292,27 @@ mod tests {
         assert_eq!(s.rounds.len(), 1);
         assert_eq!(s.message_count(), 1);
         assert_eq!(s.total_bytes(), 32);
+    }
+
+    #[test]
+    fn footprints_charge_both_endpoints_and_locals_once() {
+        let mut s = CommSchedule::new(3);
+        s.push_round(Round {
+            transfers: vec![
+                Transfer::new(0, 1, VarId(0), vec![sec(1, 4)], 1, 8), // 32 B on the wire
+                Transfer::new(2, 2, VarId(0), vec![sec(5, 6)], 2, 8), // 16 B local copy
+            ],
+        });
+        s.push_round(Round {
+            transfers: vec![Transfer::new(1, 0, VarId(0), vec![sec(1, 2)], 3, 8)],
+        });
+        assert_eq!(
+            s.round_footprints(),
+            vec![vec![32, 32, 16], vec![16, 16, 0]]
+        );
+        assert_eq!(s.peak_bytes(), 32);
+        // Unsynchronized execution may have both rounds live at once.
+        assert_eq!(s.flat_peak_bytes(), 48);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Property tests for the peak-bytes dimension of the redistribution
+//! planner, swept over a seeded family of array shapes, distribution
+//! pairs, and budgets:
+//!
+//! 1. `CommSchedule::peak_bytes()` equals an independent recomputation —
+//!    the max over rounds of the per-processor sum of live transfer
+//!    buffers (sender staging plus non-local receiver landing).
+//! 2. Every reported Pareto frontier is dominated-free.
+//! 3. A budgeted plan never exceeds its budget, and an infeasible budget
+//!    errors naming a smallest-feasible budget that actually works.
+//! 4. Budget = None planning is unchanged by this machinery: the two
+//!    historical candidates, unsynchronized lowering, and a schedule
+//!    identical across repeated calls.
+
+use xdp_collectives::{plan, try_plan, CommSchedule, PlanError, Strategy};
+use xdp_ir::{DimDist, Distribution, ProcGrid, Triplet, VarId};
+use xdp_machine::{CostModel, Topology};
+
+const V: VarId = VarId(0);
+
+/// Deterministic xorshift so the sweep needs no external RNG crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One random planning instance: bounds, a (src, dst) distribution pair
+/// on a shared processor count, and an element width.
+fn instance(rng: &mut Rng) -> (Vec<Triplet>, Distribution, Distribution, u64) {
+    let nprocs = [2, 4, 8][rng.pick(3)];
+    let rank = 1 + rng.pick(2);
+    let bounds: Vec<Triplet> = (0..rank)
+        .map(|_| Triplet::range(1, [16, 32, 48][rng.pick(3)]))
+        .collect();
+    let dist = |rng: &mut Rng| {
+        // A linear grid maps exactly one distributed dimension; vary
+        // which axis that is (transpose-style remaps) and how it's cut.
+        let axis = rng.pick(rank);
+        let cut = if rng.pick(2) == 0 {
+            DimDist::Block
+        } else {
+            DimDist::Cyclic
+        };
+        let dims: Vec<DimDist> = (0..rank)
+            .map(|d| if d == axis { cut } else { DimDist::Star })
+            .collect();
+        Distribution::new(dims, ProcGrid::linear(nprocs))
+    };
+    let elem_bytes = [4, 8][rng.pick(2)];
+    (bounds, dist(rng), dist(rng), elem_bytes)
+}
+
+/// Independent recomputation of the stepped peak: walk the rounds and
+/// charge every transfer's bytes to its sender, and — when it crosses
+/// processors — to its receiver, taking the max over (round, processor).
+fn recomputed_peak(s: &CommSchedule) -> u64 {
+    let mut peak = 0u64;
+    for round in &s.rounds {
+        let mut fp = vec![0u64; s.nprocs];
+        for t in &round.transfers {
+            fp[t.src] += t.bytes;
+            if t.src != t.dst {
+                fp[t.dst] += t.bytes;
+            }
+        }
+        peak = peak.max(fp.iter().copied().max().unwrap_or(0));
+    }
+    peak
+}
+
+#[test]
+fn peak_bytes_matches_independent_recomputation() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    let model = CostModel::default_1993();
+    for _ in 0..60 {
+        let (bounds, src, dst, eb) = instance(&mut rng);
+        for budget in [None, Some(u64::MAX)] {
+            let m = CostModel {
+                mem_budget: budget,
+                ..model
+            };
+            let p = plan(V, &bounds, eb, &src, &dst, &m, &Topology::Uniform, true);
+            assert_eq!(
+                p.schedule.peak_bytes(),
+                recomputed_peak(&p.schedule),
+                "{src} -> {dst} budget {budget:?}"
+            );
+            // The stepped peak never exceeds the all-rounds-live bound,
+            // and the synchronized peak (which charges next-round early
+            // arrivals) sits between the two.
+            assert!(p.schedule.peak_bytes() <= p.schedule.synced_peak_bytes());
+            assert!(p.schedule.synced_peak_bytes() <= p.schedule.flat_peak_bytes());
+        }
+    }
+}
+
+#[test]
+fn frontiers_are_dominated_free() {
+    let mut rng = Rng(0xdead_beef_cafe_f00d);
+    let model = CostModel::default_1993().with_mem_budget(u64::MAX);
+    for _ in 0..60 {
+        let (bounds, src, dst, eb) = instance(&mut rng);
+        let p = plan(V, &bounds, eb, &src, &dst, &model, &Topology::Uniform, true);
+        if p.moved_elems == 0 {
+            continue;
+        }
+        assert!(!p.frontier.is_empty(), "{src} -> {dst}");
+        assert_eq!(p.frontier.iter().filter(|f| f.chosen).count(), 1);
+        for a in &p.frontier {
+            for b in &p.frontier {
+                let dominates = (a.predicted <= b.predicted && a.peak_bytes < b.peak_bytes)
+                    || (a.predicted < b.predicted && a.peak_bytes <= b.peak_bytes);
+                assert!(
+                    !dominates,
+                    "{:?} dominates {:?} on {src} -> {dst}",
+                    a.strategy, b.strategy
+                );
+            }
+        }
+        // Sorted by time; non-dominance then forces memory to fall
+        // whenever time strictly rises (exact ties may share a peak).
+        for w in p.frontier.windows(2) {
+            assert!(w[0].predicted <= w[1].predicted);
+            if w[1].predicted > w[0].predicted {
+                assert!(w[0].peak_bytes > w[1].peak_bytes);
+            }
+        }
+    }
+}
+
+#[test]
+fn budgeted_plans_fit_their_budgets() {
+    let mut rng = Rng(0x1234_5678_9abc_def1);
+    let model = CostModel::default_1993();
+    for _ in 0..60 {
+        let (bounds, src, dst, eb) = instance(&mut rng);
+        let free = plan(V, &bounds, eb, &src, &dst, &model, &Topology::Uniform, true);
+        if free.moved_elems == 0 {
+            continue;
+        }
+        // Random budgets spanning infeasible through generous.
+        let budget = 1 + rng.next() % (2 * free.peak_bytes.max(1));
+        let m = model.with_mem_budget(budget);
+        match try_plan(V, &bounds, eb, &src, &dst, &m, &Topology::Uniform, true) {
+            Ok(p) => {
+                assert!(p.synchronized);
+                assert!(
+                    p.peak_bytes <= budget,
+                    "peak {} over budget {budget} on {src} -> {dst}",
+                    p.peak_bytes
+                );
+                assert_eq!(p.peak_bytes, p.schedule.synced_peak_bytes());
+            }
+            Err(PlanError::NoPlanFits {
+                smallest_feasible, ..
+            }) => {
+                assert!(smallest_feasible > budget);
+                // The named budget is genuinely feasible, and the
+                // infallible entry point degrades to exactly that plan.
+                let relaxed = model.with_mem_budget(smallest_feasible);
+                let p = try_plan(
+                    V,
+                    &bounds,
+                    eb,
+                    &src,
+                    &dst,
+                    &relaxed,
+                    &Topology::Uniform,
+                    true,
+                )
+                .expect("smallest feasible budget must fit");
+                assert!(p.peak_bytes <= smallest_feasible);
+                let degraded = plan(V, &bounds, eb, &src, &dst, &m, &Topology::Uniform, true);
+                assert_eq!(degraded.peak_bytes, p.peak_bytes);
+                assert_eq!(degraded.strategy, p.strategy);
+            }
+        }
+    }
+}
+
+/// Render a schedule transfer-by-transfer so two plans can be compared
+/// bit-for-bit (sections, salts, round structure, byte counts).
+fn schedule_repr(s: &CommSchedule) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (r, round) in s.rounds.iter().enumerate() {
+        for t in &round.transfers {
+            writeln!(
+                out,
+                "r{r} {}->{} salt {} bytes {} secs {:?}",
+                t.src, t.dst, t.salt, t.bytes, t.secs
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn unbudgeted_planning_is_unchanged_and_deterministic() {
+    let mut rng = Rng(0x0fed_cba9_8765_4321);
+    let model = CostModel::default_1993();
+    assert_eq!(model.mem_budget, None, "default model carries no budget");
+    for _ in 0..40 {
+        let (bounds, src, dst, eb) = instance(&mut rng);
+        let a = plan(V, &bounds, eb, &src, &dst, &model, &Topology::Uniform, true);
+        // The historical candidate set: direct-pairwise always, staged
+        // Bruck when it qualifies — never the budget-only decompositions.
+        assert!(!a.synchronized);
+        assert!(a.alternatives.len() <= 2);
+        assert!(matches!(
+            a.strategy,
+            Strategy::DirectPairwise | Strategy::StagedBruck
+        ));
+        let b = plan(V, &bounds, eb, &src, &dst, &model, &Topology::Uniform, true);
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.predicted, b.predicted);
+        assert_eq!(a.peak_bytes, b.peak_bytes);
+        assert_eq!(schedule_repr(&a.schedule), schedule_repr(&b.schedule));
+    }
+}

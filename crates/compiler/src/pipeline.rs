@@ -101,6 +101,12 @@ pub struct CompileOptions {
     pub seq: SeqMode,
     /// Execution backend the compiled program is destined for.
     pub backend: Backend,
+    /// Per-processor live-buffer budget (bytes) for redistribution
+    /// planning. Constrains the placement search at compile time (an
+    /// over-budget transition is never emitted) and rides on
+    /// [`Compiled`] so executors plan runtime redistributions under the
+    /// same bound. `None` keeps planning time-only.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for CompileOptions {
@@ -111,6 +117,7 @@ impl Default for CompileOptions {
             place: false,
             seq: SeqMode::AsIs,
             backend: Backend::default(),
+            mem_budget: None,
         }
     }
 }
@@ -143,6 +150,13 @@ impl CompileOptions {
     /// Builder shorthand: set the execution backend.
     pub fn with_backend(mut self, backend: Backend) -> CompileOptions {
         self.backend = backend;
+        self
+    }
+
+    /// Builder shorthand: set the redistribution memory budget (bytes per
+    /// processor).
+    pub fn with_mem_budget(mut self, budget: u64) -> CompileOptions {
+        self.mem_budget = Some(budget);
         self
     }
 }
@@ -186,6 +200,9 @@ pub struct Compiled {
     pub lowered: bool,
     /// Backend the compile was requested for (copied from the options).
     pub backend: Backend,
+    /// Redistribution memory budget the compile was requested under
+    /// (copied from the options); executors apply it to runtime planning.
+    pub mem_budget: Option<u64>,
     /// Per-pass provenance of everything that ran (wall time, node
     /// deltas, statement rewrites). Empty when no passes were requested —
     /// which is exactly what a serve-cache hit looks like.
@@ -233,7 +250,9 @@ pub fn compile_program(program: &Program, opts: &CompileOptions) -> Result<Compi
         mgr = PassManager::paper_pipeline();
     }
     if opts.place {
-        mgr = mgr.add(AutoPlace::new());
+        let mut ap = AutoPlace::new();
+        ap.options.model.mem_budget = opts.mem_budget;
+        mgr = mgr.add(ap);
     }
     let (program, trace) = mgr.run_traced(&program);
     Ok(Compiled {
@@ -244,6 +263,7 @@ pub fn compile_program(program: &Program, opts: &CompileOptions) -> Result<Compi
         program: Arc::new(program),
         lowered,
         backend: opts.backend,
+        mem_budget: opts.mem_budget,
         trace,
     })
 }

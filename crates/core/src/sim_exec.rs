@@ -577,11 +577,13 @@ impl<P: Processor> SimExec<P> {
                 symtab: self.interps[p].env().symtab.stats,
             })
             .collect();
+        let mut net = self.net.stats.clone();
+        net.redist_peak_bytes = self.net.redist_peak_bytes();
         Ok(ExecReport {
             nprocs: self.cfg.nprocs,
             virtual_time,
             procs,
-            net: self.net.stats.clone(),
+            net,
             trace: std::mem::take(&mut self.trace),
             faults: self.net.fault_stats(),
         })

@@ -48,6 +48,11 @@ pub struct CostModel {
     /// Per-tier multiplier on β, indexed by [`Tier`]. All 1.0 by
     /// default.
     pub tier_beta: [f64; 3],
+    /// Peak live-buffer budget (bytes, per processor) for redistribution
+    /// planning. `None` plans for time only — the historical behavior.
+    /// `Some(b)` makes the planner pick the fastest decomposition whose
+    /// per-processor peak staging footprint fits `b`.
+    pub mem_budget: Option<u64>,
 }
 
 impl CostModel {
@@ -66,6 +71,7 @@ impl CostModel {
             unexpected_overhead: 5.0,
             tier_alpha: [1.0; 3],
             tier_beta: [1.0; 3],
+            mem_budget: None,
         }
     }
 
@@ -73,6 +79,13 @@ impl CostModel {
     pub fn with_tier_scale(mut self, tier: Tier, alpha_scale: f64, beta_scale: f64) -> CostModel {
         self.tier_alpha[tier as usize] = alpha_scale;
         self.tier_beta[tier as usize] = beta_scale;
+        self
+    }
+
+    /// Set the per-processor peak-bytes budget for redistribution planning
+    /// (builder-style).
+    pub fn with_mem_budget(mut self, budget: u64) -> CostModel {
+        self.mem_budget = Some(budget);
         self
     }
 

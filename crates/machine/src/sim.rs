@@ -22,7 +22,7 @@ use crate::stats::NetStats;
 use crate::topo::Topology;
 use std::collections::HashMap;
 use xdp_fault::{FaultEvent, FaultEventKind, FaultPlan, FaultStats, Injector};
-use xdp_runtime::{Msg, Tag};
+use xdp_runtime::{Msg, Tag, REDIST_SALT_FLOOR};
 
 /// A posted, not-yet-matched send.
 #[derive(Clone, Debug)]
@@ -109,6 +109,10 @@ pub struct SimNet {
     dead: Vec<LostMsg>,
     fstats: FaultStats,
     events: Vec<FaultEvent>,
+    /// Live intervals of redistribution staging buffers, identified by
+    /// their salt floor: `(start, end, src, dst, payload_bytes)` in
+    /// virtual time. Swept by [`SimNet::redist_peak_bytes`].
+    redist_spans: Vec<(f64, f64, usize, usize, u64)>,
     /// Traffic counters.
     pub stats: NetStats,
 }
@@ -142,6 +146,7 @@ impl SimNet {
             dead: Vec::new(),
             fstats: FaultStats::default(),
             events: Vec::new(),
+            redist_spans: Vec::new(),
             stats: NetStats::new(nprocs),
         }
     }
@@ -357,6 +362,18 @@ impl SimNet {
             wire,
             bound,
         );
+        if send.msg.tag.salt >= REDIST_SALT_FLOOR && send.msg.src != recv.dst {
+            // Redistribution staging buffer: live on both endpoints from
+            // the send post until the receiver has finished handling it.
+            let end = arrive_at.max(recv.time) + handling;
+            self.redist_spans.push((
+                send.time,
+                end,
+                send.msg.src,
+                recv.dst,
+                send.msg.payload_bytes(),
+            ));
+        }
         Completion {
             req_id: recv.req_id,
             dst: recv.dst,
@@ -365,6 +382,40 @@ impl SimNet {
             arrive_at,
             handling,
         }
+    }
+
+    /// Measured redistribution-staging high-water mark: the maximum, over
+    /// processors and virtual time, of live redistribution payload bytes
+    /// (messages whose tag salt is at or above
+    /// [`xdp_runtime::REDIST_SALT_FLOOR`]). A message's bytes are charged
+    /// to both endpoints for its whole live interval — send post through
+    /// receive completion — matching the planner's accounting. Sweeps the
+    /// recorded spans per processor; at equal timestamps releases apply
+    /// before acquisitions, so back-to-back rounds don't double-charge.
+    pub fn redist_peak_bytes(&self) -> u64 {
+        let mut peak = 0u64;
+        let mut events: Vec<(f64, bool, u64)> = Vec::new();
+        for p in 0..self.stats.sent_by.len() {
+            events.clear();
+            for &(start, end, src, dst, bytes) in &self.redist_spans {
+                if src == p || dst == p {
+                    events.push((start, true, bytes));
+                    events.push((end, false, bytes));
+                }
+            }
+            // Sort by time; at ties, ends (false < true) come first.
+            events.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+            let mut live = 0u64;
+            for &(_, is_start, bytes) in events.iter() {
+                if is_start {
+                    live += bytes;
+                    peak = peak.max(live);
+                } else {
+                    live = live.saturating_sub(bytes);
+                }
+            }
+        }
+        peak
     }
 
     /// Messages permanently lost to injected faults (dead letters).

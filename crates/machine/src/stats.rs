@@ -19,6 +19,11 @@ pub struct NetStats {
     pub sent_by: Vec<u64>,
     /// Per-processor received message counts.
     pub received_by: Vec<u64>,
+    /// High-water mark of live redistribution staging bytes on any single
+    /// processor (messages whose tag salt marks them as part of an
+    /// explicit redistribution schedule). 0 when the run redistributed
+    /// nothing.
+    pub redist_peak_bytes: u64,
 }
 
 impl NetStats {

@@ -34,10 +34,23 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xdp_fault::{FaultEvent, FaultEventKind, FaultPlan, FaultStats, Injector, RecvFailure};
-use xdp_runtime::{Msg, Tag};
+use xdp_runtime::{Msg, Tag, REDIST_SALT_FLOOR};
 
 /// Message uid under fault injection: (sending pid, per-sender 1-based seq).
 type Uid = (usize, u64);
+
+/// If `entry` is a redistribution message bound to a single destination
+/// (the only shape the redistribution lowering emits), the destination
+/// pid and payload bytes to charge to its staging account.
+fn redist_charge(msg: &Msg, dest: &Option<Vec<usize>>) -> Option<(usize, u64)> {
+    if msg.tag.salt < REDIST_SALT_FLOOR {
+        return None;
+    }
+    match dest {
+        Some(pids) if pids.len() == 1 => Some((pids[0], msg.payload_bytes())),
+        _ => None,
+    }
+}
 
 /// A queued message with its optional bound destination set and, under
 /// fault injection, its uid for dedup.
@@ -80,9 +93,30 @@ struct State {
     dead: Vec<DeadLetter>,
     delivered: HashSet<Uid>,
     next_seq: HashMap<usize, u64>,
+    /// Live redistribution staging bytes currently queued toward each
+    /// destination; the running maximum is `stats.redist_peak_bytes`.
+    redist_live: Vec<u64>,
     stats: NetStats,
     fstats: FaultStats,
     events: Vec<FaultEvent>,
+}
+
+impl State {
+    /// A redistribution message became visible in the pool: charge its
+    /// destination's staging account and advance the high-water mark.
+    fn redist_acquire(&mut self, msg: &Msg, dest: &Option<Vec<usize>>) {
+        if let Some((p, bytes)) = redist_charge(msg, dest) {
+            self.redist_live[p] += bytes;
+            self.stats.redist_peak_bytes = self.stats.redist_peak_bytes.max(self.redist_live[p]);
+        }
+    }
+
+    /// A redistribution message left the pool (claimed or suppressed).
+    fn redist_release(&mut self, msg: &Msg, dest: &Option<Vec<usize>>) {
+        if let Some((p, bytes)) = redist_charge(msg, dest) {
+            self.redist_live[p] = self.redist_live[p].saturating_sub(bytes);
+        }
+    }
 }
 
 struct Inner {
@@ -122,6 +156,7 @@ impl ThreadNet {
                     dead: Vec::new(),
                     delivered: HashSet::new(),
                     next_seq: HashMap::new(),
+                    redist_live: vec![0; nprocs],
                     stats: NetStats::new(nprocs),
                     fstats: FaultStats::default(),
                     events: Vec::new(),
@@ -186,6 +221,7 @@ impl ThreadNet {
                     reorder: d.reorder,
                 });
             } else {
+                st.redist_acquire(&entry.msg, &entry.dest);
                 let q = st.queues.entry(msg.tag.clone()).or_default();
                 if d.reorder {
                     q.push_front(entry);
@@ -217,6 +253,7 @@ impl ThreadNet {
                         continue;
                     }
                 }
+                st.redist_acquire(&entry.msg, &entry.dest);
                 let q = st.queues.entry(entry.msg.tag.clone()).or_default();
                 if reorder {
                     q.push_front(entry);
@@ -290,6 +327,7 @@ impl ThreadNet {
         let mut st = self.inner.state.lock();
         match &self.inner.injector {
             None => {
+                st.redist_acquire(&msg, &dest);
                 st.queues
                     .entry(msg.tag.clone())
                     .or_default()
@@ -369,6 +407,7 @@ impl ThreadNet {
                 };
                 if let Some(uid) = entry.uid {
                     if st.delivered.contains(&uid) {
+                        st.redist_release(&entry.msg, &entry.dest);
                         st.fstats.dup_suppressed += 1;
                         st.events.push(FaultEvent {
                             t: self.micros(now),
@@ -388,6 +427,7 @@ impl ThreadNet {
                         let before = q.len();
                         q.retain(|e| e.uid != Some(uid));
                         for _ in 0..before - q.len() {
+                            st.redist_release(&entry.msg, &entry.dest);
                             st.fstats.dup_suppressed += 1;
                             st.events.push(FaultEvent {
                                 t: self.micros(now),
@@ -400,6 +440,7 @@ impl ThreadNet {
                     }
                 }
                 let QueuedEntry { msg, dest, .. } = entry;
+                st.redist_release(&msg, &dest);
                 let bound = dest.is_some();
                 let wire = if bound {
                     msg.payload_bytes()

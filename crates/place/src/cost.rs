@@ -21,7 +21,7 @@
 //! observed machine without changing its structure.
 
 use crate::phase::{Phase, PhaseGraph};
-use xdp_collectives::planner::plan;
+use xdp_collectives::planner::try_plan;
 use xdp_ir::{DimDist, Distribution, Triplet};
 use xdp_machine::{CostModel, Topology};
 
@@ -244,8 +244,13 @@ pub fn transition_cost(
     let mut total = 0.0;
     for &v in &graph.group {
         let bytes = program.decl(v).elem.size_bytes();
-        let p = plan(v, &graph.bounds, bytes, from, to, &c.model, &c.topo, false);
-        total += p.predicted;
+        // Under a memory budget an infeasible transition is priced
+        // infinite, so AutoPlace routes around it rather than emitting a
+        // redistribute no plan can satisfy.
+        match try_plan(v, &graph.bounds, bytes, from, to, &c.model, &c.topo, false) {
+            Ok(p) => total += p.predicted,
+            Err(_) => return f64::INFINITY,
+        }
     }
     total * c.calibration.move_scale
 }

@@ -28,5 +28,5 @@ pub mod value;
 pub use complex::Complex;
 pub use segment::{SegStatus, SegmentDesc};
 pub use symtab::{RtSymbolTable, SymEntry, SymtabStats};
-pub use tag::{Msg, Tag};
+pub use tag::{Msg, Tag, REDIST_SALT_FLOOR};
 pub use value::{Buffer, Value};

@@ -10,6 +10,13 @@ use crate::value::Buffer;
 use std::sync::Arc;
 use xdp_ir::{Section, TransferKind, VarId};
 
+/// The smallest salt the redistribute lowering uses: redistribution
+/// epochs salt their tags `epoch * 1_000_000` with `epoch >= 1`, so any
+/// message whose `tag.salt >= REDIST_SALT_FLOOR` is part of an explicit
+/// redistribution schedule. The network backends use this to scope their
+/// live-buffer high-water accounting to redistribution traffic.
+pub const REDIST_SALT_FLOOR: i64 = 1_000_000;
+
 /// The name of a transferred section: the rendezvous key.
 ///
 /// `salt` is the compiler-generated *message type* of §4 ("an auxiliary

@@ -6,11 +6,12 @@
 //!
 //! ```text
 //! xdpd run FILE [--repeat N] [--optimize] [--backend interp|vm] [--procs N]
-//!          [--faults SPEC] [--workers N]
+//!          [--faults SPEC] [--workers N] [--mem-budget B]
 //! xdpd list [--programs DIR] [--gen N]
 //! xdpd bench [--requests N] [--workers N] [--batch N] [--capacity N]
 //!            [--seed N] [--gen N] [--programs DIR] [--backend interp|vm]
 //!            [--out FILE] [--metrics-out FILE] [--slow-ms N] [--flight-dir DIR]
+//!            [--mem-budget B]
 //! xdpd stats [--requests N] [--programs DIR] [--gen N] [--backend interp|vm]
 //!            [--format prom|json]
 //! ```
@@ -27,11 +28,12 @@ xdpd — XDP serving daemon (compile-once/run-many)
 
 USAGE:
     xdpd run FILE [--repeat N] [--optimize] [--backend interp|vm] [--procs N]
-             [--faults SPEC] [--workers N]
+             [--faults SPEC] [--workers N] [--mem-budget B]
     xdpd list [--programs DIR] [--gen N]
     xdpd bench [--requests N] [--workers N] [--batch N] [--capacity N]
                [--seed N] [--gen N] [--programs DIR] [--backend interp|vm]
                [--out FILE] [--metrics-out FILE] [--slow-ms N] [--flight-dir DIR]
+               [--mem-budget B]
     xdpd stats [--requests N] [--workers N] [--programs DIR] [--gen N]
                [--backend interp|vm] [--format prom|json]
 
@@ -45,7 +47,10 @@ flight recorder. `stats` serves a short replay and prints the resulting
 telemetry in Prometheus text (default) or JSON exposition. `--backend vm`
 compiles every request for the bytecode VM instead of the tree-walking
 interpreter; latency histograms carry a backend label either way, so
-`xdpd stats` splits the two.
+`xdpd stats` splits the two. `--mem-budget B` compiles every request
+under a per-processor redistribution memory budget of B bytes (binary
+k/m/g suffixes accepted); the planner then picks the fastest
+decomposition whose peak live-buffer footprint fits.
 ";
 
 fn main() -> ExitCode {
@@ -89,6 +94,34 @@ fn num<T: std::str::FromStr>(rest: &[String], name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Positive byte count with optional binary `k`/`m`/`g` suffix.
+fn parse_bytes(v: &str) -> Option<u64> {
+    let (digits, mult) = match v.char_indices().last() {
+        Some((i, 'k')) | Some((i, 'K')) => (&v[..i], 1u64 << 10),
+        Some((i, 'm')) | Some((i, 'M')) => (&v[..i], 1u64 << 20),
+        Some((i, 'g')) | Some((i, 'G')) => (&v[..i], 1u64 << 30),
+        _ => (v, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .filter(|b| *b > 0)
+}
+
+/// `--mem-budget B` (default unbounded). A bad value is a usage error.
+fn parse_mem_budget(rest: &[String]) -> Result<Option<u64>, ExitCode> {
+    match opt_val(rest, "--mem-budget") {
+        None => Ok(None),
+        Some(v) => parse_bytes(v).map(Some).ok_or_else(|| {
+            eprintln!(
+                "xdpd: bad --mem-budget `{v}` (positive bytes, optionally with k/m/g suffix)"
+            );
+            ExitCode::from(2)
+        }),
+    }
+}
+
 /// `--backend interp|vm` (default interp). A bad name is a usage error.
 fn parse_backend(rest: &[String]) -> Result<Backend, ExitCode> {
     match opt_val(rest, "--backend") {
@@ -117,6 +150,10 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     opts.optimize = flag(rest, "--optimize");
     opts.procs = opt_val(rest, "--procs").and_then(|v| v.parse().ok());
     opts.backend = match parse_backend(rest) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    opts.mem_budget = match parse_mem_budget(rest) {
         Ok(b) => b,
         Err(code) => return code,
     };
@@ -217,6 +254,10 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
     cfg.seed = num(rest, "--seed", cfg.seed);
     cfg.gen_count = num(rest, "--gen", cfg.gen_count);
     cfg.backend = match parse_backend(rest) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    cfg.mem_budget = match parse_mem_budget(rest) {
         Ok(b) => b,
         Err(code) => return code,
     };

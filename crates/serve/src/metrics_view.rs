@@ -55,6 +55,10 @@ pub struct ServeMetrics {
     pub net_wire_bytes: Arc<Counter>,
     pub net_bound: Arc<Counter>,
     pub net_unbound: Arc<Counter>,
+    /// Per-run redistribution staging high-water mark (bytes); observed
+    /// only for runs that actually redistributed something, so the
+    /// histogram's count is the number of redistribute-carrying runs.
+    pub redist_peak_bytes: Arc<Histogram>,
 
     // Fault view (folded from `ExecReport::faults`).
     pub fault_drops: Arc<Counter>,
@@ -102,6 +106,7 @@ impl ServeMetrics {
             net_wire_bytes: r.counter("xdp_net_wire_bytes_total", &[]),
             net_bound: r.counter("xdp_net_messages_bound_total", &[]),
             net_unbound: r.counter("xdp_net_messages_unbound_total", &[]),
+            redist_peak_bytes: r.histogram("xdp_redist_peak_bytes", &[]),
 
             fault_drops: injected("drop"),
             fault_dups: injected("dup"),
@@ -142,6 +147,9 @@ impl ServeMetrics {
         self.net_wire_bytes.add(net.wire_bytes);
         self.net_bound.add(net.bound_messages);
         self.net_unbound.add(net.unbound_messages);
+        if net.redist_peak_bytes > 0 {
+            self.redist_peak_bytes.observe(net.redist_peak_bytes);
+        }
 
         let f = &report.faults;
         self.fault_drops.add(f.injected_drops);

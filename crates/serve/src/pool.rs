@@ -391,6 +391,9 @@ fn execute(
     match machine {
         PoolMachine::Sim => {
             let mut cfg = SimConfig::new(compiled.nprocs).with_trace(TraceConfig::full());
+            if let Some(b) = compiled.mem_budget {
+                cfg.cost.mem_budget = Some(b);
+            }
             if cached.faults.is_active() {
                 cfg = cfg.with_faults(cached.faults.clone());
             }

@@ -72,6 +72,9 @@ pub struct ReplayConfig {
     /// cache key, so an interp replay and a vm replay never share
     /// entries.
     pub backend: Backend,
+    /// Redistribution memory budget (bytes per processor) every corpus
+    /// spec is compiled under. Part of the cache key.
+    pub mem_budget: Option<u64>,
 }
 
 impl ReplayConfig {
@@ -88,6 +91,7 @@ impl ReplayConfig {
             flight_dir: None,
             slow_us: None,
             backend: Backend::default(),
+            mem_budget: None,
         }
     }
 }
@@ -256,9 +260,10 @@ pub fn load_corpus(cfg: &ReplayConfig) -> Result<Vec<CorpusItem>, String> {
             // Auto handles both notations: sequential sources (e.g.
             // seq_sum.xdp) lower through owner-computes, parallel
             // sources run as written.
-            let auto = CompileOptions::default()
+            let mut auto = CompileOptions::default()
                 .with_seq(SeqMode::Auto)
                 .with_backend(cfg.backend);
+            auto.mem_budget = cfg.mem_budget;
             corpus.push(CorpusItem {
                 name: name.clone(),
                 spec: RequestSpec::new(source.clone()).with_opts(auto.clone()),
@@ -276,10 +281,11 @@ pub fn load_corpus(cfg: &ReplayConfig) -> Result<Vec<CorpusItem>, String> {
             &GenConfig::default(),
             cfg.seed.wrapping_add(k as u64),
         );
+        let mut opts = CompileOptions::default().with_backend(cfg.backend);
+        opts.mem_budget = cfg.mem_budget;
         corpus.push(CorpusItem {
             name: format!("gen-{k}"),
-            spec: RequestSpec::new(xdp_ir::pretty::program(&tp.program))
-                .with_opts(CompileOptions::default().with_backend(cfg.backend)),
+            spec: RequestSpec::new(xdp_ir::pretty::program(&tp.program)).with_opts(opts),
             weight: 1,
         });
     }
@@ -432,6 +438,7 @@ mod tests {
             flight_dir: None,
             slow_us: None,
             backend: Backend::Interp,
+            mem_budget: None,
         }
     }
 

@@ -114,6 +114,10 @@ impl RequestSpec {
         // interpreter request (they are conformant, but provably so only
         // while the differential suite says so).
         h.field(b'B', self.opts.backend.as_str().as_bytes());
+        match self.opts.mem_budget {
+            None => h.field(b'M', b""),
+            Some(b) => h.field(b'M', &b.to_le_bytes()),
+        }
         h.field(b'F', self.faults.as_bytes());
         h.finish()
     }
@@ -148,6 +152,8 @@ mod tests {
             s.clone().with_faults("drop=0.1,seed=3"),
             s.clone()
                 .with_opts(CompileOptions::default().with_backend(xdp_compiler::Backend::Vm)),
+            s.clone()
+                .with_opts(CompileOptions::default().with_mem_budget(1 << 20)),
         ];
         for v in variants {
             assert_ne!(k, v.content_hash(), "{v:?} must key differently");

@@ -26,14 +26,18 @@ fn arb_opts() -> impl Strategy<Value = CompileOptions> {
         any::<bool>(),
         arb_seq(),
         any::<bool>(),
+        prop::option::of(1u64..1 << 20),
     )
-        .prop_map(|(procs, optimize, place, seq, vm)| CompileOptions {
-            procs,
-            optimize,
-            place,
-            seq,
-            backend: if vm { Backend::Vm } else { Backend::Interp },
-        })
+        .prop_map(
+            |(procs, optimize, place, seq, vm, mem_budget)| CompileOptions {
+                procs,
+                optimize,
+                place,
+                seq,
+                backend: if vm { Backend::Vm } else { Backend::Interp },
+                mem_budget,
+            },
+        )
 }
 
 /// Printable-ASCII strings (the vendored proptest has no regex strategies).
@@ -98,6 +102,10 @@ proptest! {
             SeqMode::Auto => SeqMode::AsIs,
         };
         prop_assert_ne!(k, seq.content_hash(), "seq mode must key");
+
+        let mut budget = spec.clone();
+        budget.opts.mem_budget = Some(budget.opts.mem_budget.map_or(1, |b| b + 1));
+        prop_assert_ne!(k, budget.content_hash(), "mem budget must key");
 
         let mut faults = spec.clone();
         faults.faults.push('z');

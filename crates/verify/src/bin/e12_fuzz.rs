@@ -101,6 +101,7 @@ fn main() {
                 chaos: false,
                 faults: None,
                 passes: false,
+                mem_budget: None,
             },
         ),
         (
@@ -112,6 +113,7 @@ fn main() {
                 chaos: false,
                 faults: None,
                 passes: false,
+                mem_budget: None,
             },
         ),
         (
@@ -123,6 +125,7 @@ fn main() {
                 chaos: false,
                 faults: None,
                 passes: false,
+                mem_budget: None,
             },
         ),
         (
@@ -134,6 +137,7 @@ fn main() {
                 chaos: false,
                 faults: None,
                 passes: false,
+                mem_budget: None,
             },
         ),
         (
@@ -145,6 +149,7 @@ fn main() {
                 chaos: false,
                 faults: None,
                 passes: true,
+                mem_budget: None,
             },
         ),
         (
@@ -156,6 +161,7 @@ fn main() {
                 chaos: true,
                 faults: None,
                 passes: true,
+                mem_budget: None,
             },
         ),
     ];

@@ -263,10 +263,7 @@ fn main() {
         t3.row(&[
             j::f(scale),
             j::f(cross),
-            j::s(match plan_at(0.65, scale).strategy {
-                Strategy::DirectPairwise => "direct-pairwise",
-                Strategy::StagedBruck => "staged-bruck",
-            }),
+            j::s(&plan_at(0.65, scale).strategy.to_string()),
         ]);
     }
     t3.print();

@@ -48,6 +48,11 @@ pub enum Divergence {
     PassMismatch { pass: String, detail: String },
     /// The faulty run disagrees with the lossless run.
     ChaosMismatch { detail: String },
+    /// The run planned under a redistribution memory budget disagrees
+    /// with the unbudgeted run on observable memory. Budgeted plans may
+    /// legitimately move data differently (more rounds, sliced pieces),
+    /// but the final memory image must be identical.
+    MemBoundMismatch { detail: String },
 }
 
 impl Divergence {
@@ -58,6 +63,7 @@ impl Divergence {
             Divergence::ExecutorMismatch { backend, .. } => format!("executor:{backend}"),
             Divergence::PassMismatch { pass, .. } => format!("pass:{pass}"),
             Divergence::ChaosMismatch { .. } => "chaos".to_string(),
+            Divergence::MemBoundMismatch { .. } => "plan:membound".to_string(),
         }
     }
 
@@ -66,7 +72,8 @@ impl Divergence {
             Divergence::RunError { detail, .. }
             | Divergence::ExecutorMismatch { detail, .. }
             | Divergence::PassMismatch { detail, .. }
-            | Divergence::ChaosMismatch { detail } => detail,
+            | Divergence::ChaosMismatch { detail }
+            | Divergence::MemBoundMismatch { detail } => detail,
         }
     }
 }
@@ -93,7 +100,17 @@ pub struct CheckConfig {
     pub faults: Option<FaultPlan>,
     /// Check every prefix of the default pass pipeline.
     pub passes: bool,
+    /// Re-run the simulator with this redistribution memory budget
+    /// (bytes per processor) and require the observable memory image to
+    /// match the unbudgeted baseline. `None` skips the check.
+    pub mem_budget: Option<u64>,
 }
+
+/// The budget the default check (and the shrinker's re-check) plans
+/// under: small enough to push real redistributions onto the sliced
+/// multi-round decompositions, and the infallible planner degrades to
+/// the smallest feasible plan below it, so no program is unrunnable.
+pub const DEFAULT_CHECK_BUDGET: u64 = 4096;
 
 impl Default for CheckConfig {
     fn default() -> CheckConfig {
@@ -104,6 +121,7 @@ impl Default for CheckConfig {
             chaos: true,
             faults: None,
             passes: true,
+            mem_budget: Some(DEFAULT_CHECK_BUDGET),
         }
     }
 }
@@ -171,10 +189,22 @@ fn decl_list(p: &Program) -> Vec<(usize, String, VarId)> {
 
 /// Run under the virtual-time simulator.
 pub fn run_sim(p: &Arc<Program>, nprocs: usize, faults: Option<&FaultPlan>) -> RunResult {
+    run_sim_budget(p, nprocs, faults, None)
+}
+
+/// Run under the virtual-time simulator with an optional redistribution
+/// memory budget on the runtime planner.
+pub fn run_sim_budget(
+    p: &Arc<Program>,
+    nprocs: usize,
+    faults: Option<&FaultPlan>,
+    mem_budget: Option<u64>,
+) -> RunResult {
     let p = p.clone();
     let faults = faults.cloned();
     catch_unwind(AssertUnwindSafe(move || {
         let mut cfg = SimConfig::new(nprocs).with_trace(TraceConfig::full());
+        cfg.cost.mem_budget = mem_budget;
         if let Some(plan) = faults {
             cfg = cfg.with_faults(plan);
         }
@@ -406,6 +436,26 @@ pub fn check_with(tp: &TestProgram, cfg: &CheckConfig) -> Option<Divergence> {
         }
     }
 
+    // Memory-bounded planning conformance: re-run the simulator with the
+    // runtime redistribution planner under a budget. The budgeted plans
+    // may slice pieces across more rounds, so movement and message
+    // counts legitimately differ — but observable memory must not.
+    if let Some(budget) = cfg.mem_budget {
+        match run_sim_budget(&prog, tp.nprocs, None, Some(budget)) {
+            Ok(fp) => {
+                if let Some(d) = diff_lines("memory", &base.memory_all(), &fp.memory_all()) {
+                    return Some(Divergence::MemBoundMismatch { detail: d });
+                }
+            }
+            Err(e) => {
+                return Some(Divergence::RunError {
+                    stage: "membound".into(),
+                    detail: e,
+                })
+            }
+        }
+    }
+
     // Per-pass-prefix equivalence over the observable arrays.
     if cfg.passes {
         if let Some(d) = check_passes(tp, &default_passes(), &base) {
@@ -548,6 +598,8 @@ pub fn recheck_key(tp: &TestProgram, key: &str) -> Option<Divergence> {
         chaos: key == "chaos",
         faults: None,
         passes: key.starts_with("pass:"),
+        mem_budget: (key == "plan:membound" || key == "run-error:membound")
+            .then_some(DEFAULT_CHECK_BUDGET),
     };
     check_with(tp, &cfg).filter(|d| d.key() == key)
 }

@@ -82,6 +82,11 @@ pub fn narrowed(check: &CheckConfig, key: &str) -> CheckConfig {
         chaos: key == "chaos",
         faults: check.faults.clone(),
         passes: key.starts_with("pass:"),
+        mem_budget: if key == "plan:membound" || key == "run-error:membound" {
+            check.mem_budget
+        } else {
+            None
+        },
     }
 }
 
@@ -153,6 +158,7 @@ mod tests {
                 chaos: false,
                 faults: None,
                 passes: false,
+                mem_budget: None,
             },
             ..FuzzConfig::default()
         };

@@ -28,7 +28,9 @@ pub mod gen;
 pub mod lockstep;
 pub mod shrink;
 
-pub use diff::{check_program, check_with, default_passes, CheckConfig, Divergence};
+pub use diff::{
+    check_program, check_with, default_passes, CheckConfig, Divergence, DEFAULT_CHECK_BUDGET,
+};
 pub use fingerprint::Fingerprint;
 pub use fuzz::{run_fuzz, Failure, FuzzConfig, FuzzReport};
 pub use gen::{executable_program, render_repro, GenConfig, TestProgram};

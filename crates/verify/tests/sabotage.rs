@@ -116,6 +116,7 @@ fn clean_pipeline_yields_no_failures() {
             chaos: false,
             faults: None,
             passes: true,
+            mem_budget: None,
         };
         assert!(check_and_shrink(&tp, &cfg, 50).is_none(), "seed {seed}");
     }

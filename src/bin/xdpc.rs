@@ -15,6 +15,10 @@
 //!   --backend B      execution backend: interp (tree-walking, default)
 //!                    or vm (compiled bytecode; same traces and results)
 //!   --unchecked      disable the checked runtime (run)
+//!   --mem-budget B   per-processor live-buffer budget (bytes; k/m/g
+//!                    suffixes) for redistribution planning (plan, place,
+//!                    run, fuzz); plan exits nonzero when no decomposition
+//!                    fits and names the smallest feasible budget
 //!   --faults SPEC    inject transport faults and deliver through ack/retry:
 //!                    comma-separated drop=P dup=P reorder=P delayp=P delay=T
 //!                    seed=N rto=T backoff=X retries=N kill=SRC:SEQ
@@ -391,6 +395,38 @@ fn cost_flags(rest: &[String]) -> CostModel {
     cost
 }
 
+/// Parse a byte count with an optional binary k/m/g suffix.
+fn parse_bytes(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (num, mult) = match v.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&v[..i], 1u64 << 10),
+        (i, 'm') | (i, 'M') => (&v[..i], 1 << 20),
+        (i, 'g') | (i, 'G') => (&v[..i], 1 << 30),
+        _ => (v, 1),
+    };
+    let n: u64 = num.parse().ok()?;
+    n.checked_mul(mult).filter(|b| *b > 0)
+}
+
+/// `--mem-budget BYTES` shared by `plan`, `place`, `run`, and `fuzz`:
+/// per-processor live-buffer budget for redistribution planning. Accepts
+/// a plain byte count or a k/m/g suffix (binary). A malformed or zero
+/// value is a usage error (exit 2).
+fn parse_mem_budget(rest: &[String]) -> Result<Option<u64>, ExitCode> {
+    let Some(v) = opt_val(rest, "--mem-budget") else {
+        return Ok(None);
+    };
+    match parse_bytes(v) {
+        Some(b) => Ok(Some(b)),
+        None => {
+            eprintln!(
+                "xdpc: bad --mem-budget `{v}` (positive bytes, optionally with k/m/g suffix)"
+            );
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
 /// `--topo uniform|linear|RxC` shared by `plan` and `place`.
 fn parse_topo(rest: &[String]) -> Result<Topology, ExitCode> {
     Ok(match opt_val(rest, "--topo") {
@@ -419,7 +455,12 @@ fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     let program = program.as_ref();
-    let cost = cost_flags(rest);
+    let mut cost = cost_flags(rest);
+    let budget = match parse_mem_budget(rest) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    cost.mem_budget = budget;
     let topo = match parse_topo(rest) {
         Ok(t) => t,
         Err(code) => return code,
@@ -434,6 +475,7 @@ fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
             "elems",
             "strategy",
             "predicted",
+            "peak_B",
             "chosen",
         ],
     );
@@ -451,31 +493,41 @@ fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
             failed = true;
             return;
         };
+        cur.insert(*var, dist.clone());
         // Unrestricted plan for the strategy comparison; the executed
         // statement (`xdpc run`) restricts messages to single strided
         // sections, so print that schedule and flag any divergence.
-        let free = xdp::collectives::plan(
-            *var,
-            &decl.bounds,
-            decl.elem.size_bytes(),
-            &src,
-            dist,
-            &cost,
-            &topo,
-            false,
-        );
-        let pl = xdp::collectives::plan(
-            *var,
-            &decl.bounds,
-            decl.elem.size_bytes(),
-            &src,
-            dist,
-            &cost,
-            &topo,
-            true,
-        );
-        cur.insert(*var, dist.clone());
-        let mut add = |strategy: &str, predicted: f64, chosen: &str| {
+        let mut planned = |single: bool| {
+            xdp::collectives::try_plan(
+                *var,
+                &decl.bounds,
+                decl.elem.size_bytes(),
+                &src,
+                dist,
+                &cost,
+                &topo,
+                single,
+            )
+            .map_err(|e| {
+                eprintln!("xdpc: {}: {e}", decl.name);
+                failed = true;
+            })
+            .ok()
+        };
+        let Some(free) = planned(false) else {
+            return;
+        };
+        let Some(pl) = planned(true) else {
+            return;
+        };
+        let peak_of = |st: &xdp::collectives::Strategy| {
+            free.frontier
+                .iter()
+                .find(|f| f.strategy == *st)
+                .map(|f| f.peak_bytes.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        let mut add = |strategy: &str, predicted: f64, peak: &str, chosen: &str| {
             t.row(&[
                 j::s(&decl.name),
                 j::s(&src.to_string()),
@@ -483,12 +535,34 @@ fn cmd_plan(program: &Program, rest: &[String]) -> ExitCode {
                 j::i(free.moved_elems),
                 j::s(strategy),
                 j::f(predicted),
+                j::s(peak),
                 j::s(chosen),
             ]);
         };
-        add(&free.strategy.to_string(), free.predicted, "<-");
+        add(
+            &free.strategy.to_string(),
+            free.predicted,
+            &free.peak_bytes.to_string(),
+            "<-",
+        );
         for (st, c) in &free.alternatives {
-            add(&st.to_string(), *c, "");
+            if *st == free.strategy {
+                continue;
+            }
+            add(&st.to_string(), *c, &peak_of(st), "");
+        }
+        schedules.push_str(&format!(
+            "frontier {} (time/memory, non-dominated):\n",
+            decl.name
+        ));
+        for f in &free.frontier {
+            schedules.push_str(&format!(
+                "  {} predicted {:.1} peak {} B{}\n",
+                f.strategy,
+                f.predicted,
+                f.peak_bytes,
+                if f.chosen { " <-" } else { "" }
+            ));
         }
         if free.strategy != pl.strategy {
             schedules.push_str(&format!(
@@ -534,8 +608,13 @@ fn cmd_place(program: &Program, rest: &[String]) -> ExitCode {
         Ok(t) => t,
         Err(code) => return code,
     };
+    let mut model = cost_flags(rest);
+    model.mem_budget = match parse_mem_budget(rest) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
     let mut opts = PlaceOptions {
-        model: cost_flags(rest),
+        model,
         topo,
         ..PlaceOptions::default()
     };
@@ -674,6 +753,7 @@ fn compiled_for(program: &Program, rest: &[String], seq: SeqMode) -> Result<Comp
         place: false,
         seq,
         backend,
+        mem_budget: parse_mem_budget(rest)?,
     };
     let compiled = match compile_program(program, &opts) {
         Ok(c) => c,
@@ -722,9 +802,9 @@ fn cmd_run(program: &Program, rest: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     let nprocs = compiled.nprocs;
-    let mut cfg = SimConfig::new(nprocs)
-        .with_cost(cost_flags(rest))
-        .with_faults(faults);
+    let mut cost = cost_flags(rest);
+    cost.mem_budget = compiled.mem_budget;
+    let mut cfg = SimConfig::new(nprocs).with_cost(cost).with_faults(faults);
     if flag(rest, "--timeline") {
         cfg = cfg.with_timeline();
     }
@@ -931,6 +1011,10 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
         },
     };
     let sim_only = flag(rest, "--sim-only");
+    let mem_budget = match parse_mem_budget(rest) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
     let repro_path = opt_val(rest, "--repro").unwrap_or("fuzz-repro.xdp");
 
     let cfg = FuzzConfig {
@@ -950,6 +1034,10 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
             chaos: !sim_only,
             faults,
             passes: true,
+            // The membound oracle is a second simulator run (budgeted
+            // planner, same memory image) — deterministic, so it also
+            // stays on under --sim-only.
+            mem_budget: mem_budget.or(Some(xdp_verify::DEFAULT_CHECK_BUDGET)),
         },
         ..FuzzConfig::default()
     };

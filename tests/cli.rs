@@ -248,6 +248,55 @@ fn bad_fault_specs_exit_2_everywhere() {
 }
 
 #[test]
+fn bad_mem_budget_is_one_line_and_exit_2_everywhere() {
+    // Malformed and zero budgets are usage errors on every subcommand
+    // that takes the flag: exactly one diagnostic line, exit code 2.
+    for (cmd, file) in [
+        ("plan", Some("xdp-programs/membound.xdp")),
+        ("place", Some("xdp-programs/twophase.xdp")),
+        ("run", Some("xdp-programs/simple.xdp")),
+        ("fuzz", None),
+    ] {
+        for bad in ["banana", "0", "12q", "-5"] {
+            let mut args = vec![cmd];
+            args.extend(file);
+            args.extend(["--mem-budget", bad]);
+            let (_, stderr, code) = xdpc_code(&args);
+            assert_eq!(code, 2, "{cmd} --mem-budget {bad}: {stderr}");
+            assert_eq!(
+                stderr.lines().count(),
+                1,
+                "{cmd} --mem-budget {bad}: {stderr}"
+            );
+            assert!(
+                stderr.contains(&format!("bad --mem-budget `{bad}`")),
+                "{cmd}: {stderr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_infeasible_budget_exits_nonzero_naming_smallest_feasible() {
+    // A 1-byte budget fits no decomposition of membound.xdp's transpose:
+    // `plan` must fail (an analysis failure, not a usage error) and name
+    // the smallest budget that would have worked.
+    let (_, stderr, code) = xdpc_code(&["plan", "xdp-programs/membound.xdp", "--mem-budget", "1"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(
+        stderr.contains("fits mem budget 1 B") && stderr.contains("smallest feasible budget:"),
+        "{stderr}"
+    );
+    // The named budget really is feasible: planning at a generous budget
+    // succeeds and shows the per-candidate peak column.
+    let (stdout, stderr, code) =
+        xdpc_code(&["plan", "xdp-programs/membound.xdp", "--mem-budget", "64k"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("peak_B"), "{stdout}");
+    assert!(stdout.contains("frontier"), "{stdout}");
+}
+
+#[test]
 fn run_with_faults_delivers_exactly_once() {
     let (stdout, stderr, code) = xdpc_code(&[
         "run",

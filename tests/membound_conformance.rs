@@ -1,0 +1,175 @@
+//! Executor high-water conformance for the redistribution planner's
+//! peak-bytes dimension: for every `xdp-programs/` file that
+//! redistributes an array, the *measured* redistribution high-water mark
+//! (live staged bytes, tracked by the network layer via the salted
+//! redistribution tags) must be positive and never exceed the planner's
+//! *predicted* per-processor peak — on the virtual-time simulator and
+//! the bytecode VM, budgeted and unbudgeted, and (receiver-side) on the
+//! real threaded machine behind `AsyncExec`.
+
+use std::path::PathBuf;
+use xdp::prelude::*;
+use xdp_collectives::plan;
+use xdp_compiler::{compile, CompileOptions, Compiled, SeqMode};
+use xdp_core::{AsyncConfig, AsyncExec, Processor};
+use xdp_ir::Stmt;
+use xdp_machine::{CostModel, Topology};
+use xdp_vm::VmExec;
+
+/// Every program in `xdp-programs/` whose compiled form redistributes.
+fn redistributing_programs() -> Vec<(String, Compiled)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("xdp-programs");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("xdp-programs/ exists")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "xdp"))
+        .collect();
+    files.sort();
+    let out: Vec<(String, Compiled)> = files
+        .into_iter()
+        .filter_map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let source = std::fs::read_to_string(&path).unwrap();
+            let opts = CompileOptions::default().with_seq(SeqMode::Auto);
+            let compiled =
+                compile(&source, &opts).unwrap_or_else(|e| panic!("{name} must compile: {e}"));
+            let mut redistributes = false;
+            compiled.program.visit(&mut |s| {
+                redistributes |= matches!(s, Stmt::Redistribute { .. });
+            });
+            redistributes.then_some((name, compiled))
+        })
+        .collect();
+    assert!(
+        out.iter().any(|(n, _)| n == "membound.xdp"),
+        "the transpose corpus program must be present"
+    );
+    out
+}
+
+/// The planner's peak bound for a whole program: re-derive each
+/// redistribute's plan exactly as the runtime does (tracking the current
+/// distribution across statements) and sum the peaks — a safe bound even
+/// if the executor overlaps consecutive redistributions.
+fn predicted_peak(p: &Program, cost: &CostModel, topo: &Topology) -> u64 {
+    let mut cur: std::collections::HashMap<VarId, Distribution> = std::collections::HashMap::new();
+    let mut total = 0u64;
+    p.visit(&mut |s| {
+        let Stmt::Redistribute { var, dist } = s else {
+            return;
+        };
+        let decl = p.decl(*var);
+        let src = cur
+            .get(var)
+            .or(decl.dist.as_ref())
+            .cloned()
+            .expect("redistributed array is distributed");
+        cur.insert(*var, dist.clone());
+        let pl = plan(
+            *var,
+            &decl.bounds,
+            decl.elem.size_bytes(),
+            &src,
+            dist,
+            cost,
+            topo,
+            true,
+        );
+        total += pl.peak_bytes;
+    });
+    total
+}
+
+fn init<P: Processor>(exec: &mut SimExec<P>, decls: &[Decl]) {
+    for (i, d) in decls.iter().enumerate() {
+        if d.is_exclusive() {
+            let full = Section::new(d.bounds.clone());
+            exec.init_exclusive(VarId(i as u32), move |idx| {
+                Value::F64((full.ordinal_of(idx).unwrap_or(0) + 1) as f64)
+            });
+        }
+    }
+}
+
+fn measured_sim<P: Processor>(name: &str, mut exec: SimExec<P>, decls: &[Decl]) -> u64 {
+    init(&mut exec, decls);
+    let report = exec.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    report.net.redist_peak_bytes
+}
+
+#[test]
+fn simulated_high_water_stays_under_the_planned_peak() {
+    for (name, compiled) in redistributing_programs() {
+        for budgeted in [false, true] {
+            let mut cfg = SimConfig::new(compiled.nprocs);
+            if budgeted {
+                // Half the unbounded bound forces a slimmer decomposition.
+                let free = predicted_peak(&compiled.program, &cfg.cost, &cfg.topo);
+                cfg.cost.mem_budget = Some((free / 2).max(1));
+            }
+            let predicted = predicted_peak(&compiled.program, &cfg.cost, &cfg.topo);
+            for backend in ["interp", "vm"] {
+                let measured = match backend {
+                    "interp" => measured_sim(
+                        &name,
+                        SimExec::new(
+                            compiled.program.clone(),
+                            xdp_apps::app_kernels(),
+                            cfg.clone(),
+                        ),
+                        &compiled.program.decls,
+                    ),
+                    _ => measured_sim(
+                        &name,
+                        VmExec::sim(
+                            compiled.program.clone(),
+                            xdp_apps::app_kernels(),
+                            cfg.clone(),
+                        ),
+                        &compiled.program.decls,
+                    ),
+                };
+                assert!(
+                    measured > 0,
+                    "{name} ({backend}, budgeted={budgeted}): no redistribution bytes measured"
+                );
+                assert!(
+                    measured <= predicted,
+                    "{name} ({backend}, budgeted={budgeted}): measured high-water {measured} B \
+                     exceeds planned peak {predicted} B"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_high_water_stays_under_the_planned_peak() {
+    for (name, compiled) in redistributing_programs() {
+        // AsyncExec runs the real threaded network; its receiver-side
+        // live-byte counter is a lower bound on the planner's two-sided
+        // footprint, so the same inequality must hold.
+        let cfg = AsyncConfig::new(compiled.nprocs);
+        let sim_cfg = SimConfig::new(compiled.nprocs);
+        let predicted = predicted_peak(&compiled.program, &sim_cfg.cost, &sim_cfg.topo);
+        let mut exec = AsyncExec::new(compiled.program.clone(), xdp_apps::app_kernels(), cfg);
+        for (i, d) in compiled.program.decls.iter().enumerate() {
+            if d.is_exclusive() {
+                let full = Section::new(d.bounds.clone());
+                exec.init_exclusive(VarId(i as u32), move |idx| {
+                    Value::F64((full.ordinal_of(idx).unwrap_or(0) + 1) as f64)
+                });
+            }
+        }
+        let report = exec.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let measured = report.net.redist_peak_bytes;
+        assert!(
+            measured > 0,
+            "{name} (async): no redistribution bytes measured"
+        );
+        assert!(
+            measured <= predicted,
+            "{name} (async): measured high-water {measured} B exceeds planned peak {predicted} B"
+        );
+    }
+}
